@@ -1,0 +1,60 @@
+"""Ablation: p-pattern vs (p+1)-pattern rest sizes (§IV-B4).
+
+The library picks whichever pattern leaves the smaller unbalanced rest c.
+This bench quantifies how often each variant wins across the ratio grid
+and verifies the paper's r=3/100 example, where the (p+1)-pattern achieves
+a rest of zero.
+"""
+
+from repro.core import best_pattern, p_pattern, p_plus_one_pattern
+
+from conftest import save_result
+
+
+def experiment():
+    p_wins = p1_wins = ties = 0
+    worst_gain = (0, None)
+    for q in range(1, 150):
+        for p in range(0, q + 1):
+            _, rest_p = p_pattern(p, q)
+            _, rest_p1 = p_plus_one_pattern(p, q)
+            if rest_p < rest_p1:
+                p_wins += 1
+            elif rest_p1 < rest_p:
+                p1_wins += 1
+                if rest_p - rest_p1 > worst_gain[0]:
+                    worst_gain = (rest_p - rest_p1, (p, q))
+            else:
+                ties += 1
+    return p_wins, p1_wins, ties, worst_gain
+
+
+def test_ablation_patterns(benchmark):
+    p_wins, p1_wins, ties, worst_gain = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    total = p_wins + p1_wins + ties
+    text = (
+        "Ablation: pattern variant choice over all p/q with q < 150\n"
+        f"  p-pattern strictly better:     {p_wins:6d} ({p_wins / total:.1%})\n"
+        f"  (p+1)-pattern strictly better: {p1_wins:6d} ({p1_wins / total:.1%})\n"
+        f"  ties:                          {ties:6d} ({ties / total:.1%})\n"
+        f"  largest rest reduction: {worst_gain[0]} at p/q={worst_gain[1]}"
+    )
+    save_result("ablation_patterns", text)
+
+    # Both variants matter: each wins a non-trivial share.
+    assert p_wins > 0 and p1_wins > 0
+
+    # The paper's example: at r=3/100 the (p+1)-pattern has rest 0 while
+    # the p-pattern leaves one trailing Q.
+    _, rest_p = p_pattern(3, 100)
+    _, rest_p1 = p_plus_one_pattern(3, 100)
+    assert (rest_p, rest_p1) == (1, 0)
+
+    # And best_pattern always returns the variant with the minimum rest
+    # (ties resolved toward the p-pattern).
+    for q in range(1, 60):
+        for p in range(0, q + 1):
+            pat_p, rest_p = p_pattern(p, q)
+            pat_p1, rest_p1 = p_plus_one_pattern(p, q)
+            expected = pat_p if rest_p <= rest_p1 else pat_p1
+            assert best_pattern(p, q) == expected, (p, q)

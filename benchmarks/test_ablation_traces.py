@@ -1,0 +1,57 @@
+"""Ablation: replacing vs accumulating eligibility traces.
+
+The paper uses replacing traces "to avoid heavily visited state-action
+pairs [having] unreasonably high eligibility" (§IV-C2).  On the ratio
+bandit this shows up as convergence robustness: accumulating traces let
+the incumbent state's value inflate and the learner converges less often.
+"""
+
+import random
+from fractions import Fraction
+
+from repro.core.rl import EligibilityTraces, EpsilonGreedy, ModelBasedV, SarsaLambda, TransitionModel
+from repro.core.td_learner import ratio_states, step_actions
+
+from conftest import save_result
+
+STATES = ratio_states(Fraction(1, 5))
+ACTIONS = step_actions(Fraction(1, 5), max_step=2)
+SEEDS = tuple(range(1, 13))
+
+
+def run(trace_kind: str, seed: int, episodes: int = 150) -> bool:
+    model = TransitionModel(STATES)
+    sarsa = SarsaLambda(
+        ACTIONS,
+        ModelBasedV(model),
+        EpsilonGreedy(random.Random(seed), 0.5, 0.1, 0.01),
+        model.next_state,
+        alpha=0.5,
+        gamma=0.5,
+        lam=0.85,
+        traces=EligibilityTraces(trace_kind),
+    )
+    state = sarsa.begin(Fraction(0))
+    for _ in range(episodes):
+        reward = 100.0 - 90.0 * float(state + 1) / 2.0  # best at -1
+        state = sarsa.step(reward, state)
+    return state <= Fraction(-3, 5)
+
+
+def experiment():
+    return {
+        kind: sum(run(kind, seed) for seed in SEEDS)
+        for kind in ("replacing", "accumulating")
+    }
+
+
+def test_ablation_traces(benchmark):
+    converged = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    lines = ["Ablation: eligibility trace kind (converged seeds out of %d)" % len(SEEDS)]
+    for kind, count in converged.items():
+        lines.append(f"  {kind:13s}: {count}")
+    save_result("ablation_traces", "\n".join(lines))
+
+    # Replacing traces must not be worse, and both must mostly work.
+    assert converged["replacing"] >= converged["accumulating"]
+    assert converged["replacing"] >= len(SEEDS) // 2

@@ -1,0 +1,63 @@
+"""Extension bench: re-adaptation under changing network conditions.
+
+The paper's stated motivation is networks whose conditions *change*
+("providing the maximum flexibility to adapt to changing network
+conditions", §I), but its evaluation only covers static links.  This bench
+closes that gap: mid-run, the VPC-like link degrades into a lossy
+intercontinental one (TCP collapses, policed UDT keeps its rate), and the
+online learner must walk its ratio from all-TCP to all-UDT.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import run_learner_trace
+from repro.bench.scenario import MB
+from repro.core import TDRatioLearner
+from repro.netsim import FaultInjector, LinkSpec
+
+from conftest import save_result
+
+DEGRADE_AT = 90.0
+DURATION = 260.0
+#: after the event the link looks like a lossy WAN: TCP ~0.2 MB/s,
+#: UDT pinned at the 2 MB/s policing cap
+DEGRADED = LinkSpec(bandwidth=20 * MB, delay=0.150, loss=3e-4, udp_cap=2 * MB)
+
+
+def experiment():
+    def degrade(pair):
+        FaultInjector(pair.fabric).degrade_link(
+            pair.sender.address.ip, pair.receiver.address.ip, DEGRADED
+        )
+
+    rng = random.Random(1)
+    return run_learner_trace(
+        "adaptive",
+        lambda: TDRatioLearner(rng, "approx", epsilon_max=0.5, epsilon_decay=0.01),
+        duration=DURATION,
+        seed=1,
+        scheduled_events=[(DEGRADE_AT, degrade)],
+    )
+
+
+@pytest.mark.slow
+def test_readaptation_after_link_degradation(benchmark):
+    trace = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [f"Extension: learner re-adaptation (link degrades at t={DEGRADE_AT:.0f}s)"]
+    for t in range(20, int(DURATION) + 1, 20):
+        thr = (trace.throughput.window_mean(t - 20, t) or 0.0) / MB
+        ratio = trace.ratio_prescribed.window_mean(t - 20, t)
+        lines.append(f"  t={t:3d}s  throughput {thr:6.2f} MB/s  prescribed ratio {ratio:+5.2f}")
+    save_result("adaptivity", "\n".join(lines))
+
+    # Phase 1: converged to TCP on the fast, clean link.
+    assert trace.ratio_prescribed.window_mean(70.0, 90.0) < -0.8
+    assert trace.throughput.window_mean(70.0, 90.0) > 15 * MB
+
+    # Phase 2: after degradation the learner crosses the whole ratio grid
+    # to UDT and recovers the policed-UDT throughput.
+    assert trace.ratio_prescribed.window_mean(DURATION - 40, DURATION) > 0.6
+    assert trace.throughput.window_mean(DURATION - 40, DURATION) > 1.7 * MB

@@ -1,0 +1,41 @@
+"""Figure 1: distribution of observed selection ratios vs target.
+
+Pattern selection must stay near-exact over episode-sized windows and
+bounded over wire-sized (16 message) windows, while probabilistic
+selection skews by up to ~0.5 on short windows (paper §IV-B2).
+"""
+
+from repro.bench.figures import FIG1_TARGETS, fig1_selection_skew
+from repro.bench.harness import run_selection_skew
+
+from conftest import save_result
+
+
+def test_fig1_selection_skew(benchmark):
+    output = benchmark.pedantic(fig1_selection_skew, rounds=1, iterations=1)
+    save_result("fig1_selection_skew", output.render())
+
+    data = run_selection_skew(FIG1_TARGETS, n_messages=160_000, seed=0)
+    for p, q in FIG1_TARGETS:
+        label = f"{p}/{q}"
+        target = (p - q) / (p + q)
+        for window in (1600, 16):
+            pattern = data[(label, "pattern", window)]
+            rand = data[(label, "random", window)]
+            pattern_spread = pattern.maximum - pattern.minimum
+            random_spread = rand.maximum - rand.minimum
+            # The deterministic pattern never skews more than Bernoulli draws.
+            assert pattern_spread <= random_spread + 1e-9, (label, window)
+            # Medians sit at the target for both policies.
+            assert abs(pattern.median - target) < 0.15, (label, window)
+
+    # Paper's headline numbers at 50-50-ish mixes: probabilistic selection
+    # skews ~0.5 on wire windows while the episode window stays within ~0.1.
+    r45 = data[("4/5", "random", 16)]
+    assert max(abs(r45.maximum - (-1 / 9)), abs(r45.minimum - (-1 / 9))) > 0.3
+    p45_ep = data[("4/5", "pattern", 1600)]
+    assert abs(p45_ep.maximum - p45_ep.minimum) < 0.02
+    # At r=3/100 even the pattern cannot balance 16-message windows
+    # (majority blocks are longer than the window).
+    p3 = data[("3/100", "pattern", 16)]
+    assert p3.minimum == -1.0

@@ -1,0 +1,44 @@
+"""Figure 2: impact of the selection policy on learner convergence.
+
+Both PSPs eventually reach the same throughput; the probabilistic policy's
+true ratio is smoother but less exact than the pattern policy's
+(paper §IV-B2).
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig2_psp_convergence
+from repro.bench.scenario import MB
+
+from conftest import save_result
+
+
+def test_fig2_psp_convergence(benchmark):
+    output, traces = benchmark.pedantic(fig2_psp_convergence, rounds=1, iterations=1)
+    save_result("fig2_psp_convergence", output.render())
+
+    pattern = traces["pattern"]
+    prob = traces["probabilistic"]
+
+    # Both implementations eventually achieve the same performance (§IV-B2).
+    pat_final = pattern.throughput.window_mean(40.0, 60.0)
+    prob_final = prob.throughput.window_mean(40.0, 60.0)
+    assert pat_final is not None and prob_final is not None
+    assert pat_final > 15 * MB
+    assert abs(pat_final - prob_final) / pat_final < 0.25
+
+    # Both converge toward TCP on this TCP-favouring link.
+    assert pattern.ratio_true.window_mean(40.0, 60.0) < -0.5
+    assert prob.ratio_true.window_mean(40.0, 60.0) < -0.5
+
+    # Probabilistic true ratio deviates more from the prescribed ratio
+    # episode-by-episode (less accurate).  The ratio prescribed at episode
+    # i's end governs episode i+1, so compare with a one-episode shift.
+    def tracking_error(trace):
+        prescribed = trace.ratio_prescribed.values
+        true = trace.ratio_true.values
+        n = min(len(prescribed) - 1, len(true) - 1)
+        errs = [abs(true[i + 1] - prescribed[i]) for i in range(n)]
+        return float(np.mean(errs))
+
+    assert tracking_error(prob) >= tracking_error(pattern)

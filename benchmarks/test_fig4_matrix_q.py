@@ -1,0 +1,42 @@
+"""Figure 4: the plain Q(s,a) matrix converges too slowly to be useful.
+
+With 55 state-action entries each needing individual exploration, the
+matrix learner lags the model-based variants by tens of seconds (in the
+paper's run it does not converge at all within 120 s; our smaller, cleaner
+environment lets it converge eventually, but visibly later — see
+EXPERIMENTS.md).
+"""
+
+from repro.bench.figures import fig4_matrix_q
+from repro.bench.scenario import MB
+
+from conftest import save_result
+
+
+def time_to_converge(trace, tcp_ref, duration=120):
+    """First 10 s bucket reaching 80% of the TCP reference's late mean."""
+    target = 0.8 * tcp_ref.throughput.window_mean(60.0, float(duration))
+    for t in range(10, duration + 1, 10):
+        mean = trace.throughput.window_mean(t - 10, t)
+        if mean is not None and mean >= target:
+            return t
+    return None
+
+
+def test_fig4_matrix_q(benchmark):
+    output, traces = benchmark.pedantic(fig4_matrix_q, rounds=1, iterations=1)
+    save_result("fig4_matrix_q", output.render())
+
+    ttc = time_to_converge(traces["matrix"], traces["tcp"])
+    # The matrix representation is the slow one: no convergence in the
+    # first 50 s despite epsilon_max = 0.8 (paper: not within 120 s).
+    assert ttc is None or ttc >= 50, f"matrix converged suspiciously fast ({ttc}s)"
+
+    # References behave as expected: TCP ~ 10x UDT in this environment.
+    tcp = traces["tcp"].throughput.window_mean(60.0, 120.0)
+    udt = traces["udt"].throughput.window_mean(60.0, 120.0)
+    assert tcp > 5 * udt
+
+    # Early phase is far from the TCP reference (under-explored values).
+    early = traces["matrix"].throughput.window_mean(0.0, 30.0)
+    assert early < 0.7 * tcp

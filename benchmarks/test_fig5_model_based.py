@@ -1,0 +1,35 @@
+"""Figure 5: the model-based V(s) + M(s,a) learner converges in tens of
+seconds — the state-value vector is shared across actions, so exploration
+propagates an order of magnitude faster than the matrix (paper §IV-C4)."""
+
+from repro.bench.figures import fig5_model_based
+from repro.bench.scenario import MB
+
+from conftest import save_result
+
+
+def time_to_converge(trace, tcp_ref, duration=120):
+    """First 10 s bucket reaching 80% of the TCP reference's late mean."""
+    target = 0.8 * tcp_ref.throughput.window_mean(60.0, float(duration))
+    for t in range(10, duration + 1, 10):
+        mean = trace.throughput.window_mean(t - 10, t)
+        if mean is not None and mean >= target:
+            return t
+    return None
+
+
+def test_fig5_model_based(benchmark):
+    output, traces = benchmark.pedantic(fig5_model_based, rounds=1, iterations=1)
+    save_result("fig5_model_based", output.render())
+
+    ttc = time_to_converge(traces["model"], traces["tcp"])
+    # "Tens of seconds" (paper: ~20 s) — and well before the matrix's pace.
+    assert ttc is not None and ttc <= 60, f"model-based did not converge early (ttc={ttc})"
+
+    # After convergence it stays near the TCP reference.
+    tcp = traces["tcp"].throughput.window_mean(60.0, 120.0)
+    late = traces["model"].throughput.window_mean(60.0, 120.0)
+    assert late > 0.85 * tcp
+
+    # And the true protocol ratio sits near all-TCP.
+    assert traces["model"].ratio_true.window_mean(60.0, 120.0) < -0.6

@@ -1,0 +1,35 @@
+"""Figure 6: quadratic value approximation — good within seconds, and it
+never backtracks significantly once converged (paper §IV-C5)."""
+
+from repro.bench.figures import fig6_approximation
+from repro.bench.scenario import MB
+
+from conftest import save_result
+
+
+def time_to_converge(trace, tcp_ref, duration=120):
+    """First 10 s bucket reaching 80% of the TCP reference's late mean."""
+    target = 0.8 * tcp_ref.throughput.window_mean(60.0, float(duration))
+    for t in range(10, duration + 1, 10):
+        mean = trace.throughput.window_mean(t - 10, t)
+        if mean is not None and mean >= target:
+            return t
+    return None
+
+
+def test_fig6_approximation(benchmark):
+    output, traces = benchmark.pedantic(fig6_approximation, rounds=1, iterations=1)
+    save_result("fig6_approximation", output.render())
+
+    ttc = time_to_converge(traces["approx"], traces["tcp"])
+    assert ttc is not None and ttc <= 30, f"approximation too slow (ttc={ttc})"
+
+    tcp = traces["tcp"].throughput.window_mean(60.0, 120.0)
+    late = traces["approx"].throughput.window_mean(60.0, 120.0)
+    assert late > 0.85 * tcp
+
+    # No significant backtracking: every post-convergence 10 s bucket stays
+    # within striking distance of the TCP reference.
+    for t in range(ttc + 10, 121, 10):
+        bucket = traces["approx"].throughput.window_mean(t - 10.0, float(t))
+        assert bucket is not None and bucket > 0.7 * tcp, f"backtracked at {t}s: {bucket / MB:.1f} MB/s"

@@ -1,0 +1,42 @@
+"""Figure 8: control-message RTT with and without a parallel 395 MB
+transfer, across the four setups (paper §V-C).
+
+Shape claims: sharing TCP between pings and bulk data inflates ping RTT by
+orders of magnitude; UDT bulk data barely interferes; the DATA protocol's
+internal queueing keeps the penalty far below the all-TCP case.
+"""
+
+import pytest
+
+from repro.bench.figures import fig8_latency
+from repro.bench.scenario import AWS_SETUPS
+
+from conftest import save_result
+
+
+@pytest.mark.slow
+def test_fig8_latency(benchmark):
+    output, results = benchmark.pedantic(fig8_latency, rounds=1, iterations=1)
+    save_result("fig8_latency", output.render())
+
+    for setup in AWS_SETUPS:
+        base_tcp = results[(setup.name, "tcp ping only")].median_ms
+        base_udt = results[(setup.name, "udt ping only")].median_ms
+        both_tcp = results[(setup.name, "tcp ping + tcp data")].median_ms
+        with_udt = results[(setup.name, "tcp ping + udt data")].median_ms
+        with_data = results[(setup.name, "tcp ping + data data")].median_ms
+
+        # Idle pings measure the link RTT on either protocol (the Local
+        # floor is the loopback latency plus serialisation, ~0.05 ms).
+        assert base_tcp == pytest.approx(max(setup.rtt * 1000, 0.055), rel=0.5)
+        assert base_udt == pytest.approx(max(setup.rtt * 1000, 0.055), rel=0.5)
+
+        # Head-of-line blocking behind bulk TCP data: orders of magnitude.
+        assert both_tcp > 50 * base_tcp, setup.name
+
+        # UDT data does not interfere with TCP pings (separate channels).
+        assert with_udt < 1.5 * base_tcp + 1.0, setup.name
+
+        # DATA stays well below the all-TCP penalty (its windowed release
+        # keeps the shared TCP channel queue short).
+        assert with_data < both_tcp / 10, setup.name

@@ -1,0 +1,48 @@
+"""Figure 9: disk-to-disk transfer throughput vs RTT for TCP, UDT, DATA.
+
+Shape claims (paper §V-B): TCP wins big at 0-3 ms and collapses with RTT;
+UDT sits flat at the EC2 UDP policing cap (~10 MB/s) and is far faster at
+intercontinental RTTs; DATA tracks the winner everywhere, with ramp-up on
+the first run of a series and somewhat higher variance.
+"""
+
+import pytest
+
+from repro.bench.figures import fig9_throughput
+from repro.bench.scenario import MB
+
+from conftest import save_result
+
+
+@pytest.mark.slow
+def test_fig9_throughput(benchmark):
+    output, results = benchmark.pedantic(fig9_throughput, rounds=1, iterations=1)
+    save_result("fig9_throughput", output.render())
+
+    thr = {key: rep.mean_throughput for key, rep in results.items()}
+
+    # Low-RTT setups: TCP vastly outperforms (policed) UDT.
+    for name in ("Local", "EU-VPC"):
+        assert thr[(name, "tcp")] > 3 * thr[(name, "udt")], name
+
+    # Local TCP is disk-bound around 120 MB/s; memory-to-memory would be
+    # higher (the 150 MB/s loopback).
+    assert 100 * MB < thr[("Local", "tcp")] < 130 * MB
+
+    # UDT is flat at the ~10 MB/s UDP cap on every real-network setup.
+    for name in ("EU-VPC", "EU2US", "EU2AU"):
+        assert 8 * MB < thr[(name, "udt")] < 11 * MB, name
+
+    # The crossover: UDT beats TCP from EU2US onward, by ~an order of
+    # magnitude at EU2AU.
+    assert thr[("EU2US", "udt")] > 2 * thr[("EU2US", "tcp")]
+    assert thr[("EU2AU", "udt")] > 7 * thr[("EU2AU", "tcp")]
+
+    # DATA tracks the per-setup winner (ramp-up amortised over the series).
+    for name in ("Local", "EU-VPC", "EU2US", "EU2AU"):
+        best = max(thr[(name, "tcp")], thr[(name, "udt")])
+        assert thr[(name, "data")] > 0.6 * best, name
+
+    # ... with somewhat higher variance than the static protocols.
+    for name in ("Local", "EU-VPC"):
+        assert results[(name, "data")].rse >= results[(name, "tcp")].rse, name

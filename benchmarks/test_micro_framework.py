@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the substrate: DES event rate, Kompics message rate,
+end-to-end simulated transfer rate.
+
+These are wall-clock performance numbers for the framework itself (not
+paper figures): they guard against performance regressions that would make
+the figure benchmarks impractically slow.
+"""
+
+from repro.kompics import KompicsSystem
+from repro.netsim import Proto, WireMessage
+from repro.sim import Simulator
+
+from tests.kompics_fixtures import Client, PingPort, Server
+from tests.netsim_helpers import MB, Sink, make_pair
+
+
+def test_des_event_throughput(benchmark):
+    """Raw kernel: schedule+execute 100k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100_000:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    events = benchmark(run)
+    assert events == 100_000
+
+
+def test_kompics_event_rate(benchmark):
+    """Ping/pong round trips through ports, channels and the scheduler."""
+
+    def run():
+        sim = Simulator()
+        system = KompicsSystem.simulated(sim, seed=1)
+        server = system.create(Server)
+        client = system.create(Client)
+        system.connect(server.provided(PingPort), client.required(PingPort))
+        system.start(server)
+        system.start(client)
+        sim.run()
+        for i in range(10_000):
+            client.definition.send(i)
+        sim.run()
+        return len(client.definition.pongs)
+
+    pongs = benchmark(run)
+    assert pongs == 10_000
+
+
+def test_simulated_transfer_rate(benchmark):
+    """Full fluid path: 64 MB over simulated TCP (1024 messages)."""
+
+    def run():
+        sim = Simulator()
+        net, a, b = make_pair(sim, bandwidth=100 * MB, delay=0.005)
+        sink = Sink(sim)
+        b.stack.listen(7000, Proto.TCP, on_accept=sink.on_accept)
+        conn = a.stack.connect((b.ip, 7000), Proto.TCP)
+        for i in range(1024):
+            conn.send(WireMessage(i, 65536))
+        sim.run()
+        return sink.bytes_received
+
+    received = benchmark(run)
+    assert received == 1024 * 65536

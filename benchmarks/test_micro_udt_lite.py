@@ -1,0 +1,47 @@
+"""Micro-benchmark: UDT-lite throughput on real loopback sockets.
+
+Guards the real wire protocol's performance: a pacing or ACK regression
+would show up here long before it breaks the (simulated) figure benches.
+"""
+
+import asyncio
+import os
+
+from repro.aio.udt import UdtLiteTransport
+
+HOST = "127.0.0.1"
+PAYLOAD = os.urandom(2 * 1024 * 1024)  # 2 MB across ~1750 DATA packets
+
+
+async def transfer_once() -> int:
+    server = await asyncio.start_server(lambda r, w: None, host=HOST, port=0)
+    port = server.sockets[0].getsockname()[1]
+    server.close()
+    await server.wait_closed()
+
+    received = []
+    done = asyncio.Event()
+
+    def on_connection(conn):
+        def on_frame(frame):
+            received.append(len(frame))
+            done.set()
+
+        conn.on_frame = on_frame
+
+    transport = UdtLiteTransport(initial_rate=64 * 1024 * 1024)
+    listener = await transport.listen(HOST, port, on_connection)
+    conn = await transport.connect((HOST, port), b"bench")
+    await conn.send_frame(PAYLOAD)
+    await conn.drain()
+    await asyncio.wait_for(done.wait(), timeout=30.0)
+    await conn.close()
+    await listener.close()
+    return received[0]
+
+
+def test_udt_lite_loopback_throughput(benchmark):
+    size = benchmark.pedantic(
+        lambda: asyncio.run(transfer_once()), rounds=3, iterations=1
+    )
+    assert size == len(PAYLOAD)

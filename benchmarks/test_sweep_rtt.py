@@ -1,0 +1,46 @@
+"""Extension bench: the continuous throughput-vs-RTT curve behind Figure 9.
+
+Sweeps RTT from 5 ms to 400 ms (loss growing with distance as on the
+paper's WAN paths) and bisects the exact TCP/UDT crossover — the paper
+only brackets it between its 3 ms and 155 ms setups.
+"""
+
+import pytest
+
+from repro.bench.scenario import MB
+from repro.bench.sweep import find_crossover, rtt_sweep
+
+from conftest import save_result
+
+RTTS = (0.005, 0.020, 0.050, 0.100, 0.200, 0.400)
+
+
+@pytest.mark.slow
+def test_rtt_sweep_and_crossover(benchmark):
+    def experiment():
+        points = rtt_sweep(RTTS, size=256 * MB, runs=3)
+        crossover = find_crossover(size=256 * MB, runs=3, tolerance=0.01)
+        return points, crossover
+
+    points, crossover = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = ["Extension: throughput vs RTT (256 MB transfers, 3 runs/point)"]
+    for p in points:
+        lines.append(
+            f"  rtt={p.rtt * 1000:5.0f}ms  tcp={p.throughputs['tcp'] / MB:7.2f} MB/s  "
+            f"udt={p.throughputs['udt'] / MB:6.2f} MB/s"
+        )
+    lines.append(f"  TCP/UDT crossover at ~{crossover * 1000:.0f} ms RTT")
+    save_result("sweep_rtt", "\n".join(lines))
+
+    tcp = [p.throughputs["tcp"] for p in points]
+    udt = [p.throughputs["udt"] for p in points]
+    # TCP monotonically (modulo run noise) degrades with RTT...
+    assert tcp[0] > tcp[2] > tcp[-1]
+    # ... while policed UDT stays flat within ~25%.
+    assert max(udt) < 1.25 * min(udt)
+    # TCP wins at the left end, UDT at the right end.
+    assert tcp[0] > 3 * udt[0]
+    assert udt[-1] > 3 * tcp[-1]
+    # The crossover falls strictly inside the paper's 3..155 ms bracket.
+    assert 0.003 < crossover < 0.155

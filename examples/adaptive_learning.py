@@ -1,0 +1,61 @@
+"""Watch the Sarsa(λ) transport-ratio learner converge.
+
+Drives a saturating DATA stream over a TCP-favouring link and prints the
+per-episode telemetry for all three value-function representations from
+the paper (§IV-C): the plain Q-matrix, the model-based V(s), and the
+quadratically approximated V(s).
+
+Run:  python examples/adaptive_learning.py
+"""
+
+import random
+
+from repro.bench.harness import run_learner_trace, run_static_reference
+from repro.core import TDRatioLearner
+from repro.messaging import Transport
+
+import os
+
+MB = 1024 * 1024
+DURATION = 30.0 if os.environ.get("REPRO_EXAMPLE_QUICK") == "1" else 90.0
+SEED = 4
+
+
+def main() -> None:
+    tcp_ref = run_static_reference(Transport.TCP, duration=DURATION, seed=SEED)
+    udt_ref = run_static_reference(Transport.UDT, duration=DURATION, seed=SEED)
+    steady_from = DURATION * 0.4
+    tcp = tcp_ref.throughput.window_mean(steady_from, DURATION) / MB
+    udt = udt_ref.throughput.window_mean(steady_from, DURATION) / MB
+    print(f"References: TCP-only {tcp:.1f} MB/s, UDT-only {udt:.1f} MB/s "
+          f"(TCP-favouring link — the learner should go to ratio -1)\n")
+
+    traces = {}
+    for kind, eps in (("matrix", 0.8), ("model", 0.3), ("approx", 0.3)):
+        rng = random.Random(SEED)
+        traces[kind] = run_learner_trace(
+            kind,
+            prp_factory=lambda: TDRatioLearner(rng, kind, epsilon_max=eps),
+            duration=DURATION,
+            seed=SEED,
+        )
+
+    print(f"{'time':>5s} | " + " | ".join(f"{k:>22s}" for k in traces))
+    print(f"{'':>5s} | " + " | ".join(f"{'MB/s':>10s} {'ratio':>11s}" for _ in traces))
+    for t in range(10, int(DURATION) + 1, 10):
+        cells = []
+        for kind, trace in traces.items():
+            thr = (trace.throughput.window_mean(t - 10, t) or 0.0) / MB
+            ratio = trace.ratio_true.window_mean(t - 10, t)
+            cells.append(f"{thr:10.2f} {ratio if ratio is not None else float('nan'):+11.2f}")
+        print(f"{t:4d}s | " + " | ".join(cells))
+
+    print(
+        "\nThe matrix explores 55 Q-entries one by one; the model-based variant\n"
+        "shares an 11-entry V(s) across actions; the approximation extrapolates\n"
+        "unexplored states from a quadratic fit and converges within seconds."
+    )
+
+
+if __name__ == "__main__":
+    main()

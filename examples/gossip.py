@@ -1,0 +1,71 @@
+"""Epidemic gossip over a 12-node P2P mesh — the paper's §I motivation.
+
+Every node gossips rumor *digests* to two random peers each round over
+UDP (cheap to lose), and pulls missing rumor payloads over TCP.  The
+per-message transport choice makes this split a one-liner per message.
+
+Run:  python examples/gossip.py
+"""
+
+from repro.apps.gossip import GossipNode, register_gossip_serializers
+from repro.kompics import KompicsSystem, SimTimerComponent, Timer
+from repro.messaging import BasicAddress, NettyNetwork, Network, SerializerRegistry
+from repro.netsim import LinkSpec, SimNetwork
+from repro.sim import Simulator
+
+MB = 1024 * 1024
+N = 12
+ROUND = 0.25
+
+
+def main() -> None:
+    sim = Simulator()
+    fabric = SimNetwork(sim, seed=23)
+    system = KompicsSystem.simulated(sim, seed=23)
+    hosts = [fabric.add_host(f"peer{i}", f"10.9.0.{i + 1}") for i in range(N)]
+    for i in range(N):
+        for j in range(i + 1, N):
+            # A slightly lossy mesh: digests over UDP may vanish.
+            fabric.connect_hosts(hosts[i], hosts[j], LinkSpec(20 * MB, 0.015, loss=0.01))
+
+    addresses = [BasicAddress(h.ip, 34000) for h in hosts]
+    timer = system.create(SimTimerComponent)
+    system.start(timer)
+    nodes = []
+    for i, host in enumerate(hosts):
+        network = system.create(
+            NettyNetwork, addresses[i], host,
+            serializers=register_gossip_serializers(SerializerRegistry()),
+            name=f"net-{i}",
+        )
+        node = system.create(
+            GossipNode, addresses[i], addresses,
+            fanout=2, round_interval=ROUND, name=f"gossip-{i}",
+        )
+        system.connect(network.provided(Network), node.definition.net)
+        system.connect(timer.provided(Timer), node.definition.timer)
+        system.start(network)
+        system.start(node)
+        nodes.append(node.definition)
+    sim.run_until(0.1)
+
+    nodes[0].publish(42, b"the rumor payload")
+    print(f"peer0 publishes rumor 42 into a {N}-node mesh "
+          f"(fanout 2, {ROUND}s rounds, 1% digest loss):\n")
+    for step in range(1, 17):
+        sim.run_until(0.1 + step * ROUND)
+        infected = sum(1 for n in nodes if n.knows(42))
+        bar = "#" * infected
+        print(f"  round {step:2d}: {infected:2d}/{N} {bar}")
+        if infected == N:
+            break
+
+    spread = [n.first_seen[42] for n in nodes if n.knows(42)]
+    print(f"\nfully disseminated in {max(spread):.2f}s "
+          f"(~{max(spread) / ROUND:.0f} rounds, log2({N}) = 3.6)")
+    print(f"digests sent: {sum(n.digests_sent for n in nodes)} (UDP), "
+          f"pulls answered: {sum(n.pulls_answered for n in nodes)} (TCP)")
+
+
+if __name__ == "__main__":
+    main()

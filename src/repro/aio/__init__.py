@@ -1,0 +1,31 @@
+"""Real-network backend built on asyncio.
+
+The simulation substrate reproduces the paper's experiments; this package
+makes the same middleware usable on actual sockets:
+
+* :mod:`repro.aio.tcp` — length-framed TCP via asyncio streams.
+* :mod:`repro.aio.udp` — plain datagrams (one frame per datagram).
+* :mod:`repro.aio.udt` — **UDT-lite**: a from-scratch reliable-UDP
+  transport with sequence numbers, cumulative ACKs, NAK-triggered
+  retransmission and UDT-style DAIMD rate pacing.  Python has no
+  maintained UDT binding, so the library ships its own wire protocol with
+  the same guarantees (reliable, ordered) and behaviour class (rate-based,
+  RTT-insensitive congestion control).
+* :mod:`repro.aio.network` — ``AioNetwork``, a drop-in sibling of
+  ``NettyNetwork`` for thread-pool Kompics systems.
+"""
+
+from repro.aio.network import AioNetwork
+from repro.aio.tcp import TcpTransport
+from repro.aio.transport import AioConnection, AioTransport
+from repro.aio.udp import UdpTransport
+from repro.aio.udt import UdtLiteTransport
+
+__all__ = [
+    "AioTransport",
+    "AioConnection",
+    "TcpTransport",
+    "UdpTransport",
+    "UdtLiteTransport",
+    "AioNetwork",
+]

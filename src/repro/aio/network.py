@@ -1,0 +1,252 @@
+"""AioNetwork: the NettyNetwork sibling for real sockets.
+
+Provides the same Kompics ``Network`` port semantics — per-message
+transport choice, lazy channel establishment with reuse via the handshake
+hello, MessageNotify on sent, same-instance reflection — but executes on
+an asyncio event loop running in a dedicated thread, for use with
+``KompicsSystem.threaded()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from repro.aio.tcp import TcpTransport
+from repro.aio.transport import AioConnection, AioListener, Endpoint
+from repro.aio.udp import UdpEndpoint
+from repro.aio.udt import UdtLiteTransport
+from repro.errors import SerializationError, TransportError
+from repro.kompics.component import ComponentDefinition
+from repro.messaging.address import Address
+from repro.messaging.compression import CompressionCodec, NoCompression, compressibility_of
+from repro.messaging.message import Msg
+from repro.messaging.network_port import MessageNotify, Network
+from repro.messaging.serialization import SerializerRegistry, pack_address, unpack_address
+from repro.messaging.transport import Transport
+
+DEFAULT_PROTOCOLS = (Transport.TCP, Transport.UDP, Transport.UDT)
+
+
+class AioNetwork(ComponentDefinition):
+    """Network component over real asyncio transports."""
+
+    def __init__(
+        self,
+        self_address: Address,
+        protocols: Iterable[Transport] = DEFAULT_PROTOCOLS,
+        serializers: Optional[SerializerRegistry] = None,
+        compression: Optional[CompressionCodec] = None,
+        bind_ip: Optional[str] = None,
+        udt_loss_fn: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        super().__init__()
+        self.net = self.provides(Network)
+        self.self_address = self_address
+        self.protocols = tuple(protocols)
+        for transport in self.protocols:
+            if not transport.is_wire_protocol:
+                raise TransportError("DATA is a pseudo-protocol; listen on TCP/UDP/UDT")
+        self.serializers = serializers if serializers is not None else SerializerRegistry()
+        self.compression = compression if compression is not None else NoCompression()
+        self.buffer_size = self.config.get_int("messaging.buffer_size", 65536)
+        self.bind_ip = bind_ip if bind_ip is not None else self_address.ip
+        # Real UDT multiplexes over a UDP socket, so it cannot share the
+        # instance port with the plain-UDP listener: by convention it binds
+        # (and dials) port + offset.  The simulated stack keys listeners by
+        # (port, protocol) and does not need this.
+        self.udt_port_offset = self.config.get_int("messaging.aio.udt_port_offset", 1)
+        self._hello = pack_address(self_address)
+
+        self._tcp = TcpTransport()
+        self._udt = UdtLiteTransport(loss_fn=udt_loss_fn)
+        self._udp: Optional[UdpEndpoint] = None
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._listeners: list[AioListener] = []
+        #: (remote socket, transport) -> future resolving to AioConnection
+        self._channels: Dict[Tuple[Endpoint, Transport], "asyncio.Future[AioConnection]"] = {}
+        self._ready = threading.Event()
+        self.counters = {"sent": 0, "received": 0, "reflected": 0, "send_failures": 0}
+
+        self.subscribe(self.net, MessageNotify.Req, self._on_notify_request)
+        self.subscribe(self.net, Msg, self._on_msg_request)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run_loop, name=f"{self.name}-loop", daemon=True)
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self._setup(), self._loop)
+        future.result(timeout=10.0)
+        self._ready.set()
+
+    def _run_loop(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    async def _setup(self) -> None:
+        port = self.self_address.port
+        if Transport.TCP in self.protocols:
+            self._listeners.append(await self._tcp.listen(self.bind_ip, port, self._accept(Transport.TCP)))
+        if Transport.UDT in self.protocols:
+            self._listeners.append(
+                await self._udt.listen(
+                    self.bind_ip, port + self.udt_port_offset, self._accept(Transport.UDT)
+                )
+            )
+        if Transport.UDP in self.protocols:
+            self._udp = UdpEndpoint()
+            await self._udp.open(self.bind_ip, port, self._on_datagram)
+
+    def on_kill(self) -> None:
+        if self._loop is None:
+            return
+
+        async def teardown() -> None:
+            for listener in self._listeners:
+                await listener.close()
+            for future in list(self._channels.values()):
+                if future.done() and not future.exception():
+                    await future.result().close()
+            if self._udp is not None:
+                await self._udp.close()
+
+        try:
+            asyncio.run_coroutine_threadsafe(teardown(), self._loop).result(timeout=5.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # send path (component thread)
+    # ------------------------------------------------------------------
+    def _on_msg_request(self, msg: Msg) -> None:
+        self._send(msg, None)
+
+    def _on_notify_request(self, req: MessageNotify.Req) -> None:
+        def report(success: bool, size: int) -> None:
+            self.trigger(MessageNotify.Resp(req.notify_id, success, self.clock.now(), size), self.net)
+
+        self._send(req.msg, report)
+
+    def _send(self, msg: Msg, report: Optional[Callable[[bool, int], None]]) -> None:
+        transport = msg.header.protocol
+        if not transport.is_wire_protocol:
+            raise TransportError("Transport.DATA requires a DataNetwork interceptor")
+        if transport not in self.protocols:
+            raise TransportError(f"{transport.value} not enabled on {self.name}")
+        destination = msg.header.destination
+        if destination.as_socket() == self.self_address.as_socket():
+            self.counters["reflected"] += 1
+            self.trigger(msg, self.net)
+            if report is not None:
+                report(True, 0)
+            return
+
+        frame = self.compression.compress(self.serializers.serialize(msg))
+        if len(frame) > self.buffer_size:
+            raise SerializationError(
+                f"message of {len(frame)} bytes exceeds the {self.buffer_size} byte buffer"
+            )
+        assert self._loop is not None, "component not started"
+        asyncio.run_coroutine_threadsafe(
+            self._async_send(destination.as_socket(), transport, frame, report), self._loop
+        )
+
+    async def _async_send(
+        self,
+        remote: Endpoint,
+        transport: Transport,
+        frame: bytes,
+        report: Optional[Callable[[bool, int], None]],
+    ) -> None:
+        try:
+            if transport is Transport.UDP:
+                assert self._udp is not None
+                self._udp.send(frame, remote)
+            else:
+                conn = await self._channel(remote, transport)
+                await conn.send_frame(frame)
+            self.counters["sent"] += 1
+            if report is not None:
+                report(True, len(frame))
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            self.counters["send_failures"] += 1
+            self._channels.pop((remote, transport), None)
+            if report is not None:
+                report(False, len(frame))
+
+    async def _channel(self, remote: Endpoint, transport: Transport) -> AioConnection:
+        key = (remote, transport)
+        future = self._channels.get(key)
+        if future is not None:
+            if not future.done() or not future.exception():
+                conn = await asyncio.shield(future)
+                if not conn.closed:
+                    return conn
+            self._channels.pop(key, None)
+
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._channels[key] = future
+        try:
+            if transport is Transport.TCP:
+                driver, target = self._tcp, remote
+            else:
+                driver, target = self._udt, (remote[0], remote[1] + self.udt_port_offset)
+            conn = await driver.connect(target, self._hello)
+            self._wire_connection(conn, key)
+            future.set_result(conn)
+            return conn
+        except BaseException as exc:
+            self._channels.pop(key, None)
+            future.set_exception(exc)
+            # The exception is re-raised to the caller; mark it retrieved.
+            future.exception()
+            raise
+
+    # ------------------------------------------------------------------
+    # receive path (loop thread)
+    # ------------------------------------------------------------------
+    def _accept(self, transport: Transport) -> Callable[[AioConnection], None]:
+        def on_connection(conn: AioConnection) -> None:
+            key: Optional[Tuple[Endpoint, Transport]] = None
+            if conn.peer_hello:
+                peer_addr, _ = unpack_address(conn.peer_hello)
+                key = (peer_addr.as_socket(), transport)
+                existing = self._channels.get(key)
+                if existing is None or (existing.done() and (
+                        existing.exception() or existing.result().closed)):
+                    loop = asyncio.get_running_loop()
+                    future = loop.create_future()
+                    future.set_result(conn)
+                    self._channels[key] = future
+            self._wire_connection(conn, key)
+
+        return on_connection
+
+    def _wire_connection(self, conn: AioConnection, key: Optional[Tuple[Endpoint, Transport]]) -> None:
+        conn.on_frame = self._on_frame
+        if key is not None:
+            def on_closed(c: AioConnection) -> None:
+                future = self._channels.get(key)
+                if future is not None and future.done() and not future.exception() \
+                        and future.result() is c:
+                    self._channels.pop(key, None)
+
+            conn.on_closed = on_closed
+
+    def _on_frame(self, frame: bytes) -> None:
+        msg = self.serializers.deserialize(self.compression.decompress(frame))
+        self.counters["received"] += 1
+        self.trigger(msg, self.net)
+
+    def _on_datagram(self, frame: bytes, src: Endpoint) -> None:
+        self._on_frame(frame)

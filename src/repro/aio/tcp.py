@@ -1,0 +1,108 @@
+"""Length-framed TCP transport on asyncio streams.
+
+Wire format: every frame (including the initial hello) is a 4-byte
+big-endian length followed by the payload.  The first frame sent by the
+dialling side is its hello; everything after is middleware frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Optional
+
+from repro.aio.transport import (
+    AioConnection,
+    AioListener,
+    AioTransport,
+    ConnectionHandler,
+    Endpoint,
+)
+
+LENGTH = struct.Struct(">I")
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class TcpConnection(AioConnection):
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        super().__init__()
+        self._reader = reader
+        self._writer = writer
+        self._read_task: Optional[asyncio.Task] = None
+
+    def start_reading(self) -> None:
+        self._read_task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_frame(self) -> Optional[bytes]:
+        try:
+            header = await self._reader.readexactly(LENGTH.size)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+        (length,) = LENGTH.unpack(header)
+        if length > MAX_FRAME:
+            raise ValueError(f"frame of {length} bytes exceeds the {MAX_FRAME} limit")
+        try:
+            return await self._reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await self._read_frame()
+                if frame is None:
+                    break
+                self._deliver(frame)
+        finally:
+            self._closed()
+
+    async def send_frame(self, data: bytes) -> None:
+        self._writer.write(LENGTH.pack(len(data)) + data)
+        await self._writer.drain()
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        if self._read_task is not None:
+            self._read_task.cancel()
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        self._closed()
+
+
+class _TcpListener(AioListener):
+    def __init__(self, server: asyncio.AbstractServer) -> None:
+        self._server = server
+
+    async def close(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+
+
+class TcpTransport(AioTransport):
+    name = "tcp"
+
+    async def listen(self, host: str, port: int, on_connection: ConnectionHandler) -> AioListener:
+        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+            conn = TcpConnection(reader, writer)
+            hello = await conn._read_frame()
+            if hello is None:
+                await conn.close()
+                return
+            conn.peer_hello = hello
+            on_connection(conn)
+            conn.start_reading()
+
+        server = await asyncio.start_server(handle, host=host, port=port)
+        return _TcpListener(server)
+
+    async def connect(self, remote: Endpoint, hello: bytes) -> TcpConnection:
+        reader, writer = await asyncio.open_connection(host=remote[0], port=remote[1])
+        conn = TcpConnection(reader, writer)
+        await conn.send_frame(hello)
+        conn.start_reading()
+        return conn

@@ -1,0 +1,59 @@
+"""Plain-UDP transport: one frame per datagram, fire-and-forget.
+
+No ordering, no reliability, no fragmentation beyond what the OS does —
+frames must fit a datagram (the middleware's 65 kB buffer limit is below
+the 64 KiB UDP maximum, so any valid message fits).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from repro.aio.transport import DatagramHandler, Endpoint
+
+
+class _Protocol(asyncio.DatagramProtocol):
+    def __init__(self, on_datagram: Optional[DatagramHandler]) -> None:
+        self.on_datagram = on_datagram
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:  # pragma: no cover - asyncio hook
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        if self.on_datagram is not None:
+            self.on_datagram(bytes(data), (addr[0], addr[1]))
+
+
+class UdpEndpoint:
+    """A bound UDP socket usable for both sending and receiving frames."""
+
+    def __init__(self) -> None:
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._protocol: Optional[_Protocol] = None
+
+    async def open(self, host: str, port: int, on_datagram: Optional[DatagramHandler] = None) -> Endpoint:
+        loop = asyncio.get_running_loop()
+        self._transport, self._protocol = await loop.create_datagram_endpoint(
+            lambda: _Protocol(on_datagram), local_addr=(host, port)
+        )
+        sock = self._transport.get_extra_info("sockname")
+        return (sock[0], sock[1])
+
+    def send(self, frame: bytes, remote: Endpoint) -> None:
+        if self._transport is None:
+            raise RuntimeError("endpoint not open")
+        self._transport.sendto(frame, remote)
+
+    async def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+
+class UdpTransport:
+    """Connectionless: the network component uses :class:`UdpEndpoint`
+    directly (datagrams dispatch by port, not per-connection)."""
+
+    name = "udp"

@@ -1,0 +1,375 @@
+"""UDT-lite: reliable, ordered framing over UDP with DAIMD rate pacing.
+
+A compact re-implementation of UDT's behaviour class (Gu & Grossman,
+Computer Networks 2007) sufficient for the middleware:
+
+* DATA packets carry a u32 sequence number and <= MSS payload bytes;
+  frames are length-prefixed and split across packets.
+* The receiver sends cumulative ACKs on a 10 ms timer (UDT's SYN
+  interval) and immediate NAKs when it observes sequence gaps.
+* The sender paces packets at ``rate`` bytes/s, increases the rate every
+  SYN interval (probing toward a configurable estimate) and applies UDT's
+  multiplicative decrease (x 8/9) on NAK or retransmission timeout.
+* Handshake packets exchange the middleware hello and are retransmitted
+  until acknowledged.
+
+A per-endpoint ``loss_fn`` hook lets tests drop outgoing DATA packets
+deterministically to exercise the NAK/retransmission machinery on a
+loopback socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import time
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.aio.transport import (
+    AioConnection,
+    AioListener,
+    AioTransport,
+    ConnectionHandler,
+    Endpoint,
+)
+
+HEADER = struct.Struct(">BI")  # packet type, sequence/field
+LENGTH = struct.Struct(">I")  # frame length prefix inside the byte stream
+
+HANDSHAKE = 1
+HANDSHAKE_ACK = 2
+DATA = 3
+ACK = 4
+NAK = 5
+CLOSE = 6
+
+MSS = 1200  # payload bytes per DATA packet
+SYN_INTERVAL = 0.01  # UDT's fixed rate-control period
+DECREASE = 8.0 / 9.0
+RTO = 0.25
+FLIGHT_WINDOW = 2048  # max unacked packets
+MAX_NAK_BATCH = 128
+
+
+class UdtLiteConnection(AioConnection):
+    """One reliable peer relationship multiplexed over an endpoint."""
+
+    def __init__(
+        self,
+        endpoint: "UdtLiteEndpoint",
+        remote: Endpoint,
+        initial_rate: float = 2 * 1024 * 1024,
+        max_rate: float = 512 * 1024 * 1024,
+    ) -> None:
+        super().__init__()
+        self.endpoint = endpoint
+        self.remote = remote
+        self.rate = initial_rate
+        self.max_rate = max_rate
+
+        # sender state
+        self._next_seq = 0
+        self._unacked: "OrderedDict[int, bytes]" = OrderedDict()
+        self._fresh: Deque[Tuple[int, bytes]] = deque()
+        self._retransmit: Deque[int] = deque()
+        self._work = asyncio.Event()
+        self._all_acked = asyncio.Event()
+        self._all_acked.set()
+        self._last_progress = time.monotonic()
+        self._last_increase = time.monotonic()
+        self.retransmissions = 0
+        self.naks_received = 0
+
+        # receiver state
+        self._expected = 0
+        self._ooo: Dict[int, bytes] = {}
+        self._stream = bytearray()
+        self._last_acked_to_peer = -1
+
+        self._tasks = [
+            asyncio.ensure_future(self._pacing_loop()),
+            asyncio.ensure_future(self._ack_loop()),
+        ]
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    async def send_frame(self, data: bytes) -> None:
+        stream = LENGTH.pack(len(data)) + data
+        for offset in range(0, len(stream), MSS):
+            seq = self._next_seq
+            self._next_seq += 1
+            self._fresh.append((seq, bytes(stream[offset:offset + MSS])))
+        self._all_acked.clear()
+        self._work.set()
+
+    async def drain(self) -> None:
+        await self._all_acked.wait()
+
+    async def _pacing_loop(self) -> None:
+        while not self.closed:
+            if not self._retransmit and (not self._fresh or len(self._unacked) >= FLIGHT_WINDOW):
+                self._work.clear()
+                try:
+                    await asyncio.wait_for(self._work.wait(), timeout=RTO)
+                except asyncio.TimeoutError:
+                    self._check_timeout()
+                    continue
+            self._maybe_increase_rate()
+            packet = self._pop_next()
+            if packet is None:
+                continue
+            seq, payload = packet
+            self.endpoint._send_packet(DATA, seq, payload, self.remote)
+            await asyncio.sleep(len(payload) / self.rate)
+
+    def _pop_next(self) -> Optional[Tuple[int, bytes]]:
+        while self._retransmit:
+            seq = self._retransmit.popleft()
+            payload = self._unacked.get(seq)
+            if payload is not None:
+                self.retransmissions += 1
+                return seq, payload
+        if self._fresh and len(self._unacked) < FLIGHT_WINDOW:
+            seq, payload = self._fresh.popleft()
+            self._unacked[seq] = payload
+            return seq, payload
+        return None
+
+    def _maybe_increase_rate(self) -> None:
+        now = time.monotonic()
+        if now - self._last_increase >= SYN_INTERVAL:
+            self.rate = min(self.rate + max(self.rate * 0.05, 10 * MSS), self.max_rate)
+            self._last_increase = now
+
+    def _check_timeout(self) -> None:
+        if self._unacked and time.monotonic() - self._last_progress > RTO:
+            oldest = next(iter(self._unacked))
+            self._retransmit.appendleft(oldest)
+            self.rate = max(self.rate * DECREASE, 64 * 1024)
+            self._last_progress = time.monotonic()
+            self._work.set()
+
+    def _on_ack(self, cum: int) -> None:
+        progressed = False
+        while self._unacked and next(iter(self._unacked)) < cum:
+            self._unacked.popitem(last=False)
+            progressed = True
+        if progressed:
+            self._last_progress = time.monotonic()
+            self._work.set()
+        if not self._unacked and not self._fresh and not self._retransmit:
+            self._all_acked.set()
+
+    def _on_nak(self, seqs) -> None:
+        self.naks_received += 1
+        for seq in seqs:
+            if seq in self._unacked and seq not in self._retransmit:
+                self._retransmit.append(seq)
+        self.rate = max(self.rate * DECREASE, 64 * 1024)
+        self._work.set()
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def _on_data(self, seq: int, payload: bytes) -> None:
+        if seq < self._expected:
+            return  # duplicate
+        if seq > self._expected:
+            if seq not in self._ooo:
+                self._ooo[seq] = payload
+                missing = [s for s in range(self._expected, min(seq, self._expected + MAX_NAK_BATCH))
+                           if s not in self._ooo]
+                if missing:
+                    self.endpoint._send_packet(
+                        NAK, len(missing),
+                        b"".join(LENGTH.pack(s) for s in missing),
+                        self.remote,
+                    )
+            return
+        self._consume(payload)
+        while self._expected in self._ooo:
+            self._consume(self._ooo.pop(self._expected))
+
+    def _consume(self, payload: bytes) -> None:
+        self._expected += 1
+        self._stream.extend(payload)
+        while len(self._stream) >= LENGTH.size:
+            (length,) = LENGTH.unpack_from(self._stream)
+            if len(self._stream) < LENGTH.size + length:
+                break
+            frame = bytes(self._stream[LENGTH.size:LENGTH.size + length])
+            del self._stream[:LENGTH.size + length]
+            self._deliver(frame)
+
+    async def _ack_loop(self) -> None:
+        while not self.closed:
+            await asyncio.sleep(SYN_INTERVAL)
+            if self._expected - 1 != self._last_acked_to_peer:
+                self._last_acked_to_peer = self._expected - 1
+                self.endpoint._send_packet(ACK, self._expected, b"", self.remote)
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        if not self.closed:
+            self.endpoint._send_packet(CLOSE, 0, b"", self.remote)
+        self._teardown()
+
+    def _teardown(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        self.endpoint._forget(self.remote)
+        if getattr(self, "owns_endpoint", False) and self.endpoint._transport is not None:
+            self.endpoint._transport.close()
+            self.endpoint._transport = None
+        self._closed()
+
+
+class _UdtProtocol(asyncio.DatagramProtocol):
+    def __init__(self, endpoint: "UdtLiteEndpoint") -> None:
+        self.endpoint = endpoint
+
+    def connection_made(self, transport) -> None:  # pragma: no cover - asyncio hook
+        self.endpoint._transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.endpoint._on_packet(bytes(data), (addr[0], addr[1]))
+
+
+class UdtLiteEndpoint:
+    """One UDP socket multiplexing UDT-lite connections by peer address."""
+
+    def __init__(
+        self,
+        on_connection: Optional[ConnectionHandler] = None,
+        loss_fn: Optional[Callable[[int], bool]] = None,
+        initial_rate: float = 2 * 1024 * 1024,
+    ) -> None:
+        self.on_connection = on_connection
+        self.loss_fn = loss_fn
+        self.initial_rate = initial_rate
+        self.connections: Dict[Endpoint, UdtLiteConnection] = {}
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._handshake_acks: Dict[Endpoint, asyncio.Event] = {}
+        self.local: Optional[Endpoint] = None
+
+    async def open(self, host: str, port: int) -> Endpoint:
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _UdtProtocol(self), local_addr=(host, port)
+        )
+        sock = self._transport.get_extra_info("sockname")
+        self.local = (sock[0], sock[1])
+        return self.local
+
+    # ------------------------------------------------------------------
+    # packet I/O
+    # ------------------------------------------------------------------
+    def _send_packet(self, ptype: int, field: int, payload: bytes, remote: Endpoint) -> None:
+        if self._transport is None:
+            return
+        if ptype == DATA and self.loss_fn is not None and self.loss_fn(field):
+            return  # injected loss (tests)
+        self._transport.sendto(HEADER.pack(ptype, field) + payload, remote)
+
+    def _on_packet(self, data: bytes, src: Endpoint) -> None:
+        if len(data) < HEADER.size:
+            return
+        ptype, field = HEADER.unpack_from(data)
+        payload = data[HEADER.size:]
+        if ptype == HANDSHAKE:
+            conn = self.connections.get(src)
+            if conn is None:
+                conn = UdtLiteConnection(self, src, initial_rate=self.initial_rate)
+                conn.peer_hello = payload
+                self.connections[src] = conn
+                if self.on_connection is not None:
+                    self.on_connection(conn)
+            self._send_packet(HANDSHAKE_ACK, 0, b"", src)
+            return
+        if ptype == HANDSHAKE_ACK:
+            event = self._handshake_acks.get(src)
+            if event is not None:
+                event.set()
+            return
+        conn = self.connections.get(src)
+        if conn is None:
+            return
+        if ptype == DATA:
+            conn._on_data(field, payload)
+        elif ptype == ACK:
+            conn._on_ack(field)
+        elif ptype == NAK:
+            seqs = [LENGTH.unpack_from(payload, i * 4)[0] for i in range(field)
+                    if (i + 1) * 4 <= len(payload)]
+            conn._on_nak(seqs)
+        elif ptype == CLOSE:
+            conn._teardown()
+
+    # ------------------------------------------------------------------
+    # client-side establishment
+    # ------------------------------------------------------------------
+    async def dial(self, remote: Endpoint, hello: bytes, timeout: float = 5.0) -> UdtLiteConnection:
+        event = asyncio.Event()
+        self._handshake_acks[remote] = event
+        conn = UdtLiteConnection(self, remote, initial_rate=self.initial_rate)
+        self.connections[remote] = conn
+        deadline = time.monotonic() + timeout
+        try:
+            while True:
+                self._send_packet(HANDSHAKE, 0, hello, remote)
+                try:
+                    await asyncio.wait_for(event.wait(), timeout=0.2)
+                    return conn
+                except asyncio.TimeoutError:
+                    if time.monotonic() > deadline:
+                        conn._teardown()
+                        raise ConnectionError(f"UDT-lite handshake to {remote} timed out")
+        finally:
+            self._handshake_acks.pop(remote, None)
+
+    def _forget(self, remote: Endpoint) -> None:
+        self.connections.pop(remote, None)
+
+    async def close(self) -> None:
+        for conn in list(self.connections.values()):
+            await conn.close()
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+
+class _UdtListener(AioListener):
+    def __init__(self, endpoint: UdtLiteEndpoint) -> None:
+        self.endpoint = endpoint
+
+    async def close(self) -> None:
+        await self.endpoint.close()
+
+
+class UdtLiteTransport(AioTransport):
+    """AioTransport facade over :class:`UdtLiteEndpoint`."""
+
+    name = "udt"
+
+    def __init__(self, initial_rate: float = 2 * 1024 * 1024,
+                 loss_fn: Optional[Callable[[int], bool]] = None) -> None:
+        self.initial_rate = initial_rate
+        self.loss_fn = loss_fn
+
+    async def listen(self, host: str, port: int, on_connection: ConnectionHandler) -> AioListener:
+        endpoint = UdtLiteEndpoint(
+            on_connection=on_connection, loss_fn=self.loss_fn, initial_rate=self.initial_rate
+        )
+        await endpoint.open(host, port)
+        return _UdtListener(endpoint)
+
+    async def connect(self, remote: Endpoint, hello: bytes) -> UdtLiteConnection:
+        endpoint = UdtLiteEndpoint(loss_fn=self.loss_fn, initial_rate=self.initial_rate)
+        await endpoint.open("0.0.0.0", 0)
+        conn = await endpoint.dial(remote, hello)
+        conn.owns_endpoint = True  # dialling side: socket dies with the conn
+        return conn

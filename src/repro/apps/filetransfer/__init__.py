@@ -1,0 +1,23 @@
+"""Disk-to-disk file transfer over selectable transports (paper §V-A)."""
+
+from repro.apps.filetransfer.chunks import (
+    PAPER_CHUNK_BYTES,
+    PAPER_DATASET_BYTES,
+    DataChunkMsg,
+    SyntheticDataset,
+    TransferDone,
+    next_transfer_id,
+)
+from repro.apps.filetransfer.receiver import FileReceiver
+from repro.apps.filetransfer.sender import FileSender
+
+__all__ = [
+    "SyntheticDataset",
+    "DataChunkMsg",
+    "TransferDone",
+    "FileSender",
+    "FileReceiver",
+    "PAPER_DATASET_BYTES",
+    "PAPER_CHUNK_BYTES",
+    "next_transfer_id",
+]

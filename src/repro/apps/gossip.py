@@ -1,0 +1,243 @@
+"""Epidemic gossip over the middleware — a P2P workload (paper §I).
+
+The paper motivates KompicsMessaging with internet-scale P2P and edge
+deployments.  This component disseminates *rumors* epidemically and uses
+the per-message transport choice the middleware exists for:
+
+* periodic **digests** go to random peers over **UDP** — cheap,
+  connectionless, and harmless to lose (the next round repairs it);
+* **pull requests** and **rumor payloads** go over **TCP** — they carry
+  actual data and should arrive.
+
+This split is exactly the control/data separation of §V-C, applied to an
+anti-entropy protocol instead of bulk transfer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.kompics.component import ComponentDefinition
+from repro.kompics.timer import SchedulePeriodicTimeout, Timeout, Timer
+from repro.messaging.address import Address
+from repro.messaging.message import BaseMsg, BasicHeader, Header
+from repro.messaging.network_port import Network
+from repro.messaging.serialization import (
+    Serializer,
+    SerializerRegistry,
+    pack_address,
+    packed_address_size,
+    unpack_address,
+)
+from repro.messaging.transport import Transport
+
+RumorId = int
+
+
+class DigestMsg(BaseMsg):
+    """Summary of the rumor ids a node holds (UDP, fire-and-forget)."""
+
+    __slots__ = ("rumor_ids",)
+
+    def __init__(self, header: Header, rumor_ids: Sequence[RumorId]) -> None:
+        super().__init__(header)
+        self.rumor_ids = tuple(rumor_ids)
+
+
+class PullMsg(BaseMsg):
+    """Request for the rumors the digest revealed as missing (TCP)."""
+
+    __slots__ = ("rumor_ids",)
+
+    def __init__(self, header: Header, rumor_ids: Sequence[RumorId]) -> None:
+        super().__init__(header)
+        self.rumor_ids = tuple(rumor_ids)
+
+
+class RumorMsg(BaseMsg):
+    """One rumor's id and payload (TCP)."""
+
+    __slots__ = ("rumor_id", "payload")
+
+    def __init__(self, header: Header, rumor_id: RumorId, payload: bytes) -> None:
+        super().__init__(header)
+        self.rumor_id = rumor_id
+        self.payload = payload
+
+
+class _IdListSerializer(Serializer):
+    """Shared wire format for digest/pull messages."""
+
+    def __init__(self, cls) -> None:
+        self.cls = cls
+
+    def to_bytes(self, obj) -> bytes:
+        from repro.apps.serializers import pack_header
+
+        ids = obj.rumor_ids
+        return (
+            pack_header(obj.header)
+            + struct.pack(">H", len(ids))
+            + b"".join(struct.pack(">Q", i) for i in ids)
+        )
+
+    def from_bytes(self, data: bytes):
+        from repro.apps.serializers import unpack_header
+
+        header, offset = unpack_header(data)
+        (count,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        ids = [struct.unpack_from(">Q", data, offset + 8 * i)[0] for i in range(count)]
+        return self.cls(header, ids)
+
+    def wire_size(self, obj) -> int:
+        from repro.apps.serializers import packed_header_size
+
+        return packed_header_size(obj.header) + 2 + 8 * len(obj.rumor_ids)
+
+
+class _RumorSerializer(Serializer):
+    def to_bytes(self, obj: RumorMsg) -> bytes:
+        from repro.apps.serializers import pack_header
+
+        return (
+            pack_header(obj.header)
+            + struct.pack(">QI", obj.rumor_id, len(obj.payload))
+            + obj.payload
+        )
+
+    def from_bytes(self, data: bytes) -> RumorMsg:
+        from repro.apps.serializers import unpack_header
+
+        header, offset = unpack_header(data)
+        rumor_id, length = struct.unpack_from(">QI", data, offset)
+        offset += 12
+        return RumorMsg(header, rumor_id, bytes(data[offset:offset + length]))
+
+    def wire_size(self, obj: RumorMsg) -> int:
+        from repro.apps.serializers import packed_header_size
+
+        return packed_header_size(obj.header) + 12 + len(obj.payload)
+
+
+def register_gossip_serializers(registry: SerializerRegistry) -> SerializerRegistry:
+    """Register the gossip wire formats (type ids 130-132)."""
+    registry.register(130, DigestMsg, _IdListSerializer(DigestMsg))
+    registry.register(131, PullMsg, _IdListSerializer(PullMsg))
+    registry.register(132, RumorMsg, _RumorSerializer())
+    return registry
+
+
+class _GossipRound(Timeout):
+    __slots__ = ()
+
+
+class GossipNode(ComponentDefinition):
+    """One participant: holds rumors, gossips digests, answers pulls."""
+
+    def __init__(
+        self,
+        self_address: Address,
+        peers: Sequence[Address],
+        round_interval: float = 0.5,
+        fanout: int = 2,
+        digest_transport: Transport = Transport.UDP,
+        data_transport: Transport = Transport.TCP,
+    ) -> None:
+        super().__init__()
+        self.net = self.requires(Network)
+        self.timer = self.requires(Timer)
+        self.self_address = self_address
+        self.peers: List[Address] = [p for p in peers if p != self_address]
+        self.round_interval = round_interval
+        self.fanout = max(1, fanout)
+        self.digest_transport = digest_transport
+        self.data_transport = data_transport
+
+        self.rumors: Dict[RumorId, bytes] = {}
+        self.first_seen: Dict[RumorId, float] = {}
+        self.rounds = 0
+        self.digests_sent = 0
+        self.pulls_answered = 0
+
+        self.subscribe(self.net, DigestMsg, self._on_digest)
+        self.subscribe(self.net, PullMsg, self._on_pull)
+        self.subscribe(self.net, RumorMsg, self._on_rumor)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        from repro.kompics.matchers import match_fields
+
+        tick = _GossipRound()
+        # Timeouts broadcast to every channel on the timer's port; filter
+        # to OUR tick so nodes sharing a timer don't run each other's
+        # rounds (the standard Kompics timeout-id match).
+        self.subscribe_matching(
+            self.timer, _GossipRound, self._on_round,
+            match_fields(timeout_id=tick.timeout_id),
+        )
+        self.trigger(
+            SchedulePeriodicTimeout(self.round_interval, self.round_interval, tick),
+            self.timer,
+        )
+
+    # ------------------------------------------------------------------
+    # application API
+    # ------------------------------------------------------------------
+    def publish(self, rumor_id: RumorId, payload: bytes) -> None:
+        """Inject a new rumor at this node."""
+        self._store(rumor_id, payload)
+
+    def knows(self, rumor_id: RumorId) -> bool:
+        return rumor_id in self.rumors
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def _store(self, rumor_id: RumorId, payload: bytes) -> None:
+        if rumor_id not in self.rumors:
+            self.rumors[rumor_id] = payload
+            self.first_seen[rumor_id] = self.clock.now()
+
+    def _on_round(self, tick: _GossipRound) -> None:
+        self.rounds += 1
+        if not self.rumors or not self.peers:
+            return
+        rng = self.rng("gossip")
+        targets = rng.sample(self.peers, min(self.fanout, len(self.peers)))
+        for peer in targets:
+            digest = DigestMsg(
+                BasicHeader(self.self_address, peer, self.digest_transport),
+                sorted(self.rumors),
+            )
+            self.digests_sent += 1
+            self.trigger(digest, self.net)
+
+    def _on_digest(self, digest: DigestMsg) -> None:
+        missing = [rid for rid in digest.rumor_ids if rid not in self.rumors]
+        if not missing:
+            return
+        pull = PullMsg(
+            BasicHeader(self.self_address, digest.header.source, self.data_transport),
+            missing,
+        )
+        self.trigger(pull, self.net)
+
+    def _on_pull(self, pull: PullMsg) -> None:
+        for rid in pull.rumor_ids:
+            payload = self.rumors.get(rid)
+            if payload is None:
+                continue
+            self.pulls_answered += 1
+            rumor = RumorMsg(
+                BasicHeader(self.self_address, pull.header.source, self.data_transport),
+                rid,
+                payload,
+            )
+            self.trigger(rumor, self.net)
+
+    def _on_rumor(self, rumor: RumorMsg) -> None:
+        self._store(rumor.rumor_id, rumor.payload)

@@ -1,0 +1,7 @@
+"""Timing-sensitive control messages: ping/pong RTT measurement (§V-A)."""
+
+from repro.apps.pingpong.messages import PingMsg, PongMsg
+from repro.apps.pingpong.ping import Pinger
+from repro.apps.pingpong.pong import Ponger
+
+__all__ = ["PingMsg", "PongMsg", "Pinger", "Ponger"]

@@ -1,0 +1,28 @@
+"""Ping and pong control messages.
+
+Deliberately tiny (~100 bytes on the wire) so their latency is dominated
+by queueing and propagation, not serialisation — they "simulate timing
+sensitive control messages" (§V-A item 2).
+"""
+
+from __future__ import annotations
+
+from repro.messaging.message import BaseMsg, Header
+
+
+class PingMsg(BaseMsg):
+    __slots__ = ("seq", "sent_at")
+
+    def __init__(self, header: Header, seq: int, sent_at: float) -> None:
+        super().__init__(header)
+        self.seq = seq
+        self.sent_at = sent_at
+
+
+class PongMsg(BaseMsg):
+    __slots__ = ("seq", "ping_sent_at")
+
+    def __init__(self, header: Header, seq: int, ping_sent_at: float) -> None:
+        super().__init__(header)
+        self.seq = seq
+        self.ping_sent_at = ping_sent_at

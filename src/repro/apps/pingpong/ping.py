@@ -1,0 +1,88 @@
+"""The pinger component: periodic RTT probes over a chosen transport."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.apps.pingpong.messages import PingMsg, PongMsg
+from repro.kompics.component import ComponentDefinition
+from repro.kompics.timer import CancelPeriodicTimeout, SchedulePeriodicTimeout, Timeout, Timer
+from repro.messaging.address import Address
+from repro.messaging.message import BasicHeader
+from repro.messaging.network_port import Network
+from repro.messaging.transport import Transport
+from repro.stats import OnlineStats
+
+
+class _PingTick(Timeout):
+    __slots__ = ()
+
+
+class Pinger(ComponentDefinition):
+    """Sends a ping every ``interval`` seconds and records the RTTs."""
+
+    def __init__(
+        self,
+        self_address: Address,
+        peer: Address,
+        transport: Transport = Transport.TCP,
+        interval: float = 0.25,
+        max_pings: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.net = self.requires(Network)
+        self.timer = self.requires(Timer)
+        self.self_address = self_address
+        self.peer = peer
+        self.transport = transport
+        self.interval = interval
+        self.max_pings = max_pings
+
+        self._next_seq = 0
+        self._outstanding: dict[int, float] = {}
+        self._tick: Optional[_PingTick] = None
+        self.rtts: List[float] = []
+        self.rtt_stats = OnlineStats()
+        self.lost = 0
+
+        self.subscribe(self.net, PongMsg, self._on_pong)
+
+    def on_start(self) -> None:
+        from repro.kompics.matchers import match_fields
+
+        self._tick = _PingTick()
+        # Filter to our own tick: timeout indications broadcast to every
+        # component sharing the timer (Kompics timeout-id matching).
+        self.subscribe_matching(
+            self.timer, _PingTick, self._on_tick,
+            match_fields(timeout_id=self._tick.timeout_id),
+        )
+        self.trigger(SchedulePeriodicTimeout(self.interval, self.interval, self._tick), self.timer)
+
+    def on_stop(self) -> None:
+        if self._tick is not None:
+            self.trigger(CancelPeriodicTimeout(self._tick.timeout_id), self.timer)
+            self._tick = None
+
+    def _on_tick(self, tick: _PingTick) -> None:
+        if self.max_pings is not None and self._next_seq >= self.max_pings:
+            self.on_stop()
+            return
+        now = self.clock.now()
+        seq = self._next_seq
+        self._next_seq += 1
+        self._outstanding[seq] = now
+        ping = PingMsg(BasicHeader(self.self_address, self.peer, self.transport), seq, now)
+        self.trigger(ping, self.net)
+
+    def _on_pong(self, pong: PongMsg) -> None:
+        sent_at = self._outstanding.pop(pong.seq, None)
+        if sent_at is None:
+            return  # duplicate or stale pong
+        rtt = self.clock.now() - sent_at
+        self.rtts.append(rtt)
+        self.rtt_stats.add(rtt)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)

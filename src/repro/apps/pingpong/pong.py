@@ -1,0 +1,34 @@
+"""The ponger component: echoes pings back to their source."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.pingpong.messages import PingMsg, PongMsg
+from repro.kompics.component import ComponentDefinition
+from repro.messaging.address import Address
+from repro.messaging.message import BasicHeader
+from repro.messaging.network_port import Network
+from repro.messaging.transport import Transport
+
+
+class Ponger(ComponentDefinition):
+    """Replies to every ping, by default over the ping's own transport."""
+
+    def __init__(self, self_address: Address, reply_transport: Optional[Transport] = None) -> None:
+        super().__init__()
+        self.net = self.requires(Network)
+        self.self_address = self_address
+        self.reply_transport = reply_transport
+        self.pings_answered = 0
+        self.subscribe(self.net, PingMsg, self._on_ping)
+
+    def _on_ping(self, ping: PingMsg) -> None:
+        transport = self.reply_transport if self.reply_transport is not None else ping.header.protocol
+        pong = PongMsg(
+            BasicHeader(self.self_address, ping.header.source, transport),
+            ping.seq,
+            ping.sent_at,
+        )
+        self.trigger(pong, self.net)
+        self.pings_answered += 1

@@ -1,0 +1,39 @@
+"""Benchmark harness: scenario construction and per-figure experiments.
+
+* :mod:`repro.bench.scenario` — the paper's EC2 testbed (Figure 7) as
+  simulated setups: Local (0 ms), EU-VPC (3 ms), EU2US (155 ms),
+  EU2AU (320 ms).
+* :mod:`repro.bench.harness` — experiment drivers: repeated transfers with
+  the paper's RSE stopping rule, parallel ping+data latency runs, learner
+  traces, and offline selection-skew sampling.
+* :mod:`repro.bench.figures` — one function per paper figure, returning
+  structured rows and printing the table the figure plots.
+"""
+
+from repro.bench.harness import (
+    LatencyResult,
+    LearnerTrace,
+    TransferResult,
+    run_latency_experiment,
+    run_learner_trace,
+    run_selection_skew,
+    run_transfer_once,
+    run_transfer_repeated,
+)
+from repro.bench.scenario import AWS_SETUPS, Setup, TestbedPair, aws_testbed, setup_by_name
+
+__all__ = [
+    "Setup",
+    "AWS_SETUPS",
+    "aws_testbed",
+    "setup_by_name",
+    "TestbedPair",
+    "TransferResult",
+    "LatencyResult",
+    "LearnerTrace",
+    "run_transfer_once",
+    "run_transfer_repeated",
+    "run_latency_experiment",
+    "run_learner_trace",
+    "run_selection_skew",
+]

@@ -1,0 +1,335 @@
+"""One experiment driver per figure of the paper's evaluation.
+
+Each ``figN_*`` function runs the experiment, returns structured rows, and
+renders the table that corresponds to the figure's plotted series.  The
+``benchmarks/`` suite calls these under pytest-benchmark and asserts the
+paper's *shape* claims (who wins, by roughly what factor, where the
+crossovers fall).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import (
+    LatencyResult,
+    LearnerTrace,
+    RepeatedTransfer,
+    run_latency_experiment,
+    run_learner_trace,
+    run_selection_skew,
+    run_static_reference,
+    run_transfer_repeated,
+)
+from repro.bench.report import format_table
+from repro.bench.scenario import AWS_SETUPS, MB, Setup
+from repro.core import PatternSelection, RandomSelection, TDRatioLearner
+from repro.messaging import Transport
+
+
+@dataclass
+class FigureOutput:
+    figure: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: str = ""
+
+    def render(self) -> str:
+        table = format_table(self.headers, self.rows, title=self.figure)
+        if self.notes:
+            table += f"\n{self.notes}"
+        return table
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — selection-ratio distributions (offline)
+# ----------------------------------------------------------------------
+
+FIG1_TARGETS: Tuple[Tuple[int, int], ...] = ((0, 1), (3, 100), (1, 3), (4, 5))
+
+
+def fig1_selection_skew(n_messages: int = 160_000, seed: int = 0) -> FigureOutput:
+    """Observed selection-ratio distributions, Pattern vs Random.
+
+    Windows: a full learning episode (~1600 messages at the paper's
+    100 MB/s / 65 kB operating point) and the 16 messages concurrently on
+    the wire.
+    """
+    data = run_selection_skew(FIG1_TARGETS, n_messages=n_messages, seed=seed)
+    rows: List[Sequence[object]] = []
+    for p, q in FIG1_TARGETS:
+        target_signed = (p - q) / (p + q)  # all-Q (p=0) is all-TCP: -1.0
+        for selector in ("pattern", "random"):
+            for window, window_name in ((1600, "episode"), (16, "wire")):
+                box = data[(f"{p}/{q}", selector, window)]
+                rows.append(
+                    (
+                        f"{p}/{q}",
+                        f"{target_signed:+.3f}",
+                        selector,
+                        window_name,
+                        f"{box.minimum:+.3f}",
+                        f"{box.p25:+.3f}",
+                        f"{box.median:+.3f}",
+                        f"{box.p75:+.3f}",
+                        f"{box.maximum:+.3f}",
+                    )
+                )
+    return FigureOutput(
+        figure="Figure 1: observed selection ratio vs target (-1 = all TCP, +1 = all UDT)",
+        headers=("target p/q", "target", "selector", "window", "min", "p25", "median", "p75", "max"),
+        rows=rows,
+        notes="~%d selections per dataset; pattern selection stays near-exact per window, "
+        "probabilistic selection skews up to ~0.5 on wire-sized windows." % n_messages,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — PSP impact on learner convergence
+# ----------------------------------------------------------------------
+
+#: the paper's §IV-B2 operating point: "On a 100MB/s link with 10ms delay
+#: we send messages of 65kB each ... approximately 1600 messages [per 1 s
+#: episode], and there should be 16 messages concurrently on the wire".
+FIG2_ENV = Setup(name="fig2-env", rtt=0.020, bandwidth=100 * MB, udp_cap=10 * MB)
+
+
+def fig2_psp_convergence(duration: float = 60.0, seed: int = 1) -> Tuple[FigureOutput, Dict[str, LearnerTrace]]:
+    """Throughput(t) and true ratio(t) of the TD learner under Pattern vs
+    Probabilistic selection on the paper's 100 MB/s / 10 ms link."""
+    traces: Dict[str, LearnerTrace] = {}
+    for label, psp_factory in (
+        ("pattern", PatternSelection),
+        ("probabilistic", lambda: RandomSelection(random.Random(seed + 100))),
+    ):
+        rng = random.Random(seed)
+        traces[label] = run_learner_trace(
+            label,
+            prp_factory=lambda: TDRatioLearner(rng, "model", epsilon_max=0.5, epsilon_decay=0.01),
+            psp_factory=psp_factory,
+            duration=duration,
+            setup=FIG2_ENV,
+            seed=seed,
+            window_messages=16,
+        )
+    rows = []
+    for t in range(10, int(duration) + 1, 10):
+        row: List[object] = [f"{t:d}s"]
+        for label in ("pattern", "probabilistic"):
+            thr = traces[label].throughput.window_mean(t - 10, t)
+            ratio = traces[label].ratio_true.window_mean(t - 10, t)
+            row.append(f"{(thr or 0) / MB:6.2f}")
+            row.append(f"{ratio if ratio is not None else float('nan'):+6.2f}")
+        rows.append(tuple(row))
+    return (
+        FigureOutput(
+            figure="Figure 2: learner under Pattern vs Probabilistic selection",
+            headers=("time", "pattern MB/s", "pattern ratio", "prob MB/s", "prob ratio"),
+            rows=rows,
+            notes="10 s bucket means; probabilistic ratio is smoother but less exact, "
+            "convergence slightly slower.",
+        ),
+        traces,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 4/5/6 — value-function representations
+# ----------------------------------------------------------------------
+
+LEARNER_FIG_PARAMS = dict(alpha=0.5, gamma=0.5, lam=0.85, epsilon_min=0.1, epsilon_decay=0.01)
+
+#: figures 4-6 run at the paper's scale too: TCP saturates the 100 MB/s
+#: link while UDT is policed to 10 MB/s, so the optimum is all-TCP.
+VF_FIG_ENV = FIG2_ENV
+
+
+def _vf_figure(
+    figure: str,
+    vf_kind: str,
+    epsilon_max: float,
+    duration: float,
+    seed: int,
+    notes: str,
+) -> Tuple[FigureOutput, Dict[str, LearnerTrace]]:
+    rng = random.Random(seed)
+    traces = {
+        vf_kind: run_learner_trace(
+            vf_kind,
+            prp_factory=lambda: TDRatioLearner(
+                rng, vf_kind, epsilon_max=epsilon_max, **LEARNER_FIG_PARAMS
+            ),
+            duration=duration,
+            setup=VF_FIG_ENV,
+            seed=seed,
+        ),
+        "tcp": run_static_reference(Transport.TCP, duration=duration, setup=VF_FIG_ENV, seed=seed),
+        "udt": run_static_reference(Transport.UDT, duration=duration, setup=VF_FIG_ENV, seed=seed),
+    }
+    rows = []
+    for t in range(10, int(duration) + 1, 10):
+        thr = traces[vf_kind].throughput.window_mean(t - 10, t) or 0.0
+        ratio = traces[vf_kind].ratio_true.window_mean(t - 10, t)
+        tcp = traces["tcp"].throughput.window_mean(t - 10, t) or 0.0
+        udt = traces["udt"].throughput.window_mean(t - 10, t) or 0.0
+        rows.append(
+            (
+                f"{t:d}s",
+                f"{thr / MB:6.2f}",
+                f"{ratio if ratio is not None else float('nan'):+6.2f}",
+                f"{tcp / MB:6.2f}",
+                f"{udt / MB:6.2f}",
+            )
+        )
+    return (
+        FigureOutput(
+            figure=figure,
+            headers=("time", "learner MB/s", "true ratio", "TCP ref MB/s", "UDT ref MB/s"),
+            rows=rows,
+            notes=notes,
+        ),
+        traces,
+    )
+
+
+def fig4_matrix_q(duration: float = 120.0, seed: int = 7) -> Tuple[FigureOutput, Dict[str, LearnerTrace]]:
+    return _vf_figure(
+        "Figure 4: TD learner with matrix Q(s,a) (alpha=.5 gamma=.5 lambda=.85, eps .8->.1)",
+        "matrix",
+        epsilon_max=0.8,
+        duration=duration,
+        seed=seed,
+        notes="55-entry Q matrix: every state-action pair must be explored individually, "
+        "so the learner wanders (even toward all-UDT) for most of the run — the "
+        "paper's never-converged-in-120s behaviour, softened here by the "
+        "noise-free simulated reward.",
+    )
+
+
+def fig5_model_based(duration: float = 120.0, seed: int = 7) -> Tuple[FigureOutput, Dict[str, LearnerTrace]]:
+    return _vf_figure(
+        "Figure 5: TD learner with model-based V(s) + M(s,a) (eps_max=.3)",
+        "model",
+        epsilon_max=0.3,
+        duration=duration,
+        seed=seed,
+        notes="Collapsing Q(s,a) into V(M(s,a)) shares value across actions: "
+        "convergence within tens of seconds.",
+    )
+
+
+def fig6_approximation(duration: float = 120.0, seed: int = 7) -> Tuple[FigureOutput, Dict[str, LearnerTrace]]:
+    return _vf_figure(
+        "Figure 6: TD learner with quadratic value approximation (eps_max=.3)",
+        "approx",
+        epsilon_max=0.3,
+        duration=duration,
+        seed=seed,
+        notes="Quadratic extrapolation fills unexplored states: reasonable performance "
+        "after a few seconds and no significant backtracking late in the run.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — control-message RTT with and without parallel data
+# ----------------------------------------------------------------------
+
+FIG8_COMBOS: Tuple[Tuple[Transport, Optional[Transport]], ...] = (
+    (Transport.TCP, None),
+    (Transport.UDT, None),
+    (Transport.TCP, Transport.TCP),
+    (Transport.TCP, Transport.UDT),
+    (Transport.TCP, Transport.DATA),
+)
+
+
+def fig8_latency(
+    seed: int = 2,
+    transfer_bytes: int = 395 * MB,
+    setups: Sequence[Setup] = AWS_SETUPS,
+) -> Tuple[FigureOutput, Dict[Tuple[str, str], LatencyResult]]:
+    """Ping RTTs across setups, alone and next to a 395 MB transfer."""
+    results: Dict[Tuple[str, str], LatencyResult] = {}
+    rows = []
+    for setup in setups:
+        row: List[object] = [setup.name]
+        for ping_t, data_t in FIG8_COMBOS:
+            res = run_latency_experiment(
+                setup, ping_t, data_t, seed=seed, transfer_bytes=transfer_bytes
+            )
+            results[(setup.name, res.combo)] = res
+            row.append(f"{res.median_ms:12.2f}")
+        rows.append(tuple(row))
+    return (
+        FigureOutput(
+            figure="Figure 8: median control-message RTT (ms, log-scale in the paper)",
+            headers=(
+                "setup",
+                "TCP ping only",
+                "UDT ping only",
+                "TCP ping+TCP data",
+                "TCP ping+UDT data",
+                "TCP ping+DATA data",
+            ),
+            rows=rows,
+            notes="Sharing the TCP channel with bulk data inflates control RTT by orders "
+            "of magnitude; UDT data barely interferes; DATA sits in between thanks to "
+            "its transfer-optimised internal queueing.",
+        ),
+        results,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — transfer throughput vs RTT
+# ----------------------------------------------------------------------
+
+FIG9_TRANSPORTS = (Transport.TCP, Transport.UDT, Transport.DATA)
+
+
+def fig9_throughput(
+    size: int = 395 * MB,
+    min_runs: int = 10,
+    max_runs: int = 14,
+    seed: int = 1,
+    setups: Sequence[Setup] = AWS_SETUPS,
+) -> Tuple[FigureOutput, Dict[Tuple[str, str], RepeatedTransfer]]:
+    """Disk-to-disk throughput for TCP/UDT/DATA on every setup.
+
+    Paper methodology: >= ``min_runs`` back-to-back runs per combination
+    (continuing while RSE >= 10%), 95% confidence intervals, long-lived
+    middleware between runs.
+    """
+    results: Dict[Tuple[str, str], RepeatedTransfer] = {}
+    rows = []
+    for setup in setups:
+        for transport in FIG9_TRANSPORTS:
+            rep = run_transfer_repeated(
+                setup, transport, size, min_runs=min_runs, max_runs=max_runs, base_seed=seed
+            )
+            results[(setup.name, transport.value)] = rep
+            ci = rep.confidence_interval()
+            rows.append(
+                (
+                    setup.name,
+                    f"{setup.rtt * 1000:.0f}ms",
+                    transport.value,
+                    f"{rep.mean_throughput / MB:8.2f}",
+                    f"±{ci.half_width / MB:6.2f}",
+                    len(rep.durations),
+                    f"{rep.rse:.1%}",
+                )
+            )
+    return (
+        FigureOutput(
+            figure="Figure 9: transfer throughput vs RTT (MB/s, 95% CI)",
+            headers=("setup", "RTT", "transport", "MB/s", "95% CI", "runs", "RSE"),
+            rows=rows,
+            notes="TCP collapses with RTT (window/loss bound); UDT is flat at the EC2 "
+            "UDP policing cap; DATA tracks the winner with ramp-up on the first run "
+            "of each series and somewhat higher variance.",
+        ),
+        results,
+    )

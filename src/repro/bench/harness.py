@@ -1,0 +1,599 @@
+"""Experiment drivers used by the per-figure benchmarks.
+
+All drivers are deterministic in their ``seed`` and run on the simulated
+testbed of :mod:`repro.bench.scenario`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps import (
+    FileReceiver,
+    FileSender,
+    Pinger,
+    Ponger,
+    SyntheticDataset,
+    register_app_serializers,
+)
+from repro.apps.filetransfer.chunks import DataChunkMsg, next_transfer_id
+from repro.bench.scenario import MB, Setup, TestbedPair
+from repro.core import (
+    DataNetwork,
+    PatternSelection,
+    ProtocolRatio,
+    StaticRatio,
+    TDRatioLearner,
+)
+from repro.core.interceptor import PrpFactory, PspFactory
+from repro.kompics import Component, KompicsSystem, SimTimerComponent, Timer
+from repro.kompics.component import ComponentDefinition
+from repro.messaging import (
+    BasicAddress,
+    DataHeader,
+    MessageNotify,
+    Msg,
+    NettyNetwork,
+    Network,
+    SerializerRegistry,
+    Transport,
+)
+from repro.stats import OnlineStats, TimeSeries, mean_confidence_interval
+from repro.stats.confidence import enough_runs, relative_standard_error
+from repro.stats.reservoir import BoxStats, summarize_distribution
+
+from repro.apps.filetransfer.chunks import PAPER_CHUNK_BYTES as CHUNK
+
+
+def app_registry() -> SerializerRegistry:
+    return register_app_serializers(SerializerRegistry())
+
+
+def default_transfer_learner(seed: int) -> PrpFactory:
+    """The DATA learner used for transfer benchmarks.
+
+    Converges within the first transfers of a series; combined with the
+    shorter transfer episodes (0.25 s) even a fast local transfer sees
+    enough learning steps (the paper's Figure 6 argument for fast
+    convergence without significant backtracking).
+    """
+    rng = random.Random(seed * 7919 + 13)
+    return lambda: TDRatioLearner(
+        rng, "approx", epsilon_max=0.5, epsilon_min=0.05, epsilon_decay=0.01
+    )
+
+
+# ----------------------------------------------------------------------
+# endpoint wiring
+# ----------------------------------------------------------------------
+
+@dataclass
+class WiredEndpoint:
+    network: Component  # NettyNetwork or DataNetwork component
+    is_data: bool
+
+    def attach(self, system: KompicsSystem, app: Component) -> None:
+        """Connect an application component's Network port."""
+        port = app.required(Network)
+        if self.is_data:
+            self.network.definition.connect_consumer(port)
+        else:
+            system.connect(self.network.provided(Network), port)
+
+    @property
+    def interceptor(self):
+        return self.network.definition.interceptor_def if self.is_data else None
+
+
+def wire_endpoint(
+    pair: TestbedPair,
+    endpoint,
+    name: str,
+    data: bool = False,
+    psp_factory: Optional[PspFactory] = None,
+    prp_factory: Optional[PrpFactory] = None,
+    window_messages: Optional[int] = None,
+    episode_length: Optional[float] = None,
+) -> WiredEndpoint:
+    """Create the network component for one endpoint of the pair."""
+    if data:
+        network = pair.system.create(
+            DataNetwork,
+            endpoint.address,
+            endpoint.host,
+            psp_factory=psp_factory,
+            prp_factory=prp_factory,
+            window_messages=window_messages,
+            episode_length=episode_length,
+            serializers=app_registry(),
+            name=f"data-net-{name}",
+        )
+    else:
+        network = pair.system.create(
+            NettyNetwork,
+            endpoint.address,
+            endpoint.host,
+            serializers=app_registry(),
+            name=f"net-{name}",
+        )
+    pair.system.start(network)
+    return WiredEndpoint(network, data)
+
+
+def run_in_steps(pair: TestbedPair, until: float, done: Callable[[], bool], step: float = 0.25) -> None:
+    """Advance the simulation until ``done()`` or the time limit.
+
+    Stepped execution is required because periodic timers (learning
+    episodes, pingers) keep the event queue permanently non-empty.
+    """
+    while not done() and pair.sim.now < until:
+        pair.sim.run_until(min(pair.sim.now + step, until))
+
+
+# ----------------------------------------------------------------------
+# transfers (Figure 9 and the data legs of Figure 8)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TransferResult:
+    setup: str
+    transport: str
+    bytes: int
+    duration: float
+    seed: int
+
+    @property
+    def throughput(self) -> float:
+        return self.bytes / self.duration
+
+
+def run_transfer_once(
+    setup: Setup,
+    transport: Transport,
+    size: int,
+    seed: int = 0,
+    psp_factory: Optional[PspFactory] = None,
+    prp_factory: Optional[PrpFactory] = None,
+    window_messages: Optional[int] = None,
+    episode_length: float = 0.25,
+    max_sim_time: float = 3600.0,
+    net_config: Optional[dict] = None,
+) -> TransferResult:
+    """One disk-to-disk transfer; returns its measured duration."""
+    pair = TestbedPair(setup, seed=seed, net_config=net_config)
+    use_data = transport is Transport.DATA
+    if use_data and prp_factory is None:
+        prp_factory = default_transfer_learner(seed)
+    snd = wire_endpoint(
+        pair, pair.sender, "snd", data=use_data,
+        psp_factory=psp_factory, prp_factory=prp_factory,
+        window_messages=window_messages, episode_length=episode_length,
+    )
+    rcv = wire_endpoint(pair, pair.receiver, "rcv", data=False)
+
+    dataset = SyntheticDataset(size=size, chunk_size=CHUNK, seed=seed)
+    sender = pair.system.create(
+        FileSender, pair.sender.address, pair.receiver.address, dataset,
+        transport=transport, disk=pair.sender.disk,
+    )
+    receiver = pair.system.create(
+        FileReceiver, pair.receiver.address, disk=pair.receiver.disk,
+    )
+    snd.attach(pair.system, sender)
+    rcv.attach(pair.system, receiver)
+    pair.system.start(receiver)
+    pair.system.start(sender)
+
+    run_in_steps(pair, max_sim_time, lambda: sender.definition.duration is not None)
+    duration = sender.definition.duration
+    if duration is None:
+        raise RuntimeError(
+            f"transfer did not finish within {max_sim_time}s sim time "
+            f"({setup.name}/{transport.value}, progress "
+            f"{receiver.definition.progress(sender.definition.transfer_id):.1%})"
+        )
+    return TransferResult(setup.name, transport.value, size, duration, seed)
+
+
+@dataclass(frozen=True)
+class RepeatedTransfer:
+    setup: str
+    transport: str
+    bytes: int
+    durations: Tuple[float, ...]
+
+    @property
+    def throughputs(self) -> List[float]:
+        return [self.bytes / d for d in self.durations]
+
+    @property
+    def mean_throughput(self) -> float:
+        t = self.throughputs
+        return sum(t) / len(t)
+
+    def confidence_interval(self, level: float = 0.95):
+        return mean_confidence_interval(self.throughputs, level)
+
+    @property
+    def rse(self) -> float:
+        return relative_standard_error(self.throughputs)
+
+
+def run_transfer_repeated(
+    setup: Setup,
+    transport: Transport,
+    size: int,
+    min_runs: int = 10,
+    max_runs: int = 30,
+    rse_target: float = 0.10,
+    base_seed: int = 0,
+    **kwargs,
+) -> RepeatedTransfer:
+    """The paper's §V-B methodology: at least ``min_runs`` runs, continuing
+    until the relative standard error drops below ``rse_target``.
+
+    Runs execute back-to-back over ONE long-lived middleware pair, as on
+    the paper's testbed: channels stay open between runs and — crucially
+    for the DATA protocol — the per-destination learner state persists, so
+    only the first run pays the ramp-up.
+    """
+    pair = TestbedPair(setup, seed=base_seed, net_config=kwargs.pop("net_config", None))
+    use_data = transport is Transport.DATA
+    psp_factory = kwargs.pop("psp_factory", None)
+    prp_factory = kwargs.pop("prp_factory", None)
+    if use_data and prp_factory is None:
+        prp_factory = default_transfer_learner(base_seed)
+    window_messages = kwargs.pop("window_messages", None)
+    episode_length = kwargs.pop("episode_length", 0.25)
+    max_sim_time = kwargs.pop("max_sim_time", 3600.0)
+    if kwargs:
+        raise TypeError(f"unexpected arguments {sorted(kwargs)}")
+
+    snd = wire_endpoint(
+        pair, pair.sender, "snd", data=use_data,
+        psp_factory=psp_factory, prp_factory=prp_factory,
+        window_messages=window_messages, episode_length=episode_length,
+    )
+    rcv = wire_endpoint(pair, pair.receiver, "rcv", data=False)
+    receiver = pair.system.create(FileReceiver, pair.receiver.address, disk=pair.receiver.disk)
+    rcv.attach(pair.system, receiver)
+    pair.system.start(receiver)
+
+    durations: List[float] = []
+    for i in range(max_runs):
+        dataset = SyntheticDataset(size=size, chunk_size=CHUNK, seed=base_seed + i)
+        sender = pair.system.create(
+            FileSender, pair.sender.address, pair.receiver.address, dataset,
+            transport=transport, disk=pair.sender.disk, name=f"sender-{i}",
+        )
+        snd.attach(pair.system, sender)
+        pair.system.start(sender)
+        deadline = pair.sim.now + max_sim_time
+        run_in_steps(pair, deadline, lambda: sender.definition.duration is not None)
+        duration = sender.definition.duration
+        if duration is None:
+            raise RuntimeError(
+                f"run {i} did not finish within {max_sim_time}s sim time "
+                f"({setup.name}/{transport.value})"
+            )
+        pair.system.kill(sender)
+        durations.append(duration)
+        if len(durations) >= min_runs and enough_runs(
+            [size / d for d in durations], min_runs, rse_target
+        ):
+            break
+    return RepeatedTransfer(setup.name, transport.value, size, tuple(durations))
+
+
+# ----------------------------------------------------------------------
+# latency (Figure 8)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LatencyResult:
+    setup: str
+    combo: str
+    rtts_ms: Tuple[float, ...]
+
+    @property
+    def mean_ms(self) -> float:
+        return sum(self.rtts_ms) / len(self.rtts_ms) if self.rtts_ms else float("nan")
+
+    @property
+    def median_ms(self) -> float:
+        ordered = sorted(self.rtts_ms)
+        return ordered[len(ordered) // 2] if ordered else float("nan")
+
+
+def estimate_rate(setup: Setup, transport: Transport) -> float:
+    """Back-of-envelope steady-state throughput for sizing experiments.
+
+    TCP: min(link, window/RTT, Mathis loss bound); UDT: min(link, UDP cap,
+    implementation cap); DATA: the better of the two.
+    """
+    from repro.netsim.congestion import MSS
+
+    link = setup.bandwidth
+    if transport is Transport.TCP:
+        rate = min(link, setup.disk_write * 1.0)
+        if setup.rtt > 0:
+            rate = min(rate, 8 * MB / setup.rtt)
+            if setup.loss > 0:
+                rate = min(rate, MSS * 1.22 / (setup.rtt * (setup.loss ** 0.5)))
+        return rate
+    if transport is Transport.UDT:
+        cap = setup.udp_cap if setup.udp_cap is not None else float("inf")
+        return min(link, cap, 40 * MB)
+    if transport is Transport.DATA:
+        return max(estimate_rate(setup, Transport.TCP), estimate_rate(setup, Transport.UDT))
+    return min(link, setup.udp_cap or link)
+
+
+def run_latency_experiment(
+    setup: Setup,
+    ping_transport: Transport,
+    data_transport: Optional[Transport] = None,
+    seed: int = 0,
+    transfer_bytes: int = 395 * MB,
+    warmup: float = 1.0,
+    ping_interval: float = 0.25,
+    baseline_pings: int = 50,
+    max_sim_time: float = 2400.0,
+) -> LatencyResult:
+    """Ping RTTs, alone or during a full parallel transfer (§V-C).
+
+    Mirrors the paper's methodology: control pings run for the entire
+    duration of a 395 MB data transfer; the run then continues until every
+    ping sent while the transfer was active has been answered (a ping
+    queued behind bulk TCP data reports its true, head-of-line-inflated
+    RTT).  Without a data transport, ``baseline_pings`` probes are sent.
+    """
+    pair = TestbedPair(setup, seed=seed)
+    use_data = data_transport is Transport.DATA
+    snd = wire_endpoint(pair, pair.sender, "snd", data=use_data)
+    rcv = wire_endpoint(pair, pair.receiver, "rcv", data=False)
+
+    pinger = pair.system.create(
+        Pinger, pair.sender.address, pair.receiver.address,
+        transport=ping_transport, interval=ping_interval,
+    )
+    ponger = pair.system.create(Ponger, pair.receiver.address)
+    timer = pair.system.create(SimTimerComponent)
+    pair.system.connect(timer.provided(Timer), pinger.required(Timer))
+    snd.attach(pair.system, pinger)
+    rcv.attach(pair.system, ponger)
+
+    sender = None
+    if data_transport is not None:
+        dataset = SyntheticDataset(size=transfer_bytes, chunk_size=CHUNK, seed=seed)
+        sender = pair.system.create(
+            FileSender, pair.sender.address, pair.receiver.address, dataset,
+            transport=data_transport, disk=pair.sender.disk,
+        )
+        receiver = pair.system.create(FileReceiver, pair.receiver.address, disk=pair.receiver.disk)
+        snd.attach(pair.system, sender)
+        rcv.attach(pair.system, receiver)
+        pair.system.start(receiver)
+        pair.system.start(sender)
+
+    pair.system.start(timer)
+    pair.system.start(ponger)
+    pair.system.start(pinger)
+
+    if sender is None:
+        window = warmup + (baseline_pings + 2) * ping_interval
+        run_in_steps(pair, window, lambda: False, step=1.0)
+        transfer_end = window
+    else:
+        run_in_steps(
+            pair, max_sim_time, lambda: sender.definition.duration is not None, step=1.0
+        )
+        if sender.definition.duration is None:
+            raise RuntimeError(
+                f"parallel transfer did not finish within {max_sim_time}s "
+                f"({setup.name}, {data_transport.value} data)"
+            )
+        transfer_end = sender.definition.started_at + sender.definition.duration
+        # Drain: every ping sent during the transfer must come home.
+        run_in_steps(
+            pair, pair.sim.now + max_sim_time,
+            lambda: pinger.definition.outstanding == 0, step=1.0,
+        )
+
+    # Ping i is sent at (i+1) * interval.
+    rtts = [
+        rtt for i, rtt in enumerate(pinger.definition.rtts)
+        if warmup <= (i + 1) * ping_interval <= transfer_end
+    ]
+    combo = (
+        f"{ping_transport.value} ping"
+        + (f" + {data_transport.value} data" if data_transport is not None else " only")
+    )
+    return LatencyResult(setup.name, combo, tuple(r * 1000.0 for r in rtts))
+
+
+# ----------------------------------------------------------------------
+# learner traces (Figures 2, 4, 5, 6)
+# ----------------------------------------------------------------------
+
+class SaturatingSource(ComponentDefinition):
+    """Keeps a bounded backlog of DATA chunks flowing to one destination.
+
+    Notify-clocked: at most ``outstanding_limit`` unacknowledged messages,
+    so the interceptor's queue stays charged without unbounded growth.
+    """
+
+    def __init__(self, self_address, destination, chunk: int = CHUNK,
+                 outstanding_limit: int = 256) -> None:
+        super().__init__()
+        self.net = self.requires(Network)
+        self.self_address = self_address
+        self.destination = destination
+        self.chunk = chunk
+        self.outstanding_limit = outstanding_limit
+        self.outstanding = 0
+        self.seq = 0
+        self.transfer_id = next_transfer_id()
+        self.subscribe(self.net, MessageNotify.Resp, self._on_resp)
+
+    def on_start(self) -> None:
+        self._fill()
+
+    def _fill(self) -> None:
+        while self.outstanding < self.outstanding_limit:
+            msg = DataChunkMsg(
+                DataHeader(self.self_address, self.destination),
+                transfer_id=self.transfer_id,
+                seq=self.seq,
+                length=self.chunk,
+                total_chunks=2**31 - 1,
+                total_bytes=2**62,
+            )
+            self.seq += 1
+            self.outstanding += 1
+            self.trigger(MessageNotify.Req(msg), self.net)
+
+    def _on_resp(self, resp: MessageNotify.Resp) -> None:
+        self.outstanding -= 1
+        self._fill()
+
+
+@dataclass
+class LearnerTrace:
+    label: str
+    throughput: TimeSeries
+    ratio_prescribed: TimeSeries
+    ratio_true: TimeSeries
+
+
+#: the scaled-down VPC-like environment for the learner figures:
+#: TCP can reach the full link rate, UDT is policed an order of magnitude
+#: lower — so the optimal ratio is (close to) all-TCP, as in §IV-C3.
+LEARNER_ENV = Setup(name="learner-env", rtt=0.003, bandwidth=20 * MB, udp_cap=2 * MB)
+
+
+def run_learner_trace(
+    label: str,
+    prp_factory: PrpFactory,
+    psp_factory: PspFactory = PatternSelection,
+    duration: float = 120.0,
+    setup: Setup = LEARNER_ENV,
+    seed: int = 0,
+    window_messages: int = 32,
+    episode_length: float = 1.0,
+    scheduled_events: Sequence[Tuple[float, Callable[[TestbedPair], None]]] = (),
+) -> LearnerTrace:
+    """Drive a saturating DATA stream and record the flow telemetry.
+
+    ``scheduled_events`` lets experiments change the world mid-run (e.g.
+    degrade the link to test the learner's re-adaptation): each
+    ``(time, fn)`` pair runs ``fn(pair)`` at the given simulated time.
+    """
+    pair = TestbedPair(setup, seed=seed)
+    for at, fn in scheduled_events:
+        pair.sim.schedule(at, lambda f=fn: f(pair), label="scheduled-event")
+    snd = wire_endpoint(
+        pair, pair.sender, "snd", data=True,
+        psp_factory=psp_factory, prp_factory=prp_factory,
+        window_messages=window_messages, episode_length=episode_length,
+    )
+    rcv = wire_endpoint(pair, pair.receiver, "rcv", data=False)
+
+    source = pair.system.create(SaturatingSource, pair.sender.address, pair.receiver.address)
+    sink = pair.system.create(_Sink, name="sink")
+    snd.attach(pair.system, source)
+    rcv.attach(pair.system, sink)
+    pair.system.start(sink)
+    pair.system.start(source)
+
+    run_in_steps(pair, duration, lambda: False, step=1.0)
+
+    flow = snd.interceptor.flow_to(pair.receiver.address.ip, pair.receiver.address.port)
+    if flow is None:
+        raise RuntimeError("no flow was created; source never sent")
+    return LearnerTrace(
+        label=label,
+        throughput=flow.telemetry.throughput,
+        ratio_prescribed=flow.telemetry.ratio_prescribed,
+        ratio_true=flow.telemetry.ratio_true,
+    )
+
+
+def run_static_reference(
+    transport: Transport,
+    duration: float = 120.0,
+    setup: Setup = LEARNER_ENV,
+    seed: int = 0,
+    window_messages: int = 32,
+) -> LearnerTrace:
+    """TCP-only / UDT-only reference curves for Figures 4-6."""
+    ratio = ProtocolRatio.ALL_TCP if transport is Transport.TCP else ProtocolRatio.ALL_UDT
+    return run_learner_trace(
+        label=f"{transport.value}-reference",
+        prp_factory=lambda: StaticRatio(ratio),
+        duration=duration,
+        setup=setup,
+        seed=seed,
+        window_messages=window_messages,
+    )
+
+
+class _Sink(ComponentDefinition):
+    """Swallows inbound messages (the saturating stream's far end)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.net = self.requires(Network)
+        self.count = 0
+        self.subscribe(self.net, Msg, self._on_msg)
+
+    def _on_msg(self, msg: Msg) -> None:
+        self.count += 1
+
+
+# ----------------------------------------------------------------------
+# selection skew (Figure 1) — offline, no network involved
+# ----------------------------------------------------------------------
+
+def run_selection_skew(
+    targets: Sequence[Tuple[int, int]],
+    n_messages: int = 160_000,
+    windows: Tuple[int, ...] = (1600, 16),
+    seed: int = 0,
+) -> Dict[Tuple[str, str, int], BoxStats]:
+    """Observed-ratio distributions for Pattern vs Random selection.
+
+    ``targets`` are pattern-form ratios (p, q) with TCP as the majority,
+    matching Figure 1's x-axis {0, 3/100, 1/3, 4/5}.  For each policy and
+    window size, the observed signed ratio of every consecutive window is
+    summarised as box statistics over ~``n_messages`` selections.
+    """
+    out: Dict[Tuple[str, str, int], BoxStats] = {}
+    for p, q in targets:
+        ratio = ProtocolRatio.from_pattern(p, q, majority=Transport.TCP)
+        label = f"{p}/{q}"
+        policies = {
+            "pattern": PatternSelection(ratio),
+            "random": RandomSelectionFactory(seed, ratio),
+        }
+        for name, psp in policies.items():
+            signs = [1 if psp.select() is Transport.UDT else -1 for _ in range(n_messages)]
+            prefix = [0]
+            for s in signs:
+                prefix.append(prefix[-1] + s)
+            for window in windows:
+                observed = [
+                    (prefix[i + window] - prefix[i]) / window
+                    for i in range(0, n_messages - window + 1, window)
+                ]
+                out[(label, name, window)] = summarize_distribution(observed)
+    return out
+
+
+def RandomSelectionFactory(seed: int, ratio: ProtocolRatio):
+    from repro.core import RandomSelection
+
+    return RandomSelection(random.Random(seed), ratio)

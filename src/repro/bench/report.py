@@ -1,0 +1,56 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Fixed-width table with a rule under the header."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_series(label: str, pairs: Iterable[tuple], fmt: str = "{:.2f}") -> str:
+    """Compact one-line rendering of a (time, value) series."""
+    cells = ", ".join(f"{t:.0f}s={fmt.format(v)}" for t, v in pairs)
+    return f"{label}: {cells}"
+
+
+SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], low: float = None, high: float = None) -> str:
+    """A unicode sparkline of ``values`` (empty string for no data).
+
+    ``low``/``high`` pin the scale (defaults: the data's min/max); values
+    outside the range are clamped.
+    """
+    values = list(values)
+    if not values:
+        return ""
+    lo = min(values) if low is None else low
+    hi = max(values) if high is None else high
+    span = hi - lo
+    if span <= 0:
+        return SPARK_LEVELS[-1] * len(values)
+    out = []
+    for v in values:
+        frac = (min(max(v, lo), hi) - lo) / span
+        out.append(SPARK_LEVELS[round(frac * (len(SPARK_LEVELS) - 1))])
+    return "".join(out)

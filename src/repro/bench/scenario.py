@@ -1,0 +1,133 @@
+"""The paper's experimental setups (Figure 7) as simulated testbeds.
+
+Four setups on c3.2xlarge-class pairs (§V-A):
+
+* **Local** (0 ms): both middleware instances on one node, copying SSD to
+  SSD over loopback — throughput is disk-bound for TCP/DATA and
+  implementation-bound for UDT.
+* **EU-VPC** (~3 ms RTT): both instances in the Ireland region VPC.
+* **EU2US** (~155 ms RTT): Ireland <-> North California.
+* **EU2AU** (~320 ms RTT): Ireland <-> Sydney.
+
+Amazon rate-limits UDP traffic to ~10 MB/s (§V-B), which the link model's
+``udp_cap`` reproduces on every real-network setup.  WAN paths carry a
+small random loss rate, which is what breaks TCP at a high
+bandwidth-delay product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kompics import KompicsSystem
+from repro.messaging import BasicAddress
+from repro.netsim import DiskModel, LinkSpec, SimNetwork
+from repro.sim import Simulator
+
+MB = 1024 * 1024
+
+MIDDLEWARE_PORT = 34000
+SECOND_INSTANCE_PORT = 34001
+
+
+@dataclass(frozen=True)
+class Setup:
+    """One testbed configuration."""
+
+    name: str
+    rtt: float  # seconds
+    bandwidth: float  # bytes/s per direction
+    loss: float = 0.0
+    udp_cap: Optional[float] = 10 * MB  # EC2 UDP policing
+    #: SSD sequential rates: reads outpace the NIC (as on c3.2xlarge), so a
+    #: flooding sender builds a real network backlog; writes bound the
+    #: disk-to-disk rate on the Local setup (§V-B).
+    disk_read: float = 200 * MB
+    disk_write: float = 120 * MB
+    local: bool = False  # both instances on one host (loopback)
+
+    @property
+    def one_way_delay(self) -> float:
+        return self.rtt / 2.0
+
+
+#: the four setups of Figure 7/8/9, in RTT order
+AWS_SETUPS: Tuple[Setup, ...] = (
+    Setup(name="Local", rtt=0.0, bandwidth=150 * MB, udp_cap=None, local=True),
+    Setup(name="EU-VPC", rtt=0.003, bandwidth=125 * MB, loss=0.0),
+    Setup(name="EU2US", rtt=0.155, bandwidth=60 * MB, loss=2e-5),
+    Setup(name="EU2AU", rtt=0.320, bandwidth=60 * MB, loss=5e-5),
+)
+
+
+def setup_by_name(name: str) -> Setup:
+    for setup in AWS_SETUPS:
+        if setup.name == name:
+            return setup
+    raise KeyError(f"unknown setup {name!r}; choose from {[s.name for s in AWS_SETUPS]}")
+
+
+def aws_testbed() -> Tuple[Setup, ...]:
+    """All four setups (kept as a function for discoverability)."""
+    return AWS_SETUPS
+
+
+@dataclass
+class EndpointHandle:
+    """One middleware endpoint of a testbed pair."""
+
+    host: object  # SimHost
+    address: BasicAddress
+    disk: DiskModel
+
+
+class TestbedPair:
+    """A sender/receiver pair on one :class:`Setup`.
+
+    Creates the simulator, fabric and Kompics system, plus two endpoints
+    (on one host for the Local setup, otherwise on two linked hosts).
+    Network components and applications are attached by the harness.
+    """
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, setup: Setup, seed: int = 0, net_config: Optional[dict] = None,
+                 sys_config: Optional[dict] = None) -> None:
+        self.setup = setup
+        self.seed = seed
+        self.sim = Simulator()
+        self.fabric = SimNetwork(self.sim, seed=seed, config=net_config)
+        self.system = KompicsSystem.simulated(self.sim, seed=seed, config=sys_config)
+
+        if setup.local:
+            host = self.fabric.add_host(
+                "node", "10.0.0.1", disk=DiskModel(self.sim, setup.disk_read, setup.disk_write)
+            )
+            self.sender = EndpointHandle(host, BasicAddress(host.ip, MIDDLEWARE_PORT), host.disk)
+            # Second instance on the same node: different port, same stack,
+            # traffic crosses the loopback interface (never reflected).
+            self.receiver = EndpointHandle(
+                host, BasicAddress(host.ip, SECOND_INSTANCE_PORT), host.disk
+            )
+        else:
+            h_send = self.fabric.add_host(
+                "sender", "10.0.0.1", disk=DiskModel(self.sim, setup.disk_read, setup.disk_write)
+            )
+            h_recv = self.fabric.add_host(
+                "receiver", "10.0.0.2", disk=DiskModel(self.sim, setup.disk_read, setup.disk_write)
+            )
+            self.fabric.connect_hosts(
+                h_send,
+                h_recv,
+                LinkSpec(
+                    bandwidth=setup.bandwidth,
+                    delay=setup.one_way_delay,
+                    loss=setup.loss,
+                    udp_cap=setup.udp_cap,
+                ),
+            )
+            self.sender = EndpointHandle(h_send, BasicAddress(h_send.ip, MIDDLEWARE_PORT), h_send.disk)
+            self.receiver = EndpointHandle(
+                h_recv, BasicAddress(h_recv.ip, MIDDLEWARE_PORT), h_recv.disk
+            )

@@ -1,0 +1,108 @@
+"""Parameter sweeps: throughput-vs-RTT curves and crossover search.
+
+Figure 9 plots throughput against a continuous RTT axis but samples only
+the four EC2 setups.  The simulator has no such constraint: sweep any RTT
+range, and bisect for the exact crossover where the better transport
+changes — the quantity a deployment actually wants to know.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import run_transfer_repeated
+from repro.bench.scenario import MB, Setup
+from repro.messaging import Transport
+
+#: loss grows roughly linearly with distance on the paper's WAN setups
+#: (EU2US: 155 ms / 2e-5, EU2AU: 320 ms / 5e-5).
+def wan_loss_model(rtt: float) -> float:
+    return 1.6e-4 * rtt
+
+
+def setup_for_rtt(
+    rtt: float,
+    bandwidth: float = 60 * MB,
+    udp_cap: Optional[float] = 10 * MB,
+    loss_model: Callable[[float], float] = wan_loss_model,
+) -> Setup:
+    """A synthetic point-to-point setup at the given RTT."""
+    return Setup(
+        name=f"rtt-{rtt * 1000:.0f}ms",
+        rtt=rtt,
+        bandwidth=bandwidth,
+        loss=loss_model(rtt),
+        udp_cap=udp_cap,
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    rtt: float
+    throughputs: Dict[str, float]  # transport value -> bytes/s
+
+
+def rtt_sweep(
+    rtts: Sequence[float],
+    transports: Sequence[Transport] = (Transport.TCP, Transport.UDT),
+    size: int = 64 * MB,
+    runs: int = 3,
+    seed: int = 1,
+    **setup_kwargs,
+) -> List[SweepPoint]:
+    """Mean transfer throughput per transport at each RTT."""
+    points: List[SweepPoint] = []
+    for rtt in rtts:
+        setup = setup_for_rtt(rtt, **setup_kwargs)
+        throughputs: Dict[str, float] = {}
+        for transport in transports:
+            rep = run_transfer_repeated(
+                setup, transport, size, min_runs=runs, max_runs=runs, base_seed=seed
+            )
+            throughputs[transport.value] = rep.mean_throughput
+        points.append(SweepPoint(rtt, throughputs))
+    return points
+
+
+def find_crossover(
+    transport_a: Transport = Transport.TCP,
+    transport_b: Transport = Transport.UDT,
+    lo: float = 0.005,
+    hi: float = 0.400,
+    tolerance: float = 0.005,
+    size: int = 64 * MB,
+    runs: int = 3,
+    seed: int = 1,
+    **setup_kwargs,
+) -> float:
+    """Bisect the RTT where transport_b starts beating transport_a.
+
+    Assumes a single sign change of (thr_a - thr_b) on [lo, hi] — which
+    holds for TCP-vs-UDT under the window/loss model (TCP monotonically
+    degrades with RTT, policed UDT is flat).
+    """
+
+    def advantage(rtt: float) -> float:
+        setup = setup_for_rtt(rtt, **setup_kwargs)
+        thr = {}
+        for transport in (transport_a, transport_b):
+            rep = run_transfer_repeated(
+                setup, transport, size, min_runs=runs, max_runs=runs, base_seed=seed
+            )
+            thr[transport] = rep.mean_throughput
+        return thr[transport_a] - thr[transport_b]
+
+    lo_adv = advantage(lo)
+    hi_adv = advantage(hi)
+    if lo_adv <= 0:
+        return lo  # b already wins at the lower end
+    if hi_adv >= 0:
+        return hi  # a still wins at the upper end
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if advantage(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2

@@ -1,0 +1,200 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro figures fig9
+    python -m repro transfer --setup EU2US --transport data --size-mb 96 --runs 3
+    python -m repro latency --setup EU2AU --data-transport udt
+    python -m repro learn --value-function approx --duration 60
+    python -m repro setups
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.bench import AWS_SETUPS, setup_by_name
+from repro.bench.harness import (
+    run_latency_experiment,
+    run_learner_trace,
+    run_static_reference,
+    run_transfer_repeated,
+)
+from repro.bench.report import format_table
+from repro.core import TDRatioLearner
+from repro.messaging import Transport
+
+MB = 1024 * 1024
+
+FIGURES = ("fig1", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9")
+
+
+def _transport(name: str) -> Transport:
+    try:
+        return Transport(name.lower())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"unknown transport {name!r}; choose from "
+            f"{[t.value for t in Transport]}"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KompicsMessaging reproduction (ICDCS 2017) experiment runner",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("setups", help="list the simulated testbed setups")
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("which", nargs="*", default=["all"],
+                         help=f"figures to run: {', '.join(FIGURES)} or 'all'")
+
+    transfer = sub.add_parser("transfer", help="repeated disk-to-disk transfer")
+    transfer.add_argument("--setup", default="EU2US", help="testbed setup name")
+    transfer.add_argument("--transport", type=_transport, default=Transport.DATA)
+    transfer.add_argument("--size-mb", type=int, default=395)
+    transfer.add_argument("--runs", type=int, default=5)
+    transfer.add_argument("--seed", type=int, default=1)
+
+    latency = sub.add_parser("latency", help="ping RTT with optional parallel data")
+    latency.add_argument("--setup", default="EU2AU")
+    latency.add_argument("--ping-transport", type=_transport, default=Transport.TCP)
+    latency.add_argument("--data-transport", type=_transport, default=None)
+    latency.add_argument("--transfer-mb", type=int, default=395)
+    latency.add_argument("--seed", type=int, default=2)
+
+    learn = sub.add_parser("learn", help="watch the ratio learner converge")
+    learn.add_argument("--value-function", choices=("matrix", "model", "approx"),
+                       default="approx")
+    learn.add_argument("--duration", type=float, default=120.0)
+    learn.add_argument("--seed", type=int, default=4)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+def cmd_setups(args: argparse.Namespace) -> int:
+    rows = [
+        (
+            s.name,
+            f"{s.rtt * 1000:.0f}ms",
+            f"{s.bandwidth / MB:.0f}MB/s",
+            f"{s.loss:.0e}" if s.loss else "0",
+            f"{s.udp_cap / MB:.0f}MB/s" if s.udp_cap else "-",
+            "loopback" if s.local else "point-to-point",
+        )
+        for s in AWS_SETUPS
+    ]
+    print(format_table(
+        ("setup", "RTT", "bandwidth", "loss", "UDP cap", "kind"), rows,
+        title="Simulated testbed setups (paper Figure 7)",
+    ))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.bench import figures as figmod
+
+    wanted = list(args.which)
+    if "all" in wanted:
+        wanted = list(FIGURES)
+    unknown = [w for w in wanted if w not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {unknown}; choose from {FIGURES}", file=sys.stderr)
+        return 2
+    runners = {
+        "fig1": lambda: figmod.fig1_selection_skew(),
+        "fig2": lambda: figmod.fig2_psp_convergence()[0],
+        "fig4": lambda: figmod.fig4_matrix_q()[0],
+        "fig5": lambda: figmod.fig5_model_based()[0],
+        "fig6": lambda: figmod.fig6_approximation()[0],
+        "fig8": lambda: figmod.fig8_latency()[0],
+        "fig9": lambda: figmod.fig9_throughput()[0],
+    }
+    for name in wanted:
+        print(runners[name]().render())
+        print()
+    return 0
+
+
+def cmd_transfer(args: argparse.Namespace) -> int:
+    setup = setup_by_name(args.setup)
+    rep = run_transfer_repeated(
+        setup, args.transport, args.size_mb * MB,
+        min_runs=args.runs, max_runs=args.runs, base_seed=args.seed,
+    )
+    rows = [(i + 1, f"{args.size_mb * MB / d / MB:8.2f}", f"{d:8.2f}")
+            for i, d in enumerate(rep.durations)]
+    print(format_table(
+        ("run", "MB/s", "seconds"), rows,
+        title=f"{args.size_mb} MB over {args.transport.value} on {setup.name}",
+    ))
+    ci = rep.confidence_interval()
+    print(f"mean {rep.mean_throughput / MB:.2f} MB/s ± {ci.half_width / MB:.2f} (95% CI)")
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    setup = setup_by_name(args.setup)
+    result = run_latency_experiment(
+        setup, args.ping_transport, args.data_transport,
+        seed=args.seed, transfer_bytes=args.transfer_mb * MB,
+    )
+    print(f"{result.combo} on {setup.name}: median {result.median_ms:.2f} ms, "
+          f"mean {result.mean_ms:.2f} ms over {len(result.rtts_ms)} pings")
+    return 0
+
+
+def cmd_learn(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    kind = args.value_function
+    trace = run_learner_trace(
+        kind,
+        prp_factory=lambda: TDRatioLearner(rng, kind),
+        duration=args.duration,
+        seed=args.seed,
+    )
+    tcp = run_static_reference(Transport.TCP, duration=args.duration, seed=args.seed)
+    rows = []
+    for t in range(10, int(args.duration) + 1, 10):
+        thr = (trace.throughput.window_mean(t - 10, t) or 0.0) / MB
+        ratio = trace.ratio_true.window_mean(t - 10, t)
+        ref = (tcp.throughput.window_mean(t - 10, t) or 0.0) / MB
+        rows.append((f"{t}s", f"{thr:7.2f}", "n/a" if ratio is None else f"{ratio:+5.2f}",
+                     f"{ref:7.2f}"))
+    print(format_table(
+        ("time", "learner MB/s", "true ratio", "TCP ref MB/s"), rows,
+        title=f"TD learner ({kind}) on a TCP-favouring link",
+    ))
+    from repro.bench.report import sparkline
+
+    per_episode = trace.throughput.values
+    print(f"throughput/episode: {sparkline(per_episode, low=0.0)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "setups": cmd_setups,
+        "figures": cmd_figures,
+        "transfer": cmd_transfer,
+        "latency": cmd_latency,
+        "learn": cmd_learn,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

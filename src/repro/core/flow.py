@@ -1,0 +1,187 @@
+"""Per-destination data-flow state inside the interceptor (§IV-A).
+
+The interceptor "controls the flow of a data stream to a specific
+destination node by queuing outgoing messages, and then releasing them to
+the network layer at an adaptive rate, inserting the transport protocol
+chosen by the current protocol selection policy".
+
+Release is notify-clocked: at most ``window_messages`` messages are in
+flight toward the network at once, and each delivery notification both
+releases the next message and feeds the episode statistics the PRP learns
+from.  Keeping the network-level queue this short is also what lets
+latency-sensitive control traffic interleave with a DATA stream (§V-C).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.core.prp import ProtocolRatioPolicy
+from repro.core.psp import ProtocolSelectionPolicy
+from repro.core.ratio import ProtocolRatio
+from repro.core.rewards import EpisodeStats
+from repro.errors import PolicyError
+from repro.messaging.message import Msg
+from repro.messaging.network_port import MessageNotify
+from repro.messaging.transport import Transport
+from repro.stats import TimeSeries
+from repro.util.clock import Clock
+
+DEFAULT_WINDOW_MESSAGES = 64
+
+
+@dataclass
+class _Queued:
+    msg: Msg
+    consumer_notify_id: Optional[int]
+    enqueued_at: float
+
+
+@dataclass
+class _InFlight:
+    consumer_notify_id: Optional[int]
+    enqueued_at: float
+    transport: Transport
+
+
+class FlowTelemetry:
+    """Per-episode series recorded for experiment output."""
+
+    def __init__(self) -> None:
+        self.throughput = TimeSeries("throughput")
+        self.ratio_prescribed = TimeSeries("ratio-prescribed")
+        self.ratio_true = TimeSeries("ratio-true")
+        self.reward = TimeSeries("reward")
+
+
+class DestinationFlow:
+    """Queue + windowed release + episode accounting for one destination."""
+
+    def __init__(
+        self,
+        psp: ProtocolSelectionPolicy,
+        prp: ProtocolRatioPolicy,
+        clock: Clock,
+        release: Callable[[MessageNotify.Req], None],
+        window_messages: int = DEFAULT_WINDOW_MESSAGES,
+    ) -> None:
+        if window_messages < 1:
+            raise PolicyError("window_messages must be at least 1")
+        self.psp = psp
+        self.prp = prp
+        self.clock = clock
+        self._release = release
+        self.window_messages = window_messages
+
+        self.psp.set_ratio(prp.initial_ratio())
+
+        self._queue: Deque[_Queued] = deque()
+        self._in_flight: Dict[int, _InFlight] = {}
+
+        self._episode_start = clock.now()
+        self._bytes_acked = 0
+        self._messages_acked = 0
+        self._messages_failed = 0
+        self._tcp_released = 0
+        self._udt_released = 0
+        self._queue_delay_sum = 0.0
+
+        self.telemetry = FlowTelemetry()
+        self.total_bytes_acked = 0
+        self.total_messages = 0
+
+    # ------------------------------------------------------------------
+    # intake and release
+    # ------------------------------------------------------------------
+    def enqueue(self, msg: Msg, consumer_notify_id: Optional[int] = None) -> None:
+        """Accept a DATA message from a consumer."""
+        self._queue.append(_Queued(msg, consumer_notify_id, self.clock.now()))
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._queue and len(self._in_flight) < self.window_messages:
+            item = self._queue.popleft()
+            transport = self.psp.select()
+            if transport is Transport.TCP:
+                self._tcp_released += 1
+            else:
+                self._udt_released += 1
+            stamped = item.msg.with_protocol(transport)
+            req = MessageNotify.Req(stamped)
+            self._in_flight[req.notify_id] = _InFlight(
+                item.consumer_notify_id, item.enqueued_at, transport
+            )
+            self._release(req)
+
+    # ------------------------------------------------------------------
+    # feedback
+    # ------------------------------------------------------------------
+    def owns_notify(self, notify_id: int) -> bool:
+        return notify_id in self._in_flight
+
+    def on_notify_response(self, resp: MessageNotify.Resp) -> Optional[MessageNotify.Resp]:
+        """Account a send notification; returns the consumer's Resp, if any."""
+        entry = self._in_flight.pop(resp.notify_id, None)
+        if entry is None:
+            return None
+        if resp.success:
+            self._bytes_acked += resp.size
+            self._messages_acked += 1
+            self._queue_delay_sum += max(resp.sent_at - entry.enqueued_at, 0.0)
+            self.total_bytes_acked += resp.size
+        else:
+            self._messages_failed += 1
+        self.total_messages += 1
+        self._pump()
+        if entry.consumer_notify_id is not None:
+            return MessageNotify.Resp(entry.consumer_notify_id, resp.success, resp.sent_at, resp.size)
+        return None
+
+    # ------------------------------------------------------------------
+    # episodes
+    # ------------------------------------------------------------------
+    def end_episode(self) -> Tuple[EpisodeStats, ProtocolRatio]:
+        """Snapshot the episode, consult the PRP, adopt the new ratio."""
+        now = self.clock.now()
+        stats = EpisodeStats(
+            start=self._episode_start,
+            duration=now - self._episode_start,
+            bytes_acked=self._bytes_acked,
+            messages_acked=self._messages_acked,
+            messages_failed=self._messages_failed,
+            tcp_released=self._tcp_released,
+            udt_released=self._udt_released,
+            total_queue_delay=self._queue_delay_sum,
+        )
+        new_ratio = self.prp.update(stats)
+        self.psp.set_ratio(new_ratio)
+
+        self.telemetry.throughput.record(now, stats.throughput)
+        self.telemetry.ratio_prescribed.record(now, float(new_ratio.signed))
+        if stats.released > 0:
+            self.telemetry.ratio_true.record(now, stats.true_ratio)
+        reward = getattr(self.prp, "last_reward", None)
+        if reward is not None:
+            self.telemetry.reward.record(now, reward)
+
+        self._episode_start = now
+        self._bytes_acked = 0
+        self._messages_acked = 0
+        self._messages_failed = 0
+        self._tcp_released = 0
+        self._udt_released = 0
+        self._queue_delay_sum = 0.0
+        return stats, new_ratio
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)

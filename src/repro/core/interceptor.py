@@ -1,0 +1,174 @@
+"""The data-network-interceptor component (paper §IV-A).
+
+Sits between consumers and the NettyNetwork component.  Messages carrying
+the ``Transport.DATA`` pseudo-protocol are queued per destination and
+released at an adaptive, notify-clocked rate with a concrete transport
+(TCP or UDT) stamped by the protocol selection policy; the protocol ratio
+policy revises the target ratio every learning episode (1 s timer).
+
+Wiring options:
+
+* Standalone: connect consumers to the provided Network port and the
+  required Network port to a NettyNetwork — the interceptor forwards
+  non-data traffic and inbound indications transparently.
+* Via :class:`~repro.core.data_network.DataNetwork`, which adds the
+  ChannelSelectors that route non-data traffic straight past the
+  interceptor as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.flow import DEFAULT_WINDOW_MESSAGES, DestinationFlow
+from repro.core.prp import ProtocolRatioPolicy, StaticRatio
+from repro.core.psp import ProtocolSelectionPolicy
+from repro.core.patterns import PatternSelection
+from repro.core.ratio import ProtocolRatio
+from repro.kompics.component import ComponentDefinition
+from repro.kompics.timer import SchedulePeriodicTimeout, Timeout, Timer
+from repro.messaging.message import Msg
+from repro.messaging.network_port import MessageNotify, Network
+from repro.messaging.transport import Transport
+
+PspFactory = Callable[[], ProtocolSelectionPolicy]
+PrpFactory = Callable[[], ProtocolRatioPolicy]
+
+FlowKey = Tuple[str, int]
+
+
+class _EpisodeTick(Timeout):
+    __slots__ = ()
+
+
+def is_data_traffic(event) -> bool:
+    """True for requests that belong to the interceptor (DATA protocol)."""
+    if isinstance(event, Msg):
+        return event.header.protocol is Transport.DATA
+    if isinstance(event, MessageNotify.Req):
+        return event.msg.header.protocol is Transport.DATA
+    return False
+
+
+class DataNetworkInterceptor(ComponentDefinition):
+    """Adaptive per-destination TCP/UDT traffic shifting."""
+
+    def __init__(
+        self,
+        psp_factory: Optional[PspFactory] = None,
+        prp_factory: Optional[PrpFactory] = None,
+        episode_length: Optional[float] = None,
+        window_messages: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.upper = self.provides(Network)  # consumers
+        self.lower = self.requires(Network)  # the NettyNetwork
+        self.timer = self.requires(Timer)
+
+        self.psp_factory: PspFactory = psp_factory or PatternSelection
+        self.prp_factory: PrpFactory = prp_factory or (
+            lambda: StaticRatio(ProtocolRatio.FIFTY_FIFTY)
+        )
+        self.episode_length = (
+            episode_length
+            if episode_length is not None
+            else self.config.get_float("data.episode_length", 1.0)
+        )
+        self.window_messages = (
+            window_messages
+            if window_messages is not None
+            else self.config.get_int("data.window_messages", DEFAULT_WINDOW_MESSAGES)
+        )
+
+        self.flows: Dict[FlowKey, DestinationFlow] = {}
+        self._owned_notify_ids: set[int] = set()
+
+        self.subscribe(self.upper, Msg, self._on_consumer_msg)
+        self.subscribe(self.upper, MessageNotify.Req, self._on_consumer_notify_req)
+        self.subscribe(self.lower, Msg, self._on_network_msg)
+        self.subscribe(self.lower, MessageNotify.Resp, self._on_network_notify_resp)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        from repro.kompics.matchers import match_fields
+
+        tick = _EpisodeTick()
+        # Timeout indications broadcast on shared timers: match our id.
+        self.subscribe_matching(
+            self.timer, _EpisodeTick, self._on_episode_tick,
+            match_fields(timeout_id=tick.timeout_id),
+        )
+        self.trigger(
+            SchedulePeriodicTimeout(self.episode_length, self.episode_length, tick), self.timer
+        )
+
+    # ------------------------------------------------------------------
+    # consumer-side handlers
+    # ------------------------------------------------------------------
+    def _on_consumer_msg(self, msg: Msg) -> None:
+        if msg.header.protocol is not Transport.DATA:
+            # Not ours (standalone wiring without selectors): pass through.
+            self.trigger(msg, self.lower)
+            return
+        self._flow_for(msg).enqueue(msg, consumer_notify_id=None)
+
+    def _on_consumer_notify_req(self, req: MessageNotify.Req) -> None:
+        if req.msg.header.protocol is not Transport.DATA:
+            self.trigger(req, self.lower)
+            return
+        self._flow_for(req.msg).enqueue(req.msg, consumer_notify_id=req.notify_id)
+
+    def _flow_for(self, msg: Msg) -> DestinationFlow:
+        key: FlowKey = msg.header.destination.as_socket()
+        flow = self.flows.get(key)
+        if flow is None:
+            flow = DestinationFlow(
+                psp=self.psp_factory(),
+                prp=self.prp_factory(),
+                clock=self.clock,
+                release=self._release,
+                window_messages=self.window_messages,
+            )
+            self.flows[key] = flow
+        return flow
+
+    def _release(self, req: MessageNotify.Req) -> None:
+        self._owned_notify_ids.add(req.notify_id)
+        self.trigger(req, self.lower)
+
+    # ------------------------------------------------------------------
+    # network-side handlers
+    # ------------------------------------------------------------------
+    def _on_network_msg(self, msg: Msg) -> None:
+        # Standalone wiring: inbound traffic is forwarded up transparently.
+        self.trigger(msg, self.upper)
+
+    def _on_network_notify_resp(self, resp: MessageNotify.Resp) -> None:
+        if resp.notify_id not in self._owned_notify_ids:
+            self.trigger(resp, self.upper)  # a consumer's own non-data notify
+            return
+        self._owned_notify_ids.discard(resp.notify_id)
+        for flow in self.flows.values():
+            if flow.owns_notify(resp.notify_id):
+                consumer_resp = flow.on_notify_response(resp)
+                if consumer_resp is not None:
+                    self.trigger(consumer_resp, self.upper)
+                return
+
+    # ------------------------------------------------------------------
+    # episodes
+    # ------------------------------------------------------------------
+    def _on_episode_tick(self, tick: _EpisodeTick) -> None:
+        for flow in self.flows.values():
+            flow.end_episode()
+
+    # ------------------------------------------------------------------
+    # introspection (used by DataNetwork's channel selectors and benches)
+    # ------------------------------------------------------------------
+    def owns_notify_id(self, notify_id: int) -> bool:
+        return notify_id in self._owned_notify_ids
+
+    def flow_to(self, ip: str, port: int) -> Optional[DestinationFlow]:
+        return self.flows.get((ip, port))

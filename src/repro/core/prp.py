@@ -1,0 +1,41 @@
+"""Protocol ratio policies (paper §IV-C).
+
+A PRP prescribes the target TCP/UDT ratio for one destination flow and
+revises it at every learning episode from the observed reward statistics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.ratio import ProtocolRatio
+from repro.core.rewards import EpisodeStats
+
+
+class ProtocolRatioPolicy(ABC):
+    """Prescribes the target ratio, episode by episode."""
+
+    @abstractmethod
+    def initial_ratio(self) -> ProtocolRatio:
+        """The ratio for the flow's first episode."""
+
+    @abstractmethod
+    def update(self, stats: EpisodeStats) -> ProtocolRatio:
+        """Digest one episode's statistics; return the next target ratio."""
+
+
+class StaticRatio(ProtocolRatioPolicy):
+    """A fixed ratio set at configuration time (§IV-C1).
+
+    Used for testing PSPs and as the TCP-only / UDT-only / 50-50 reference
+    configurations in the paper's experiments.
+    """
+
+    def __init__(self, ratio: ProtocolRatio) -> None:
+        self._ratio = ratio
+
+    def initial_ratio(self) -> ProtocolRatio:
+        return self._ratio
+
+    def update(self, stats: EpisodeStats) -> ProtocolRatio:
+        return self._ratio

@@ -1,0 +1,30 @@
+"""Reinforcement-learning machinery for adaptive transport selection.
+
+Implements the paper's Sarsa(λ) control loop (Figure 3) with replacing
+eligibility traces and an ε-greedy policy with linear decay, over three
+interchangeable action-value representations (§IV-C3/4/5):
+
+* :class:`MatrixQ` — the plain ``Q(s, a)`` table (slow to converge);
+* :class:`ModelBasedV` — ``Q(s, a) = V(M(s, a))`` via the clamped
+  transition model, collapsing the table to a state-value vector;
+* :class:`QuadraticApproxV` — model-based plus quadratic extrapolation of
+  unexplored states (never overriding learned values).
+"""
+
+from repro.core.rl.approx import QuadraticApproxV
+from repro.core.rl.model import ModelBasedV, TransitionModel
+from repro.core.rl.policy import EpsilonGreedy
+from repro.core.rl.qfunc import ActionValueFunction, MatrixQ
+from repro.core.rl.sarsa import SarsaLambda
+from repro.core.rl.traces import EligibilityTraces
+
+__all__ = [
+    "EpsilonGreedy",
+    "EligibilityTraces",
+    "ActionValueFunction",
+    "MatrixQ",
+    "TransitionModel",
+    "ModelBasedV",
+    "QuadraticApproxV",
+    "SarsaLambda",
+]

@@ -1,0 +1,66 @@
+"""Model-based value function (paper §IV-C4).
+
+Domain knowledge: an action is a ratio step, so the successor state is
+simply the clamped sum,
+
+    M(s, a) = min(s + a, max(S))  for s + a >= 0
+              max(s + a, min(S))  for s + a < 0
+
+which lets the 11x5 Q-matrix collapse into an 11-entry state-value vector
+V with Q(s, a) = V(M(s, a)).  Many (s, a) pairs share each V(s') entry, so
+exploration propagates far faster — Figure 5's ~20 s convergence.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Hashable, Optional, Sequence
+
+from repro.core.rl.qfunc import ActionValueFunction
+
+
+class TransitionModel:
+    """The clamped additive state-transition model over a ratio grid."""
+
+    def __init__(self, states: Sequence[Fraction]) -> None:
+        if not states:
+            raise ValueError("need at least one state")
+        self.states = sorted(states)
+        self._state_set = set(self.states)
+        self.low = self.states[0]
+        self.high = self.states[-1]
+
+    def next_state(self, state: Fraction, action: Fraction) -> Fraction:
+        """M(s, a): apply the step and clamp to the grid boundary."""
+        if state not in self._state_set:
+            raise ValueError(f"unknown state {state}")
+        target = state + action
+        if target > self.high:
+            target = self.high
+        elif target < self.low:
+            target = self.low
+        if target not in self._state_set:
+            raise ValueError(f"action {action} leaves the grid from {state} (-> {target})")
+        return target
+
+
+class ModelBasedV(ActionValueFunction):
+    """Q(s, a) = V(M(s, a)) over a learned state-value vector."""
+
+    def __init__(self, model: TransitionModel) -> None:
+        self.model = model
+        self._v: Dict[Hashable, float] = {}
+
+    def value(self, state: Hashable, action: Hashable) -> Optional[float]:
+        return self._v.get(self.model.next_state(state, action))
+
+    def adjust(self, state: Hashable, action: Hashable, amount: float) -> None:
+        target = self.model.next_state(state, action)
+        self._v[target] = self._v.get(target, 0.0) + amount
+
+    def state_value(self, state: Hashable) -> Optional[float]:
+        return self._v.get(state)
+
+    @property
+    def states_learned(self) -> int:
+        return len(self._v)

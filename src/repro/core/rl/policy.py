@@ -1,0 +1,57 @@
+"""The ε-greedy action policy with linear decay (paper §II-C, §IV-C3).
+
+Explores with probability ε (decayed from ε_max toward ε_min by Δε per
+step, simulated-annealing style) and otherwise exploits the best known
+action value.  When no candidate action has a learned (or approximated)
+value, the decision is random — the paper's "it makes a random decision if
+the value is uninitialised".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Sequence
+
+
+class EpsilonGreedy:
+    """ε-greedy with linear ε decay."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        epsilon_max: float = 0.8,
+        epsilon_min: float = 0.1,
+        epsilon_decay: float = 0.01,
+    ) -> None:
+        if not 0.0 <= epsilon_min <= epsilon_max <= 1.0:
+            raise ValueError("need 0 <= epsilon_min <= epsilon_max <= 1")
+        if epsilon_decay < 0:
+            raise ValueError("epsilon_decay must be non-negative")
+        self._rng = rng
+        self.epsilon = epsilon_max
+        self.epsilon_min = epsilon_min
+        self.epsilon_decay = epsilon_decay
+        self.explorations = 0
+        self.exploitations = 0
+
+    def choose(self, values: Dict[Hashable, Optional[float]]) -> Hashable:
+        """Pick an action given its (possibly unknown) value estimates."""
+        if not values:
+            raise ValueError("no actions to choose from")
+        actions = list(values.keys())
+        if self._rng.random() < self.epsilon:
+            self.explorations += 1
+            return self._rng.choice(actions)
+        known = [(a, v) for a, v in values.items() if v is not None]
+        if not known:
+            # Uninitialised everywhere: forced random decision.
+            self.explorations += 1
+            return self._rng.choice(actions)
+        self.exploitations += 1
+        best = max(v for _, v in known)
+        best_actions = [a for a, v in known if v == best]
+        return self._rng.choice(best_actions)
+
+    def step_decay(self) -> None:
+        """One time step's ε decay (called once per learning episode)."""
+        self.epsilon = max(self.epsilon - self.epsilon_decay, self.epsilon_min)

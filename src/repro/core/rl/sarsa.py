@@ -1,0 +1,81 @@
+"""The on-policy Sarsa(λ) control loop (paper Figure 3).
+
+Works over any :class:`ActionValueFunction`, which is how the matrix,
+model-based and approximated variants (§IV-C3/4/5) plug into the same
+learner.  One *step* corresponds to one learning episode of the transport
+selector: take action a (move the ratio), observe the episode reward r and
+the resulting state s', then update all eligible state-action pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.core.rl.policy import EpsilonGreedy
+from repro.core.rl.qfunc import ActionValueFunction
+from repro.core.rl.traces import EligibilityTraces
+
+
+class SarsaLambda:
+    """Sarsa(λ) with (by default, replacing) eligibility traces."""
+
+    def __init__(
+        self,
+        actions: Sequence[Hashable],
+        qfunc: ActionValueFunction,
+        policy: EpsilonGreedy,
+        transition: Callable[[Hashable, Hashable], Hashable],
+        alpha: float = 0.5,
+        gamma: float = 0.5,
+        lam: float = 0.85,
+        traces: Optional[EligibilityTraces] = None,
+    ) -> None:
+        if not actions:
+            raise ValueError("need at least one action")
+        self.actions = list(actions)
+        self.qfunc = qfunc
+        self.policy = policy
+        self.transition = transition
+        self.alpha = alpha
+        self.gamma = gamma
+        self.lam = lam
+        self.traces = traces if traces is not None else EligibilityTraces("replacing")
+        self.state: Optional[Hashable] = None
+        self.action: Optional[Hashable] = None
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def begin(self, state: Hashable) -> Hashable:
+        """Initialise s and choose the first action; returns s' = M(s, a)."""
+        self.state = state
+        self.action = self._choose(state)
+        return self.transition(state, self.action)
+
+    def step(self, reward: float, next_state: Hashable) -> Hashable:
+        """One Figure-3 loop iteration after observing (r, s').
+
+        Returns the state the environment should move to next,
+        ``M(s', a')`` for the freshly chosen a'.
+        """
+        if self.state is None or self.action is None:
+            raise RuntimeError("call begin() before step()")
+        s, a = self.state, self.action
+        s_prime = next_state
+        a_prime = self._choose(s_prime)
+
+        delta = reward + self.gamma * self.qfunc.estimate(s_prime, a_prime) - self.qfunc.estimate(s, a)
+        self.traces.visit(s, a)
+        for (es, ea), e in self.traces.items():
+            self.qfunc.adjust(es, ea, self.alpha * delta * e)
+        self.traces.decay(self.gamma, self.lam)
+
+        self.state, self.action = s_prime, a_prime
+        self.policy.step_decay()
+        self.steps += 1
+        return self.transition(s_prime, a_prime)
+
+    def _choose(self, state: Hashable) -> Hashable:
+        values = {a: self.qfunc.value(state, a) for a in self.actions}
+        return self.policy.choose(values)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-defined exceptions derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistencies inside the discrete-event kernel."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled in the past or on a stopped kernel."""
+
+
+class ConfigError(ReproError):
+    """Raised for missing or ill-typed configuration values."""
+
+
+class PortError(ReproError):
+    """Raised when an event is triggered or subscribed on the wrong port side."""
+
+
+class ChannelError(ReproError):
+    """Raised for illegal channel connections (mismatched port types, etc.)."""
+
+
+class ComponentError(ReproError):
+    """Raised for component lifecycle violations."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-layer errors."""
+
+
+class AddressError(NetworkError):
+    """Raised for malformed or unroutable addresses."""
+
+
+class ConnectionClosedError(NetworkError):
+    """Raised when sending on a connection that was dropped."""
+
+
+class SerializationError(NetworkError):
+    """Raised when a message cannot be serialized or deserialized."""
+
+
+class TransportError(NetworkError):
+    """Raised when a requested transport is unsupported on a link or host."""
+
+
+class PolicyError(ReproError):
+    """Raised for invalid protocol-selection or protocol-ratio policy state."""
+
+
+class RatioError(PolicyError):
+    """Raised for protocol ratios outside their representable domain."""

@@ -1,0 +1,62 @@
+"""A Python implementation of the Kompics component model.
+
+Kompics (Arad, Dowling, Haridi — Middleware'12) structures distributed
+protocols as event-driven *components* connected by *channels*.  Components
+declare *ports* they provide or require; a port's type lists which event
+classes travel in which direction (``indications`` flow out of the provider,
+``requests`` flow into it).  Channels provide FIFO, exactly-once-per-receiver
+delivery, and events are *broadcast* on all connected channels — components
+subscribe handlers for the events they care about and silently ignore the
+rest.
+
+This package reproduces those semantics faithfully enough to host the
+KompicsMessaging middleware of the paper: typed ports, broadcast channels
+with selectors, a batching scheduler (driven either by the discrete-event
+simulator or by a thread pool), component hierarchy with cascading
+lifecycle, timers and hierarchical configuration.
+"""
+
+from repro.kompics.channel import Channel, ChannelSelector
+from repro.kompics.component import Component, ComponentDefinition
+from repro.kompics.config import Config
+from repro.kompics.event import Fault, Kill, KompicsEvent, Start, Started, Stop, Stopped
+from repro.kompics.port import Port, PortType
+from repro.kompics.runtime import KompicsSystem
+from repro.kompics.scheduler import Scheduler, SimScheduler, ThreadPoolScheduler
+from repro.kompics.timer import (
+    CancelPeriodicTimeout,
+    CancelTimeout,
+    SchedulePeriodicTimeout,
+    ScheduleTimeout,
+    SimTimerComponent,
+    Timeout,
+    Timer,
+)
+
+__all__ = [
+    "KompicsEvent",
+    "Start",
+    "Started",
+    "Stop",
+    "Stopped",
+    "Kill",
+    "Fault",
+    "PortType",
+    "Port",
+    "Channel",
+    "ChannelSelector",
+    "Component",
+    "ComponentDefinition",
+    "KompicsSystem",
+    "Scheduler",
+    "SimScheduler",
+    "ThreadPoolScheduler",
+    "Config",
+    "Timer",
+    "Timeout",
+    "ScheduleTimeout",
+    "SchedulePeriodicTimeout",
+    "CancelTimeout",
+    "CancelPeriodicTimeout",
+    "SimTimerComponent",
+]

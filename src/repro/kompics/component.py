@@ -1,0 +1,345 @@
+"""Components: user-facing definitions and their runtime cores.
+
+A :class:`ComponentDefinition` is what users subclass; the runtime pairs it
+with a :class:`ComponentCore` holding the scheduling state (ports, FIFO
+event queue, lifecycle).  The paper's execution semantics (§II-A) are kept:
+
+* a component is scheduled on at most one thread at a time, so handlers
+  access component state without synchronisation;
+* when scheduled, it handles queued events until the queue drains or a
+  configurable maximum batch size is reached (throughput vs fairness
+  trade-off), then goes to the back of the ready queue;
+* events with no matching subscribed handler are silently dropped.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Tuple, Type
+
+from repro.errors import ComponentError, PortError
+from repro.kompics.channel import Channel, ChannelSelector
+from repro.kompics.event import Fault, Kill, KompicsEvent, Start, Stop
+from repro.kompics.port import Port, PortType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kompics.runtime import KompicsSystem
+
+
+class ComponentState(enum.Enum):
+    PASSIVE = "passive"
+    ACTIVE = "active"
+    STOPPED = "stopped"
+    DESTROYED = "destroyed"
+    FAULTY = "faulty"
+
+
+class _ConstructionContext(threading.local):
+    """Thread-local stack binding cores to definitions during construction."""
+
+    def __init__(self) -> None:
+        self.stack: List["ComponentCore"] = []
+
+
+_construction = _ConstructionContext()
+
+
+class ComponentCore:
+    """Runtime state of one component instance."""
+
+    def __init__(self, system: "KompicsSystem", name: str, parent: Optional["ComponentCore"]) -> None:
+        self.system = system
+        self.name = name
+        self.id = system.ids.next("component")
+        self.parent = parent
+        self.children: List["ComponentCore"] = []
+        self.definition: Optional["ComponentDefinition"] = None
+        self.state = ComponentState.PASSIVE
+
+        self._ports: Dict[Tuple[Type[PortType], bool], Port] = {}
+        self._queue: Deque[Tuple[Port, KompicsEvent]] = deque()
+        self._control_queue: Deque[KompicsEvent] = deque()
+        self._lock = threading.Lock()
+        self._scheduled = False
+        self.max_batch = system.config.get_int("kompics.max_events_per_schedule", 32)
+        self.events_handled = 0
+
+        if parent is not None:
+            parent.children.append(self)
+
+    # ------------------------------------------------------------------
+    # ports
+    # ------------------------------------------------------------------
+    def port(self, port_type: Type[PortType], positive: bool, create: bool = False) -> Port:
+        key = (port_type, positive)
+        port = self._ports.get(key)
+        if port is None:
+            if not create:
+                side = "provided" if positive else "required"
+                raise PortError(f"component {self.name!r} has no {side} port {port_type.__name__}")
+            port = Port(port_type, self, positive)
+            self._ports[key] = port
+        return port
+
+    # ------------------------------------------------------------------
+    # event intake
+    # ------------------------------------------------------------------
+    def enqueue(self, port: Port, event: KompicsEvent) -> None:
+        """Queue a delivered event; wake the scheduler if needed."""
+        with self._lock:
+            if self.state in (ComponentState.DESTROYED, ComponentState.FAULTY):
+                return
+            self._queue.append((port, event))
+            self._maybe_schedule_locked()
+
+    def enqueue_control(self, event: KompicsEvent) -> None:
+        """Queue a lifecycle event; processed ahead of port events."""
+        with self._lock:
+            if self.state in (ComponentState.DESTROYED, ComponentState.FAULTY):
+                return
+            self._control_queue.append(event)
+            self._maybe_schedule_locked()
+
+    def _has_work_locked(self) -> bool:
+        if self._control_queue:
+            return True
+        return bool(self._queue) and self.state is ComponentState.ACTIVE
+
+    def _maybe_schedule_locked(self) -> None:
+        if not self._scheduled and self._has_work_locked():
+            self._scheduled = True
+            self.system.scheduler.schedule_ready(self)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute_batch(self) -> None:
+        """Handle up to ``max_batch`` queued events (scheduler entry point)."""
+        handled = 0
+        while handled < self.max_batch:
+            with self._lock:
+                if self._control_queue:
+                    item: Any = ("control", self._control_queue.popleft())
+                elif self._queue and self.state is ComponentState.ACTIVE:
+                    item = ("port", self._queue.popleft())
+                else:
+                    break
+            kind, payload = item
+            handled += 1
+            self.events_handled += 1
+            if kind == "control":
+                self._handle_control(payload)
+            else:
+                port, event = payload
+                self._dispatch(port, event)
+        with self._lock:
+            self._scheduled = False
+            self._maybe_schedule_locked()
+
+    def _dispatch(self, port: Port, event: KompicsEvent) -> None:
+        handlers = port.matching_handlers(event)
+        # No matching handler: silently dropped (broadcast-channel semantics).
+        for handler in handlers:
+            try:
+                handler(event)
+            except Exception as exc:  # noqa: BLE001 - fault boundary
+                self._fault(event, exc)
+                return
+
+    def _handle_control(self, event: KompicsEvent) -> None:
+        try:
+            if isinstance(event, Start):
+                self._do_start()
+            elif isinstance(event, Stop):
+                self._do_stop()
+            elif isinstance(event, Kill):
+                self._do_kill()
+        except Exception as exc:  # noqa: BLE001 - fault boundary
+            self._fault(event, exc)
+
+    def _do_start(self) -> None:
+        if self.state is not ComponentState.PASSIVE and self.state is not ComponentState.STOPPED:
+            return
+        self.state = ComponentState.ACTIVE
+        assert self.definition is not None
+        self.definition.on_start()
+        for child in self.children:
+            child.enqueue_control(Start())
+
+    def _do_stop(self) -> None:
+        if self.state is not ComponentState.ACTIVE:
+            return
+        for child in self.children:
+            child.enqueue_control(Stop())
+        assert self.definition is not None
+        self.definition.on_stop()
+        self.state = ComponentState.STOPPED
+
+    def _do_kill(self) -> None:
+        if self.state is ComponentState.ACTIVE:
+            self._do_stop()
+        for child in self.children:
+            child.enqueue_control(Kill())
+        assert self.definition is not None
+        self.definition.on_kill()
+        self.state = ComponentState.DESTROYED
+        with self._lock:
+            self._queue.clear()
+            self._control_queue.clear()
+
+    def _fault(self, event: Optional[KompicsEvent], exc: BaseException) -> None:
+        self.state = ComponentState.FAULTY
+        with self._lock:
+            self._queue.clear()
+            self._control_queue.clear()
+        self.system.report_fault(Fault(self.name, event, exc))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComponentCore({self.name!r}, id={self.id}, {self.state.value})"
+
+
+class ComponentDefinition:
+    """Base class for user components.
+
+    Subclass, declare ports in ``__init__`` with :meth:`provides` /
+    :meth:`requires`, and register handlers with :meth:`subscribe`.
+    Instances must be created through :meth:`KompicsSystem.create` (or
+    :meth:`create` on a parent component), never instantiated directly.
+    """
+
+    def __init__(self) -> None:
+        if not _construction.stack:
+            raise ComponentError(
+                f"{type(self).__name__} must be created via KompicsSystem.create()"
+            )
+        self._core: ComponentCore = _construction.stack[-1]
+        self.logger = logging.getLogger(f"repro.kompics.{self._core.name}")
+
+    # ------------------------------------------------------------------
+    # declaration API
+    # ------------------------------------------------------------------
+    def provides(self, port_type: Type[PortType]) -> Port:
+        """Declare that this component provides ``port_type``."""
+        return self._core.port(port_type, positive=True, create=True)
+
+    def requires(self, port_type: Type[PortType]) -> Port:
+        """Declare that this component requires ``port_type``."""
+        return self._core.port(port_type, positive=False, create=True)
+
+    def subscribe(self, port: Port, event_type: Type[KompicsEvent], handler: Callable[[Any], None]) -> None:
+        """Subscribe ``handler`` on ``port`` for ``event_type`` (and subtypes)."""
+        if port.owner is not self._core:
+            raise PortError("can only subscribe on this component's own ports")
+        port.subscribe(event_type, handler)
+
+    def subscribe_matching(
+        self,
+        port: Port,
+        event_type: Type[KompicsEvent],
+        handler: Callable[[Any], None],
+        predicate: Callable[[KompicsEvent], bool],
+    ) -> Callable[[Any], None]:
+        """Subscribe with an additional predicate (pattern matching).
+
+        Returns the wrapped handler for later ``port.unsubscribe``.  See
+        :mod:`repro.kompics.matchers` for predicate builders.
+        """
+        from repro.kompics.matchers import subscribe_matching
+
+        if port.owner is not self._core:
+            raise PortError("can only subscribe on this component's own ports")
+        return subscribe_matching(port, event_type, handler, predicate)
+
+    def trigger(self, event: KompicsEvent, port: Port) -> None:
+        """Publish ``event`` on ``port`` (out over all connected channels)."""
+        port.trigger(event)
+
+    # ------------------------------------------------------------------
+    # hierarchy
+    # ------------------------------------------------------------------
+    def create(self, definition_cls: Type["ComponentDefinition"], *args: Any, **kwargs: Any) -> "Component":
+        """Create a child component (started when this component starts)."""
+        return self._core.system.create(definition_cls, *args, parent=self._core, **kwargs)
+
+    def connect(self, a: Port, b: Port, selector: Optional[ChannelSelector] = None) -> Channel:
+        """Connect two ports of this component's children (or itself)."""
+        return self._core.system.connect(a, b, selector)
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks (override as needed)
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Called when the component transitions to ACTIVE."""
+
+    def on_stop(self) -> None:
+        """Called when the component is stopped."""
+
+    def on_kill(self) -> None:
+        """Called when the component is destroyed."""
+
+    # ------------------------------------------------------------------
+    # context accessors
+    # ------------------------------------------------------------------
+    @property
+    def system(self) -> "KompicsSystem":
+        return self._core.system
+
+    @property
+    def config(self):
+        return self._core.system.config
+
+    @property
+    def clock(self):
+        return self._core.system.clock
+
+    @property
+    def name(self) -> str:
+        return self._core.name
+
+    @property
+    def id(self) -> int:
+        return self._core.id
+
+    def rng(self, label: str = "default"):
+        """Deterministic per-component random stream."""
+        return self._core.system.rngs.get(f"component.{self._core.name}.{label}")
+
+
+class Component:
+    """Handle to a created component, as returned by ``create``."""
+
+    __slots__ = ("core",)
+
+    def __init__(self, core: ComponentCore) -> None:
+        self.core = core
+
+    @property
+    def definition(self) -> ComponentDefinition:
+        assert self.core.definition is not None
+        return self.core.definition
+
+    @property
+    def id(self) -> int:
+        return self.core.id
+
+    @property
+    def name(self) -> str:
+        return self.core.name
+
+    @property
+    def state(self) -> ComponentState:
+        return self.core.state
+
+    def provided(self, port_type: Type[PortType]) -> Port:
+        """The positive (provided) port instance of ``port_type``."""
+        return self.core.port(port_type, positive=True)
+
+    def required(self, port_type: Type[PortType]) -> Port:
+        """The negative (required) port instance of ``port_type``."""
+        return self.core.port(port_type, positive=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Component({self.name!r})"

@@ -1,0 +1,69 @@
+"""Kompics events: the base marker class and the component lifecycle events."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class KompicsEvent:
+    """Base class for everything that travels on Kompics channels.
+
+    Events are conventionally immutable (paper §III-B: messages reflected
+    locally are never copied, so mutation would leak between components).
+    """
+
+    __slots__ = ()
+
+
+class Start(KompicsEvent):
+    """Request a component to start; cascades to its children."""
+
+    __slots__ = ()
+
+
+class Started(KompicsEvent):
+    """Indication that a component finished starting."""
+
+    __slots__ = ("component_id",)
+
+    def __init__(self, component_id: int) -> None:
+        self.component_id = component_id
+
+
+class Stop(KompicsEvent):
+    """Request a component to stop; cascades to its children."""
+
+    __slots__ = ()
+
+
+class Stopped(KompicsEvent):
+    """Indication that a component finished stopping."""
+
+    __slots__ = ("component_id",)
+
+    def __init__(self, component_id: int) -> None:
+        self.component_id = component_id
+
+
+class Kill(KompicsEvent):
+    """Request a component to stop and be destroyed."""
+
+    __slots__ = ()
+
+
+class Fault(KompicsEvent):
+    """Raised out of a handler and escalated to the runtime.
+
+    Carries the failing component, the event being handled, and the original
+    exception for diagnosis.
+    """
+
+    __slots__ = ("component_name", "event", "exception")
+
+    def __init__(self, component_name: str, event: Optional[KompicsEvent], exception: BaseException) -> None:
+        self.component_name = component_name
+        self.event = event
+        self.exception = exception
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Fault({self.component_name!r}, {type(self.event).__name__}, {self.exception!r})"

@@ -1,0 +1,148 @@
+"""Port types and port instances.
+
+A :class:`PortType` is the "service specification" of a port (paper §II-A):
+it declares which event classes are *requests* (flowing into the provider)
+and which are *indications* (flowing out of the provider).  Components hold
+:class:`Port` instances — a *positive* instance on the providing side and a
+*negative* instance on each requiring side; channels connect one positive to
+one negative instance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Tuple, Type
+
+from repro.errors import PortError
+from repro.kompics.event import KompicsEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kompics.channel import Channel
+    from repro.kompics.component import ComponentCore
+
+
+class PortType:
+    """Declarative port specification.
+
+    Subclass and set the ``requests`` / ``indications`` class attributes::
+
+        class Network(PortType):
+            requests = (Msg, MessageNotify.Req)
+            indications = (Msg, MessageNotify.Resp)
+
+    Subtypes of a declared event class are allowed, mirroring the paper's
+    type-hierarchy matching.
+    """
+
+    requests: Tuple[Type[KompicsEvent], ...] = ()
+    indications: Tuple[Type[KompicsEvent], ...] = ()
+
+    @classmethod
+    def allows_request(cls, event: KompicsEvent) -> bool:
+        return isinstance(event, cls.requests) if cls.requests else False
+
+    @classmethod
+    def allows_indication(cls, event: KompicsEvent) -> bool:
+        return isinstance(event, cls.indications) if cls.indications else False
+
+
+Handler = Callable[[KompicsEvent], None]
+
+
+class Port:
+    """One side of a port: positive (provided) or negative (required).
+
+    Events *triggered* on a port travel out over all connected channels;
+    events *delivered* to a port are queued at the owning component and
+    dispatched to matching subscribed handlers when it is scheduled.
+    """
+
+    __slots__ = ("port_type", "owner", "positive", "_channels", "_subscriptions")
+
+    def __init__(self, port_type: Type[PortType], owner: "ComponentCore", positive: bool) -> None:
+        self.port_type = port_type
+        self.owner = owner
+        self.positive = positive
+        self._channels: List["Channel"] = []
+        self._subscriptions: List[Tuple[Type[KompicsEvent], Handler]] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, channel: "Channel") -> None:
+        self._channels.append(channel)
+
+    def detach(self, channel: "Channel") -> None:
+        self._channels.remove(channel)
+
+    @property
+    def channels(self) -> Tuple["Channel", ...]:
+        return tuple(self._channels)
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+    def subscribe(self, event_type: Type[KompicsEvent], handler: Handler) -> None:
+        """Subscribe ``handler`` for events of ``event_type`` (or subtypes).
+
+        A positive port receives requests, a negative port receives
+        indications; subscribing for the wrong direction is a programming
+        error and raises :class:`PortError`.
+        """
+        if self.positive:
+            if not (self.port_type.requests and issubclass(event_type, self.port_type.requests)):
+                raise PortError(
+                    f"provider of {self.port_type.__name__} can only handle requests, "
+                    f"not {event_type.__name__}"
+                )
+        else:
+            if not (self.port_type.indications and issubclass(event_type, self.port_type.indications)):
+                raise PortError(
+                    f"requirer of {self.port_type.__name__} can only handle indications, "
+                    f"not {event_type.__name__}"
+                )
+        self._subscriptions.append((event_type, handler))
+
+    def unsubscribe(self, event_type: Type[KompicsEvent], handler: Handler) -> None:
+        self._subscriptions.remove((event_type, handler))
+
+    def matching_handlers(self, event: KompicsEvent) -> List[Handler]:
+        """Handlers whose subscribed type matches ``event`` (isinstance)."""
+        return [h for (t, h) in self._subscriptions if isinstance(event, t)]
+
+    @property
+    def has_subscriptions(self) -> bool:
+        return bool(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    # event flow
+    # ------------------------------------------------------------------
+    def trigger(self, event: KompicsEvent) -> None:
+        """Publish ``event`` outward on every connected channel.
+
+        Direction validation happens here: the provider may only trigger
+        indications, the requirer only requests (paper §II-A).
+        """
+        if self.positive:
+            if not self.port_type.allows_indication(event):
+                raise PortError(
+                    f"cannot trigger {type(event).__name__} on provided "
+                    f"{self.port_type.__name__}: not an indication"
+                )
+            for channel in self._channels:
+                channel.forward_indication(event)
+        else:
+            if not self.port_type.allows_request(event):
+                raise PortError(
+                    f"cannot trigger {type(event).__name__} on required "
+                    f"{self.port_type.__name__}: not a request"
+                )
+            for channel in self._channels:
+                channel.forward_request(event)
+
+    def deliver(self, event: KompicsEvent) -> None:
+        """Queue an inbound ``event`` at the owning component."""
+        self.owner.enqueue(self, event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        side = "+" if self.positive else "-"
+        return f"Port({side}{self.port_type.__name__} @ {self.owner.name})"

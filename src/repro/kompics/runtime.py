@@ -1,0 +1,174 @@
+"""The Kompics runtime: component creation, wiring and lifecycle.
+
+A :class:`KompicsSystem` owns the scheduler, clock, configuration and RNG
+registry, tracks all component cores, and is the single place faults are
+reported to.  Use :meth:`KompicsSystem.simulated` for deterministic
+discrete-event runs (experiments) and :meth:`KompicsSystem.threaded` for
+wall-clock execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Type
+
+from repro.errors import ChannelError, ComponentError
+from repro.kompics.channel import Channel, ChannelSelector
+from repro.kompics.component import Component, ComponentCore, ComponentDefinition, _construction
+from repro.kompics.config import Config
+from repro.kompics.event import Fault, Kill, Start, Stop
+from repro.kompics.port import Port
+from repro.kompics.scheduler import Scheduler, SimScheduler, ThreadPoolScheduler
+from repro.sim import Simulator
+from repro.util.clock import Clock, WallClock
+from repro.util.ids import IdGenerator
+from repro.util.rng import RngRegistry
+
+DEFAULT_CONFIG = {
+    "kompics.max_events_per_schedule": 32,
+    "kompics.fault_policy": "raise",  # or "store"
+}
+
+
+class KompicsSystem:
+    """A running Kompics instance (one per simulated host or per process)."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        clock: Clock,
+        config: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+        name: str = "system",
+        simulator: Optional[Simulator] = None,
+    ) -> None:
+        self.name = name
+        self.scheduler = scheduler
+        self.clock = clock
+        self.simulator = simulator
+        self.config = Config(DEFAULT_CONFIG).with_overrides(config or {})
+        self.rngs = RngRegistry(seed)
+        self.ids = IdGenerator()
+        self.components: List[Component] = []
+        self.faults: List[Fault] = []
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def simulated(
+        cls,
+        simulator: Simulator,
+        config: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+        name: str = "system",
+        scheduling_overhead: float = 1e-6,
+    ) -> "KompicsSystem":
+        """System driven by a discrete-event simulator (deterministic)."""
+        return cls(
+            scheduler=SimScheduler(simulator, overhead=scheduling_overhead),
+            clock=simulator.clock,
+            config=config,
+            seed=seed,
+            name=name,
+            simulator=simulator,
+        )
+
+    @classmethod
+    def threaded(
+        cls,
+        workers: int = 2,
+        config: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+        name: str = "system",
+    ) -> "KompicsSystem":
+        """System executing on a real thread pool with wall-clock time."""
+        return cls(
+            scheduler=ThreadPoolScheduler(workers),
+            clock=WallClock(),
+            config=config,
+            seed=seed,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # component management
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        definition_cls: Type[ComponentDefinition],
+        *args: Any,
+        parent: Optional[ComponentCore] = None,
+        name: Optional[str] = None,
+        **kwargs: Any,
+    ) -> Component:
+        """Instantiate ``definition_cls`` and register its core."""
+        if name is None:
+            idx = self.ids.next(f"name.{definition_cls.__name__}")
+            name = f"{definition_cls.__name__}-{idx}"
+        core = ComponentCore(self, name=name, parent=parent)
+        _construction.stack.append(core)
+        try:
+            definition = definition_cls(*args, **kwargs)
+        finally:
+            _construction.stack.pop()
+        if definition._core is not core:
+            raise ComponentError(
+                f"{definition_cls.__name__}.__init__ must call super().__init__() first"
+            )
+        core.definition = definition
+        component = Component(core)
+        self.components.append(component)
+        return component
+
+    def connect(self, a: Port, b: Port, selector: Optional[ChannelSelector] = None) -> Channel:
+        """Connect a provided port to a required port (order-agnostic)."""
+        if a.positive and not b.positive:
+            return Channel(a, b, selector)
+        if b.positive and not a.positive:
+            return Channel(b, a, selector)
+        raise ChannelError(
+            "connect needs one provided and one required port, got "
+            f"{a!r} and {b!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, component: Component) -> None:
+        """Start ``component`` (and, cascading, its children)."""
+        component.core.enqueue_control(Start())
+
+    def stop(self, component: Component) -> None:
+        component.core.enqueue_control(Stop())
+
+    def kill(self, component: Component) -> None:
+        component.core.enqueue_control(Kill())
+
+    def shutdown(self) -> None:
+        """Kill all root components and release the scheduler."""
+        for component in self.components:
+            if component.core.parent is None:
+                self.kill(component)
+        self.scheduler.shutdown()
+
+    # ------------------------------------------------------------------
+    # faults
+    # ------------------------------------------------------------------
+    def report_fault(self, fault: Fault) -> None:
+        """Record (or re-raise, per ``kompics.fault_policy``) a handler fault."""
+        self.faults.append(fault)
+        policy = self.config.get_str("kompics.fault_policy", "raise")
+        if policy == "raise":
+            raise ComponentError(
+                f"component {fault.component_name!r} faulted handling "
+                f"{type(fault.event).__name__}"
+            ) from fault.exception
+
+    def raise_faults(self) -> None:
+        """Raise the first stored fault, if any (for 'store' policy runs)."""
+        if self.faults:
+            fault = self.faults[0]
+            raise ComponentError(
+                f"component {fault.component_name!r} faulted handling "
+                f"{type(fault.event).__name__} (+{len(self.faults) - 1} more)"
+            ) from fault.exception

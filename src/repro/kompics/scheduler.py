@@ -1,0 +1,82 @@
+"""Component schedulers.
+
+Two interchangeable backends drive component execution:
+
+* :class:`SimScheduler` — components execute as discrete-event callbacks;
+  each scheduling consumes a small simulated overhead, which both models
+  the real cost of a component context switch and guarantees simulated
+  time advances even under zero-delay event loops.
+* :class:`ThreadPoolScheduler` — a real worker pool for wall-clock runs;
+  the per-component ``_scheduled`` flag guarantees a component is executed
+  by at most one worker at a time (paper §II-A).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kompics.component import ComponentCore
+
+
+class Scheduler(ABC):
+    """Dispatches ready components to an execution resource."""
+
+    @abstractmethod
+    def schedule_ready(self, core: "ComponentCore") -> None:
+        """Called (under the core's lock) when ``core`` has work to do."""
+
+    def shutdown(self) -> None:
+        """Release execution resources; idempotent."""
+
+
+class SimScheduler(Scheduler):
+    """Runs component batches as events on the discrete-event simulator."""
+
+    def __init__(self, simulator: Simulator, overhead: float = 1e-6) -> None:
+        if overhead <= 0:
+            raise ValueError("scheduling overhead must be positive (livelock guard)")
+        self.simulator = simulator
+        self.overhead = overhead
+
+    def schedule_ready(self, core: "ComponentCore") -> None:
+        self.simulator.schedule(self.overhead, core.execute_batch, label=f"exec:{core.name}")
+
+
+class ThreadPoolScheduler(Scheduler):
+    """Fixed-size worker pool executing ready components FIFO."""
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self._queue: "queue.SimpleQueue[Optional[ComponentCore]]" = queue.SimpleQueue()
+        self._threads: List[threading.Thread] = []
+        self._shutdown = False
+        for i in range(workers):
+            thread = threading.Thread(target=self._worker, name=f"kompics-worker-{i}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def schedule_ready(self, core: "ComponentCore") -> None:
+        self._queue.put(core)
+
+    def _worker(self) -> None:
+        while True:
+            core = self._queue.get()
+            if core is None:
+                return
+            core.execute_batch()
+
+    def shutdown(self) -> None:
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)

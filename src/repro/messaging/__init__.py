@@ -1,0 +1,76 @@
+"""KompicsMessaging: the messaging middleware layer (paper §III).
+
+Public surface:
+
+* :class:`Transport` — per-message protocol choice (UDP/TCP/UDT + DATA).
+* :class:`Address` / :class:`BasicAddress` / :class:`VirtualAddress`.
+* :class:`Msg`, :class:`Header`, :class:`BasicHeader`, :class:`DataHeader`,
+  :class:`RoutingHeader`, :class:`Route`, :class:`BaseMsg`.
+* :class:`Network` port and :class:`MessageNotify`.
+* :class:`NettyNetwork` — the network component (simulation backend).
+* :class:`VirtualNetworkChannel` — vnode routing.
+* Serialization registry and compression codecs.
+"""
+
+from repro.messaging.address import Address, BasicAddress, VirtualAddress, vnode_id_of
+from repro.messaging.channels import ChannelPool, ChannelRef
+from repro.messaging.compression import (
+    CompressionCodec,
+    NoCompression,
+    SimulatedSnappy,
+    ZlibCodec,
+    codec_by_name,
+)
+from repro.messaging.message import (
+    BaseMsg,
+    BasicHeader,
+    DataHeader,
+    Header,
+    Msg,
+    Route,
+    RoutingHeader,
+)
+from repro.messaging.netty import NettyNetwork
+from repro.messaging.network_port import MessageNotify, Network
+from repro.messaging.serialization import (
+    PickleSerializer,
+    Serializer,
+    SerializerRegistry,
+    pack_address,
+    packed_address_size,
+    unpack_address,
+)
+from repro.messaging.transport import Transport
+from repro.messaging.vnet import VirtualNetworkChannel
+
+__all__ = [
+    "Transport",
+    "Address",
+    "BasicAddress",
+    "VirtualAddress",
+    "vnode_id_of",
+    "Msg",
+    "Header",
+    "BasicHeader",
+    "DataHeader",
+    "RoutingHeader",
+    "Route",
+    "BaseMsg",
+    "Network",
+    "MessageNotify",
+    "NettyNetwork",
+    "VirtualNetworkChannel",
+    "ChannelPool",
+    "ChannelRef",
+    "Serializer",
+    "SerializerRegistry",
+    "PickleSerializer",
+    "pack_address",
+    "unpack_address",
+    "packed_address_size",
+    "CompressionCodec",
+    "NoCompression",
+    "ZlibCodec",
+    "SimulatedSnappy",
+    "codec_by_name",
+]

@@ -1,0 +1,157 @@
+"""Channel management for the network component.
+
+One transport channel per (remote socket, protocol), created lazily on
+first use and kept open as long as possible — channel establishment can be
+expensive (the paper mentions NAT hole punching, §III-C), so teardown is
+deliberately conservative.  Inbound connections are registered under the
+sender's *middleware* address (learned from the first message header) so
+replies reuse them instead of dialling back.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.netsim.connection import Connection, ConnectionState, WireMessage
+from repro.netsim.host import NetworkStack
+from repro.netsim.link import Proto
+
+Socket = Tuple[str, int]
+ChannelKey = Tuple[Socket, Proto]
+
+
+@dataclass
+class ChannelStats:
+    messages_out: int = 0
+    bytes_out: int = 0
+    messages_in: int = 0
+    bytes_in: int = 0
+    send_failures: int = 0
+
+
+class ChannelRef:
+    """A pooled transport channel plus its counters."""
+
+    __slots__ = ("key", "conn", "stats", "outbound", "last_used")
+
+    def __init__(self, key: ChannelKey, conn: Connection, outbound: bool,
+                 now: float = 0.0) -> None:
+        self.key = key
+        self.conn = conn
+        self.outbound = outbound
+        self.stats = ChannelStats()
+        self.last_used = now
+
+    @property
+    def usable(self) -> bool:
+        return self.conn.state in (ConnectionState.CONNECTING, ConnectionState.ACTIVE)
+
+    def send(self, payload: Any, size: int, on_sent: Optional[Callable[[bool], None]]) -> None:
+        def wrapped(success: bool) -> None:
+            if success:
+                self.stats.messages_out += 1
+                self.stats.bytes_out += size
+            else:
+                self.stats.send_failures += 1
+            if on_sent is not None:
+                on_sent(success)
+
+        self.conn.send(WireMessage(payload, size, wrapped))
+
+
+class ChannelPool:
+    """Lazily-connected, conservatively-retained channel map."""
+
+    def __init__(
+        self,
+        stack: NetworkStack,
+        on_message: Callable[[Any, int, Connection], None],
+        logger: Optional[logging.Logger] = None,
+        hello: Any = None,
+    ) -> None:
+        self.stack = stack
+        self.on_message = on_message
+        self.logger = logger or logging.getLogger("repro.messaging.channels")
+        #: handshake payload announcing this middleware instance's own
+        #: listening socket, so acceptors can register the channel for reuse
+        self.hello = hello
+        self.channels: Dict[ChannelKey, ChannelRef] = {}
+
+    # ------------------------------------------------------------------
+    # outbound
+    # ------------------------------------------------------------------
+    def get_or_connect(self, remote: Socket, proto: Proto) -> ChannelRef:
+        key = (remote, proto)
+        ref = self.channels.get(key)
+        if ref is not None and ref.usable:
+            return ref
+        conn = self.stack.connect(
+            remote,
+            proto,
+            on_failed=lambda c, reason: self._on_gone(key, reason),
+            hello=self.hello,
+        )
+        conn.on_message = self.on_message
+        conn.on_closed = lambda c: self._on_gone(key, "closed")
+        ref = ChannelRef(key, conn, outbound=True)
+        self.channels[key] = ref
+        return ref
+
+    # ------------------------------------------------------------------
+    # inbound
+    # ------------------------------------------------------------------
+    def register_inbound(self, source: Socket, proto: Proto, conn: Connection) -> None:
+        """Make an accepted connection reusable for replies to ``source``."""
+        key = (source, proto)
+        existing = self.channels.get(key)
+        if existing is not None and existing.usable:
+            return
+        conn.on_closed = lambda c: self._on_gone(key, "closed")
+        self.channels[key] = ChannelRef(key, conn, outbound=False)
+
+    def note_traffic_in(self, source: Socket, proto: Proto, size: int,
+                        now: float = 0.0) -> None:
+        ref = self.channels.get((source, proto))
+        if ref is not None:
+            ref.stats.messages_in += 1
+            ref.stats.bytes_in += size
+            ref.last_used = max(ref.last_used, now)
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def _on_gone(self, key: ChannelKey, reason: str) -> None:
+        ref = self.channels.get(key)
+        if ref is not None and not ref.usable:
+            del self.channels[key]
+            self.logger.debug("channel %s dropped (%s)", key, reason)
+
+    def close_all(self) -> None:
+        for ref in list(self.channels.values()):
+            ref.conn.close()
+        self.channels.clear()
+
+    def reap_idle(self, now: float, idle_timeout: float) -> int:
+        """Drop channels unused for ``idle_timeout`` seconds (§III-C).
+
+        The paper is deliberately conservative here — establishment can be
+        expensive (e.g. NAT hole punching) — so reaping only runs when the
+        owner explicitly enables an idle timeout.  Returns the number of
+        channels closed.
+        """
+        reaped = 0
+        for key, ref in list(self.channels.items()):
+            if not ref.usable or now - ref.last_used < idle_timeout:
+                continue
+            if ref.conn.flow.queued_bytes > 0 or ref.conn.flow.busy:
+                continue  # definitely still in use
+            del self.channels[key]
+            ref.conn.close()
+            reaped += 1
+            self.logger.debug("reaped idle channel %s", key)
+        return reaped
+
+    def __len__(self) -> int:
+        return len(self.channels)

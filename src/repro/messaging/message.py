@@ -1,0 +1,215 @@
+"""Messages, headers and multi-hop routes (paper listings 2, 3, 5).
+
+``Msg`` and ``Header`` are deliberately thin interfaces so applications can
+pick implementations that suit them without extending library classes or
+relying on runtime casts (§III-A).  The library ships the default
+implementations ``BasicHeader`` / ``BaseMsg``, a ``DataHeader`` carrying
+the adaptive ``Transport.DATA`` pseudo-protocol, and ``RoutingHeader`` for
+multi-hop forwarding with direct reply (listing 5).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.kompics.event import KompicsEvent
+from repro.messaging.address import Address
+from repro.messaging.transport import Transport
+
+_msg_ids = itertools.count()
+
+
+class Header(ABC):
+    """Routing metadata of a message (listing 3)."""
+
+    @property
+    @abstractmethod
+    def source(self) -> Address: ...
+
+    @property
+    @abstractmethod
+    def destination(self) -> Address: ...
+
+    @property
+    @abstractmethod
+    def protocol(self) -> Transport: ...
+
+
+class Msg(KompicsEvent, ABC):
+    """Anything with a header can travel over the network port (listing 2)."""
+
+    __slots__ = ()
+
+    @property
+    @abstractmethod
+    def header(self) -> Header: ...
+
+    # Convenience pass-throughs used pervasively by the middleware.
+    @property
+    def source(self) -> Address:
+        return self.header.source
+
+    @property
+    def destination(self) -> Address:
+        return self.header.destination
+
+    @property
+    def protocol(self) -> Transport:
+        return self.header.protocol
+
+
+class BasicHeader(Header):
+    """Immutable default header."""
+
+    __slots__ = ("_source", "_destination", "_protocol")
+
+    def __init__(self, source: Address, destination: Address, protocol: Transport) -> None:
+        self._source = source
+        self._destination = destination
+        self._protocol = protocol
+
+    @property
+    def source(self) -> Address:
+        return self._source
+
+    @property
+    def destination(self) -> Address:
+        return self._destination
+
+    @property
+    def protocol(self) -> Transport:
+        return self._protocol
+
+    def with_protocol(self, protocol: Transport) -> "BasicHeader":
+        """A copy with the transport replaced (headers stay immutable)."""
+        return BasicHeader(self._source, self._destination, protocol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self._source!r}->{self._destination!r}/{self._protocol.value}"
+
+
+class DataHeader(BasicHeader):
+    """Header for bulk data: defaults to the adaptive DATA pseudo-protocol.
+
+    The data interceptor (§IV-A) recognises this header type and replaces
+    ``Transport.DATA`` with TCP or UDT transparently at runtime.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, source: Address, destination: Address, protocol: Transport = Transport.DATA) -> None:
+        super().__init__(source, destination, protocol)
+
+    def with_protocol(self, protocol: Transport) -> "DataHeader":
+        return DataHeader(self._source, self._destination, protocol)
+
+
+class Route:
+    """An explicit multi-hop path: remaining hops plus the true endpoints."""
+
+    __slots__ = ("source", "hops", "index")
+
+    def __init__(self, source: Address, hops: Sequence[Address], index: int = 0) -> None:
+        if not hops:
+            raise ValueError("a route needs at least one hop")
+        self.source = source
+        self.hops: List[Address] = list(hops)
+        self.index = index
+
+    @property
+    def destination(self) -> Address:
+        """The next hop to forward to."""
+        return self.hops[self.index]
+
+    @property
+    def final_destination(self) -> Address:
+        return self.hops[-1]
+
+    def has_next(self) -> bool:
+        return self.index < len(self.hops) - 1
+
+    def advance(self) -> "Route":
+        """The route as seen by the next hop."""
+        if not self.has_next():
+            raise IndexError("route exhausted")
+        return Route(self.source, self.hops, self.index + 1)
+
+
+class RoutingHeader(Header):
+    """Multi-hop header (listing 5): wraps a base header with a Route.
+
+    While a route is present, ``destination`` is the next hop; ``source``
+    stays the original sender so that the final recipient can reply
+    directly.
+    """
+
+    __slots__ = ("base", "route")
+
+    def __init__(self, base: BasicHeader, route: Optional[Route] = None) -> None:
+        self.base = base
+        self.route = route
+
+    @property
+    def source(self) -> Address:
+        if self.route is not None:
+            return self.route.source
+        return self.base.source
+
+    @property
+    def destination(self) -> Address:
+        if self.route is not None and self.route.has_next():
+            return self.route.destination
+        if self.route is not None:
+            return self.route.final_destination
+        return self.base.destination
+
+    @property
+    def protocol(self) -> Transport:
+        return self.base.protocol
+
+    def next_hop(self) -> "RoutingHeader":
+        """Header for the message as forwarded by the current hop."""
+        if self.route is None or not self.route.has_next():
+            raise IndexError("no further hops")
+        return RoutingHeader(self.base, self.route.advance())
+
+
+class BaseMsg(Msg):
+    """Convenient concrete message: header + optional opaque payload.
+
+    Applications typically subclass this (or implement ``Msg`` directly)
+    and add typed fields.  ``msg_id`` supports notification correlation.
+    """
+
+    __slots__ = ("_header", "msg_id")
+
+    def __init__(self, header: Header) -> None:
+        self._header = header
+        self.msg_id = next(_msg_ids)
+
+    @property
+    def header(self) -> Header:
+        return self._header
+
+    def with_protocol(self, protocol: Transport) -> "BaseMsg":
+        """A shallow copy with the header's transport replaced.
+
+        The message itself stays immutable; this is how the data
+        interceptor replaces ``Transport.DATA`` with the selected wire
+        protocol transparently at runtime (§IV-A).  Requires a header
+        implementation with ``with_protocol`` (e.g. :class:`BasicHeader`).
+        """
+        replace = getattr(self._header, "with_protocol", None)
+        if replace is None:
+            raise TypeError(
+                f"{type(self._header).__name__} does not support protocol replacement"
+            )
+        clone = copy.copy(self)
+        clone._header = replace(protocol)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(#{self.msg_id} {self._header!r})"

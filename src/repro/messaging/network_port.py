@@ -1,0 +1,53 @@
+"""The Kompics Network port and delivery notifications (paper listing 1)."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.kompics.event import KompicsEvent
+from repro.kompics.port import PortType
+from repro.messaging.message import Msg
+
+_notify_ids = itertools.count()
+
+
+class MessageNotify:
+    """Namespace for the notification request/response pair.
+
+    Messages are fire-and-forget unless wrapped in a ``MessageNotify.Req``,
+    in which case the network component answers with a ``Resp`` indicating
+    whether the message was sent successfully (§III-A).  "Sent" means
+    handed to the wire — not acknowledged end-to-end (§III-B: network
+    semantics are at-most-once).
+    """
+
+    class Req(KompicsEvent):
+        __slots__ = ("msg", "notify_id")
+
+        def __init__(self, msg: Msg) -> None:
+            self.msg = msg
+            self.notify_id = next(_notify_ids)
+
+    class Resp(KompicsEvent):
+        __slots__ = ("notify_id", "success", "sent_at", "size")
+
+        def __init__(self, notify_id: int, success: bool, sent_at: float, size: int) -> None:
+            self.notify_id = notify_id
+            self.success = success
+            self.sent_at = sent_at
+            self.size = size
+
+        def __repr__(self) -> str:  # pragma: no cover - debugging aid
+            state = "ok" if self.success else "failed"
+            return f"MessageNotify.Resp(#{self.notify_id} {state} at {self.sent_at:.6f})"
+
+
+class Network(PortType):
+    """Kompics' network port (listing 1).
+
+    Messages travel in both directions: consumers *request* sends and the
+    network *indicates* received messages.
+    """
+
+    requests = (Msg, MessageNotify.Req)
+    indications = (Msg, MessageNotify.Resp)

@@ -1,0 +1,139 @@
+"""Serialization: registry, framing, and default serializers.
+
+Every message class is serialized by a registered :class:`Serializer`
+under a stable 16-bit type id; frames are ``>HI`` (type id + body length)
+followed by the body.  ``wire_size`` lets serializers report exact sizes
+without materialising bytes — the simulation transport carries message
+*sizes* (fluid model) while the asyncio backend and the round-trip tests
+use the real byte paths.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional, Tuple, Type
+
+from repro.errors import SerializationError
+from repro.messaging.address import Address, BasicAddress, VirtualAddress
+
+FRAME_HEADER = struct.Struct(">HI")  # type id, body length
+PICKLE_TYPE_ID = 0
+
+
+class Serializer(ABC):
+    """Encodes/decodes one class (and, by registration, its subtypes)."""
+
+    @abstractmethod
+    def to_bytes(self, obj: Any) -> bytes: ...
+
+    @abstractmethod
+    def from_bytes(self, data: bytes) -> Any: ...
+
+    def wire_size(self, obj: Any) -> int:
+        """Body size in bytes; override when computable without encoding."""
+        return len(self.to_bytes(obj))
+
+
+class PickleSerializer(Serializer):
+    """Fallback serializer; convenient but neither compact nor portable."""
+
+    def to_bytes(self, obj: Any) -> bytes:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def from_bytes(self, data: bytes) -> Any:
+        return pickle.loads(data)
+
+
+class SerializerRegistry:
+    """Type-id <-> serializer mapping with mro-based lookup."""
+
+    def __init__(self, allow_pickle_fallback: bool = True) -> None:
+        self._by_type: Dict[Type, Tuple[int, Serializer]] = {}
+        self._by_id: Dict[int, Serializer] = {}
+        self._pickle: Optional[PickleSerializer] = PickleSerializer() if allow_pickle_fallback else None
+        if self._pickle is not None:
+            self._by_id[PICKLE_TYPE_ID] = self._pickle
+
+    def register(self, type_id: int, cls: Type, serializer: Serializer) -> None:
+        if type_id == PICKLE_TYPE_ID:
+            raise SerializationError("type id 0 is reserved for the pickle fallback")
+        if type_id in self._by_id:
+            raise SerializationError(f"type id {type_id} already registered")
+        if cls in self._by_type:
+            raise SerializationError(f"{cls.__name__} already has a serializer")
+        self._by_type[cls] = (type_id, serializer)
+        self._by_id[type_id] = serializer
+
+    def lookup(self, obj: Any) -> Tuple[int, Serializer]:
+        """Find the serializer for ``obj`` walking its mro."""
+        for cls in type(obj).__mro__:
+            entry = self._by_type.get(cls)
+            if entry is not None:
+                return entry
+        if self._pickle is not None:
+            return (PICKLE_TYPE_ID, self._pickle)
+        raise SerializationError(f"no serializer for {type(obj).__name__}")
+
+    # ------------------------------------------------------------------
+    # framed encode/decode
+    # ------------------------------------------------------------------
+    def serialize(self, obj: Any) -> bytes:
+        type_id, serializer = self.lookup(obj)
+        body = serializer.to_bytes(obj)
+        return FRAME_HEADER.pack(type_id, len(body)) + body
+
+    def deserialize(self, data: bytes) -> Any:
+        if len(data) < FRAME_HEADER.size:
+            raise SerializationError(f"frame too short: {len(data)} bytes")
+        type_id, length = FRAME_HEADER.unpack_from(data)
+        body = data[FRAME_HEADER.size:FRAME_HEADER.size + length]
+        if len(body) != length:
+            raise SerializationError(f"truncated frame: expected {length}, got {len(body)}")
+        serializer = self._by_id.get(type_id)
+        if serializer is None:
+            raise SerializationError(f"unknown type id {type_id}")
+        return serializer.from_bytes(bytes(body))
+
+    def wire_size(self, obj: Any) -> int:
+        """Framed size without materialising the body where possible."""
+        _, serializer = self.lookup(obj)
+        return FRAME_HEADER.size + serializer.wire_size(obj)
+
+
+# ----------------------------------------------------------------------
+# address packing helpers (reused by message serializers)
+# ----------------------------------------------------------------------
+
+def pack_address(address: Address) -> bytes:
+    """ip (len-prefixed utf8) + port (u16) + vnode id (len-prefixed, 0 = none)."""
+    ip = address.ip.encode("utf-8")
+    if len(ip) > 255:
+        raise SerializationError("ip too long")
+    vnode = getattr(address, "vnode_id", None) or b""
+    if len(vnode) > 255:
+        raise SerializationError("vnode id too long")
+    return bytes([len(ip)]) + ip + struct.pack(">H", address.port) + bytes([len(vnode)]) + vnode
+
+
+def unpack_address(data: bytes, offset: int = 0) -> Tuple[Address, int]:
+    """Inverse of :func:`pack_address`; returns (address, next_offset)."""
+    ip_len = data[offset]
+    offset += 1
+    ip = data[offset:offset + ip_len].decode("utf-8")
+    offset += ip_len
+    (port,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    vnode_len = data[offset]
+    offset += 1
+    vnode = bytes(data[offset:offset + vnode_len])
+    offset += vnode_len
+    if vnode:
+        return VirtualAddress(ip, port, vnode), offset
+    return BasicAddress(ip, port), offset
+
+
+def packed_address_size(address: Address) -> int:
+    vnode = getattr(address, "vnode_id", None) or b""
+    return 1 + len(address.ip.encode("utf-8")) + 2 + 1 + len(vnode)

@@ -1,0 +1,219 @@
+"""Fluid-flow congestion-control models.
+
+Each reliable connection direction owns a controller that answers "how fast
+does the protocol want to send right now?" (``demand_rate``) and reacts to
+ack-credit (``on_bytes_sent``) and loss signals (``on_loss``).  Because the
+sender self-paces at ``cwnd/RTT``, window growth per acked byte reproduces
+the per-RTT dynamics of the real protocols without explicit ack events:
+transmitting ``cwnd`` bytes takes exactly one RTT, so slow start doubles
+per RTT and congestion avoidance gains one MSS per RTT.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+MSS = 1448.0  # bytes of payload per TCP segment
+
+
+class CongestionControl(ABC):
+    """Protocol behaviour of one connection direction."""
+
+    #: reliable protocols retransmit (loss only slows them down)
+    reliable: bool = True
+    #: FIFO delivery order maintained end-to-end
+    ordered: bool = True
+    #: subject to the link's UDP policing pool
+    subject_to_udp_cap: bool = False
+    #: scavenger protocols only get bandwidth foreground flows leave over
+    scavenger: bool = False
+
+    @abstractmethod
+    def demand_rate(self, now: float) -> float:
+        """Bytes/second the protocol is willing to push right now."""
+
+    def on_bytes_sent(self, nbytes: int, now: float) -> None:
+        """Credit ``nbytes`` transmitted (and, in the fluid model, acked)."""
+
+    def on_loss(self, now: float) -> None:
+        """React to a loss signal."""
+
+
+class TcpCc(CongestionControl):
+    """TCP Reno-style slow start + AIMD with a window cap.
+
+    The window cap ``wnd_max = min(send_buffer, receive_buffer)`` models the
+    socket-buffer/BDP throughput limit that makes TCP collapse on
+    high-RTT links (paper §I, §V-B), and random loss triggers at most one
+    multiplicative decrease per RTT (a loss episode).
+    """
+
+    subject_to_udp_cap = False
+
+    def __init__(
+        self,
+        rtt: float,
+        send_buffer: float = 8 * 1024 * 1024,
+        receive_buffer: float = 8 * 1024 * 1024,
+        initial_cwnd_segments: int = 10,
+    ) -> None:
+        self.rtt = max(rtt, 1e-5)
+        self.wnd_max = min(send_buffer, receive_buffer)
+        self.cwnd = initial_cwnd_segments * MSS
+        self.ssthresh = math.inf
+        self._last_md = -math.inf
+        self.loss_episodes = 0
+
+    def demand_rate(self, now: float) -> float:
+        wnd = min(max(self.cwnd, 2 * MSS), self.wnd_max)
+        return wnd / self.rtt
+
+    def on_bytes_sent(self, nbytes: int, now: float) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += nbytes  # slow start: double per RTT
+        else:
+            self.cwnd += MSS * nbytes / self.cwnd  # CA: +MSS per RTT
+        if self.cwnd > self.wnd_max:
+            self.cwnd = self.wnd_max
+
+    def on_loss(self, now: float) -> None:
+        if now - self._last_md < self.rtt:
+            return  # one decrease per loss episode
+        self._last_md = now
+        self.loss_episodes += 1
+        self.ssthresh = max(self.cwnd / 2.0, 2 * MSS)
+        self.cwnd = self.ssthresh
+
+
+class UdtCc(CongestionControl):
+    """UDT's DAIMD rate control, simplified to its fluid behaviour.
+
+    The rate ramps toward the estimated available bandwidth every SYN
+    interval (10 ms) — independent of the RTT, which is what makes UDT
+    strong on high-BDP links — and decreases by the factor 1/9 on a loss
+    event (UDT's NAK response).  A finite receive buffer combined with the
+    one-RTT-stale feedback loop causes overshoot losses on high-BDP paths
+    when the buffer is small: this models the paper's observation (§V-A)
+    that Netty-UDT's default 12 MB buffers had to be raised to 100 MB.
+    """
+
+    subject_to_udp_cap = True
+
+    SYN = 0.01  # UDT rate-control interval, seconds
+    DECREASE = 1.0 - 1.0 / 9.0  # multiplicative decrease factor
+    BURST_FACTOR = 8.0  # burstiness multiplier for buffer-overshoot check
+
+    def __init__(
+        self,
+        rtt: float,
+        bandwidth_estimate: float,
+        receive_buffer: float = 100 * 1024 * 1024,
+        initial_rate: float = 128 * 1024,
+        min_rate: float = 64 * 1024,
+        max_rate: float = math.inf,
+    ) -> None:
+        self.rtt = max(rtt, 1e-5)
+        self.bandwidth_estimate = bandwidth_estimate
+        self.receive_buffer = receive_buffer
+        self.rate = initial_rate
+        self.min_rate = min_rate
+        self.max_rate = max_rate
+        self._last_increase = -math.inf
+        self.loss_events = 0
+        self.buffer_overflows = 0
+
+    def demand_rate(self, now: float) -> float:
+        self._maybe_increase(now)
+        return min(max(self.rate, self.min_rate), self.max_rate)
+
+    def _maybe_increase(self, now: float) -> None:
+        if now - self._last_increase < self.SYN:
+            return
+        # Multiple SYN intervals may have elapsed while idle; apply each.
+        intervals = 1
+        if self._last_increase > -math.inf:
+            intervals = max(1, int((now - self._last_increase) / self.SYN))
+            intervals = min(intervals, 1000)
+        for _ in range(intervals):
+            gap = self.bandwidth_estimate - self.rate
+            step = max(gap * 0.05, 0.0) + 10 * MSS  # probe even at estimate
+            self.rate = min(self.rate + step, self.max_rate)
+        self._last_increase = now
+
+    def check_receive_buffer(self, now: float) -> bool:
+        """Overshoot check: stale feedback lets ~BURST_FACTOR * rate * (RTT+SYN)
+        bytes pile up at the receiver; beyond the buffer they are dropped.
+
+        Returns True (and applies the loss response) when overflow occurs.
+        """
+        in_flight = self.rate * (self.rtt + self.SYN) * self.BURST_FACTOR
+        if in_flight > self.receive_buffer:
+            self.buffer_overflows += 1
+            self.on_loss(now)
+            return True
+        return False
+
+    def on_loss(self, now: float) -> None:
+        self.loss_events += 1
+        self.rate = max(self.rate * self.DECREASE, self.min_rate)
+
+
+class UdpCc(CongestionControl):
+    """UDP: no congestion control, no reliability, no ordering."""
+
+    reliable = False
+    ordered = False
+    subject_to_udp_cap = True
+
+    def demand_rate(self, now: float) -> float:
+        return math.inf
+
+
+class LedbatCc(CongestionControl):
+    """LEDBAT (RFC 6817): reliable background transport that yields.
+
+    LEDBAT targets a small queueing delay and backs off long before
+    loss-based protocols do, making it *less than best effort*: it soaks
+    up spare capacity and vanishes when foreground traffic appears.  The
+    fluid model captures exactly that semantics through the scavenger
+    allocation tier (see ``LinkDirection.allocate_rate``); the controller
+    itself ramps gently toward the spare-capacity estimate (GAIN = 1 per
+    RTT) and halves on loss, per the RFC's slow-start-less dynamics.
+
+    The paper implemented LEDBAT over Kompics/Netty/UDP before moving to
+    UDT (§I) and names other protocols as extension targets for the DATA
+    selector (§IV); this class is that extension hook.
+    """
+
+    subject_to_udp_cap = True
+    scavenger = True
+
+    def __init__(
+        self,
+        rtt: float,
+        bandwidth_estimate: float,
+        initial_rate: float = 64 * 1024,
+        min_rate: float = 16 * 1024,
+    ) -> None:
+        self.rtt = max(rtt, 1e-5)
+        self.bandwidth_estimate = bandwidth_estimate
+        self.rate = initial_rate
+        self.min_rate = min_rate
+        self.loss_events = 0
+
+    def demand_rate(self, now: float) -> float:
+        return max(self.rate, self.min_rate)
+
+    def on_bytes_sent(self, nbytes: int, now: float) -> None:
+        # Additive increase of ~one rate-quantum per RTT worth of data,
+        # never asking beyond the link estimate (the scavenger tier clips
+        # the actual allocation to spare capacity anyway).
+        self.rate = min(
+            self.rate + (nbytes / self.rtt) * 0.10,
+            self.bandwidth_estimate,
+        )
+
+    def on_loss(self, now: float) -> None:
+        self.loss_events += 1
+        self.rate = max(self.rate / 2.0, self.min_rate)

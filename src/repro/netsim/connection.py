@@ -1,0 +1,269 @@
+"""Connections and the fluid message-transmission machinery."""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
+
+from repro.errors import ConnectionClosedError
+from repro.netsim.congestion import CongestionControl, UdtCc
+from repro.netsim.link import LinkDirection, Proto
+from repro.sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.host import NetworkStack
+
+
+class WireMessage:
+    """A middleware message handed to the transport layer.
+
+    ``payload`` is opaque to the simulator (the messaging layer passes its
+    serialized envelope); ``size`` is the on-wire byte count after
+    serialization and compression.  ``on_sent`` fires at transmission end
+    (success) or when the message is dropped/aborted (failure) — this is
+    the signal behind the middleware's ``MessageNotify`` feature.
+    """
+
+    __slots__ = ("payload", "size", "on_sent")
+
+    def __init__(self, payload: Any, size: int, on_sent: Optional[Callable[[bool], None]] = None) -> None:
+        if size <= 0:
+            raise ValueError("message size must be positive")
+        self.payload = payload
+        self.size = size
+        self.on_sent = on_sent
+
+    def _sent(self, success: bool) -> None:
+        if self.on_sent is not None:
+            self.on_sent(success)
+
+
+class ConnectionState(enum.Enum):
+    CONNECTING = "connecting"
+    ACTIVE = "active"
+    CLOSED = "closed"
+    FAILED = "failed"
+
+
+class FlowState:
+    """One direction's transmission engine: queue + pacing + loss.
+
+    The head message occupies the flow for ``size / rate`` seconds, with the
+    rate sampled at transmission start from the congestion controller and
+    the link's max-min allocation.  Completion credits the controller
+    (ack-equivalent under self-pacing) and draws loss; reliable protocols
+    only slow down on loss, UDP drops the datagram.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link_dir: LinkDirection,
+        cc: CongestionControl,
+        rng,
+        deliver: Callable[[WireMessage], None],
+        queue_limit_bytes: float = math.inf,
+    ) -> None:
+        self.sim = sim
+        self.link_dir = link_dir
+        self.cc = cc
+        self.rng = rng
+        self.deliver = deliver
+        self.queue_limit_bytes = queue_limit_bytes
+        self.queue: Deque[WireMessage] = deque()
+        self.queued_bytes = 0
+        self.busy = False
+        self.aborted = False
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    @property
+    def subject_to_udp_cap(self) -> bool:
+        return self.cc.subject_to_udp_cap
+
+    @property
+    def scavenger(self) -> bool:
+        return self.cc.scavenger
+
+    def demand_rate(self) -> float:
+        return self.cc.demand_rate(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, msg: WireMessage) -> None:
+        if self.aborted:
+            msg._sent(False)
+            return
+        if self.queued_bytes + msg.size > self.queue_limit_bytes:
+            # Socket-buffer overflow (UDP): drop at the sender.
+            self.messages_dropped += 1
+            msg._sent(False)
+            return
+        self.queue.append(msg)
+        self.queued_bytes += msg.size
+        self.link_dir.activate(self)
+        if not self.busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        msg = self.queue[0]
+        rate = min(self.demand_rate(), self.link_dir.allocate_rate(self))
+        rate = max(rate, 1.0)
+        self.busy = True
+        duration = msg.size / rate
+        self.sim.schedule(duration, self._complete, label="flow-tx")
+
+    def _complete(self) -> None:
+        if self.aborted:
+            return
+        now = self.sim.now
+        msg = self.queue.popleft()
+        self.queued_bytes -= msg.size
+        self.bytes_sent += msg.size
+        self.messages_sent += 1
+        self.link_dir.bytes_carried += msg.size
+
+        self.cc.on_bytes_sent(msg.size, now)
+        lost = self.rng.random() < self.link_dir.loss_probability(msg.size)
+        if lost:
+            self.cc.on_loss(now)
+        if isinstance(self.cc, UdtCc):
+            # Receive-buffer overshoot acts as an additional loss signal but
+            # the data is retransmitted (reliable), so delivery still happens.
+            self.cc.check_receive_buffer(now)
+
+        if self.link_dir.up and (self.cc.reliable or not lost):
+            delay = self.link_dir.spec.delay
+            if not self.cc.ordered and self.link_dir.spec.jitter > 0:
+                delay += self.rng.uniform(0.0, self.link_dir.spec.jitter)
+            self.sim.schedule(delay, lambda m=msg: self.deliver(m), label="flow-rx")
+            msg._sent(True)
+        else:
+            self.messages_dropped += 1
+            msg._sent(False)
+
+        if self.queue:
+            self._start_next()
+        else:
+            self.busy = False
+            self.link_dir.deactivate(self)
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def abort(self) -> None:
+        """Fail everything queued; at-most-once semantics on channel drop."""
+        if self.aborted:
+            return
+        self.aborted = True
+        self.busy = False
+        self.link_dir.deactivate(self)
+        pending: List[WireMessage] = list(self.queue)
+        self.queue.clear()
+        self.queued_bytes = 0
+        for msg in pending:
+            self.messages_dropped += 1
+            msg._sent(False)
+
+
+class Connection:
+    """A duplex transport connection between two stacks.
+
+    Sends buffered while CONNECTING are flushed on ACTIVE (the paper's
+    "messages delayed until the requested channels are available", §III-C).
+    """
+
+    def __init__(
+        self,
+        stack: "NetworkStack",
+        local: tuple,
+        remote: tuple,
+        proto: Proto,
+        flow: FlowState,
+        conn_id: int,
+    ) -> None:
+        self.stack = stack
+        self.local = local
+        self.remote = remote
+        self.proto = proto
+        self.flow = flow
+        self.id = conn_id
+        self.state = ConnectionState.CONNECTING
+        self.peer: Optional["Connection"] = None
+        #: opaque client-supplied handshake payload; the accepting side
+        #: reads it as ``peer_hello`` (middleware uses it to announce its
+        #: own listening address for channel reuse)
+        self.hello: Any = None
+        self.peer_hello: Any = None
+        self._pending: List[WireMessage] = []
+        self.on_message: Optional[Callable[[Any, int, "Connection"], None]] = None
+        self.on_connected: Optional[Callable[[ "Connection"], None]] = None
+        self.on_failed: Optional[Callable[["Connection", str], None]] = None
+        self.on_closed: Optional[Callable[["Connection"], None]] = None
+
+    # ------------------------------------------------------------------
+    # state transitions (driven by the owning stack)
+    # ------------------------------------------------------------------
+    def _activate(self) -> None:
+        self.state = ConnectionState.ACTIVE
+        if self.on_connected is not None:
+            self.on_connected(self)
+        pending, self._pending = self._pending, []
+        for msg in pending:
+            self.flow.send(msg)
+
+    def _fail(self, reason: str) -> None:
+        self.state = ConnectionState.FAILED
+        pending, self._pending = self._pending, []
+        for msg in pending:
+            msg._sent(False)
+        self.flow.abort()
+        if self.on_failed is not None:
+            self.on_failed(self, reason)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def send(self, msg: WireMessage) -> None:
+        if self.state is ConnectionState.CONNECTING:
+            self._pending.append(msg)
+            return
+        if self.state is not ConnectionState.ACTIVE:
+            raise ConnectionClosedError(f"send on {self.state.value} connection {self!r}")
+        self.flow.send(msg)
+
+    def _receive(self, msg: WireMessage) -> None:
+        """Called by the peer's flow at delivery time."""
+        if self.state is not ConnectionState.ACTIVE:
+            return  # connection dropped while the message was in flight
+        if self.on_message is not None:
+            self.on_message(msg.payload, msg.size, self)
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def close(self, notify_peer: bool = True) -> None:
+        """Abort the connection; queued and in-flight messages are lost."""
+        if self.state in (ConnectionState.CLOSED, ConnectionState.FAILED):
+            return
+        self.state = ConnectionState.CLOSED
+        self.flow.abort()
+        for msg in self._pending:
+            msg._sent(False)
+        self._pending.clear()
+        if self.on_closed is not None:
+            self.on_closed(self)
+        if notify_peer and self.peer is not None:
+            peer = self.peer
+            delay = self.flow.link_dir.spec.delay if self.flow.link_dir.up else 0.0
+            self.stack.sim.schedule(delay, lambda: peer.close(notify_peer=False), label="conn-close")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Connection(#{self.id} {self.proto.value} {self.local}->{self.remote} "
+            f"{self.state.value})"
+        )

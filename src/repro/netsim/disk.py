@@ -1,0 +1,57 @@
+"""A simple throughput-model disk.
+
+The paper's local (0 ms) scenario is explicitly disk-bound: "In the local
+scenario, in fact, TCP and DATA are limited by disk performance" (§V-B).
+Reads and writes are serialized FIFO per direction at a fixed rate,
+matching an SSD's sequential behaviour at the 65 kB chunk sizes used.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim import Simulator
+
+DEFAULT_RATE = 120 * 1024 * 1024  # ~120 MB/s sequential, a c3.2xlarge-era SSD
+
+
+class DiskModel:
+    """FIFO-serialized sequential reads and writes at fixed rates."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        read_rate: float = DEFAULT_RATE,
+        write_rate: float = DEFAULT_RATE,
+    ) -> None:
+        if read_rate <= 0 or write_rate <= 0:
+            raise ValueError("disk rates must be positive")
+        self.sim = sim
+        self.read_rate = read_rate
+        self.write_rate = write_rate
+        self._read_busy_until = 0.0
+        self._write_busy_until = 0.0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def read(self, nbytes: int, callback: Callable[[], None]) -> float:
+        """Schedule a sequential read; returns its completion time."""
+        if nbytes < 0:
+            raise ValueError("cannot read a negative byte count")
+        start = max(self.sim.now, self._read_busy_until)
+        done = start + nbytes / self.read_rate
+        self._read_busy_until = done
+        self.bytes_read += nbytes
+        self.sim.schedule_at(done, callback, label="disk-read")
+        return done
+
+    def write(self, nbytes: int, callback: Callable[[], None]) -> float:
+        """Schedule a sequential write; returns its completion time."""
+        if nbytes < 0:
+            raise ValueError("cannot write a negative byte count")
+        start = max(self.sim.now, self._write_busy_until)
+        done = start + nbytes / self.write_rate
+        self._write_busy_until = done
+        self.bytes_written += nbytes
+        self.sim.schedule_at(done, callback, label="disk-write")
+        return done

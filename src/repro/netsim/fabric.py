@@ -1,0 +1,192 @@
+"""The network fabric: hosts, links, routing and protocol parameters."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import AddressError, TransportError
+from repro.kompics.config import Config
+from repro.netsim.routing import CompositePath
+from repro.netsim.congestion import CongestionControl, LedbatCc, TcpCc, UdpCc, UdtCc
+from repro.netsim.disk import DiskModel
+from repro.netsim.host import NetworkStack, SimHost
+from repro.netsim.link import Link, LinkDirection, LinkSpec, Proto
+from repro.sim import Simulator
+from repro.util.ids import IdGenerator
+from repro.util.rng import RngRegistry
+
+NETSIM_DEFAULTS = {
+    # TCP socket buffers; min(send, receive) caps the window (BDP limit).
+    "net.tcp.send_buffer": 8 * 1024 * 1024,
+    "net.tcp.receive_buffer": 8 * 1024 * 1024,
+    # UDT buffers: the paper raised Netty-UDT's 12 MB default to 100 MB to
+    # avoid receiver-side loss on high-BDP links (§V-A).
+    "net.udt.receive_buffer": 100 * 1024 * 1024,
+    # UDT implementation processing cap ("limited by internal queue and
+    # buffer sizes" on loopback, §V-B).
+    "net.udt.max_rate": 40 * 1024 * 1024,
+    "net.udp.socket_buffer": 2 * 1024 * 1024,
+    # Loopback interface for same-host (and same-node dual-instance) traffic.
+    "net.loopback.bandwidth": 150 * 1024 * 1024,
+    "net.loopback.delay": 25e-6,
+}
+
+
+class SimNetwork:
+    """Registry of hosts and links plus the factory for protocol state."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        seed: int = 0,
+        config: Optional[Mapping[str, Any]] = None,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.sim = sim
+        self.rngs = RngRegistry(seed).fork("netsim")
+        self.config = Config(NETSIM_DEFAULTS).with_overrides(config or {})
+        self.ids = IdGenerator()
+        self.connect_timeout = connect_timeout
+        self.hosts: Dict[str, SimHost] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self._loopbacks: Dict[str, Link] = {}
+        self._graph = nx.Graph()
+        self._route_cache: Dict[Tuple[str, str], CompositePath] = {}
+
+    # ------------------------------------------------------------------
+    # topology construction
+    # ------------------------------------------------------------------
+    def add_host(self, name: str, ip: str, disk: Optional[DiskModel] = None) -> SimHost:
+        if ip in self.hosts:
+            raise AddressError(f"duplicate host ip {ip}")
+        host = SimHost(self, name, ip, disk)
+        self.hosts[ip] = host
+        loopback_spec = LinkSpec(
+            bandwidth=self.config.get_float("net.loopback.bandwidth"),
+            delay=self.config.get_float("net.loopback.delay"),
+        )
+        self._loopbacks[ip] = Link(ip, ip, loopback_spec)
+        return host
+
+    def connect_hosts(
+        self, a: SimHost, b: SimHost, spec: LinkSpec, spec_reverse: Optional[LinkSpec] = None
+    ) -> Link:
+        """Create a duplex point-to-point link between two hosts."""
+        key = (a.ip, b.ip)
+        if key in self.links or (b.ip, a.ip) in self.links:
+            raise AddressError(f"link {a.ip}<->{b.ip} already exists")
+        link = Link(a.ip, b.ip, spec, spec_reverse)
+        self.links[key] = link
+        self._graph.add_edge(a.ip, b.ip, delay=spec.delay, link=link)
+        self._route_cache.clear()
+        return link
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def path(self, src_ip: str, dst_ip: str):
+        """The direction (or multi-hop composite path) from src to dst.
+
+        Direct links are returned as their :class:`LinkDirection`; hosts
+        without a direct link are joined by the delay-shortest chain of
+        links (static routing, cached until the topology changes).
+        """
+        if src_ip == dst_ip:
+            loop = self._loopbacks.get(src_ip)
+            if loop is None:
+                raise AddressError(f"unknown host {src_ip}")
+            return loop.forward
+        link = self.links.get((src_ip, dst_ip))
+        if link is not None:
+            return link.forward
+        link = self.links.get((dst_ip, src_ip))
+        if link is not None:
+            return link.backward
+        return self._routed_path(src_ip, dst_ip)
+
+    def _routed_path(self, src_ip: str, dst_ip: str) -> CompositePath:
+        cached = self._route_cache.get((src_ip, dst_ip))
+        if cached is not None:
+            return cached
+        if src_ip not in self._graph or dst_ip not in self._graph:
+            raise AddressError(f"no route from {src_ip} to {dst_ip}")
+        try:
+            hops = nx.shortest_path(self._graph, src_ip, dst_ip, weight="delay")
+        except nx.NetworkXNoPath:
+            raise AddressError(f"no route from {src_ip} to {dst_ip}") from None
+        directions = [
+            self.link_between(a, b).direction(a, b) for a, b in zip(hops, hops[1:])
+        ]
+        composite = CompositePath(directions)
+        self._route_cache[(src_ip, dst_ip)] = composite
+        return composite
+
+    def link_between(self, ip_a: str, ip_b: str) -> Link:
+        if ip_a == ip_b:
+            return self._loopbacks[ip_a]
+        link = self.links.get((ip_a, ip_b)) or self.links.get((ip_b, ip_a))
+        if link is None:
+            raise AddressError(f"no link between {ip_a} and {ip_b}")
+        return link
+
+    def stack_for(self, ip: str) -> NetworkStack:
+        host = self.hosts.get(ip)
+        if host is None:
+            raise AddressError(f"unknown host {ip}")
+        return host.stack
+
+    def refresh_rtts(self) -> int:
+        """Propagate changed link delays into live connections' RTTs.
+
+        Connections sample the path RTT at dial time (like a kernel's
+        smoothed RTT, which would converge on its own); after a link spec
+        change this pushes the new value into every live controller.
+        Returns the number of connections updated.
+        """
+        from repro.netsim.connection import ConnectionState
+
+        updated = 0
+        for host in self.hosts.values():
+            for conn in host.stack.connections:
+                if conn.state not in (ConnectionState.ACTIVE, ConnectionState.CONNECTING):
+                    continue
+                try:
+                    out_dir = self.path(conn.local[0], conn.remote[0])
+                    back_dir = self.path(conn.remote[0], conn.local[0])
+                except AddressError:  # pragma: no cover - topology shrank
+                    continue
+                rtt = max(out_dir.spec.delay + back_dir.spec.delay, 1e-5)
+                if hasattr(conn.flow.cc, "rtt"):
+                    conn.flow.cc.rtt = rtt
+                    updated += 1
+        return updated
+
+    # ------------------------------------------------------------------
+    # protocol parameters
+    # ------------------------------------------------------------------
+    def make_congestion_control(self, proto: Proto, rtt: float, out_dir: LinkDirection) -> CongestionControl:
+        if proto is Proto.TCP:
+            return TcpCc(
+                rtt=rtt,
+                send_buffer=self.config.get_float("net.tcp.send_buffer"),
+                receive_buffer=self.config.get_float("net.tcp.receive_buffer"),
+            )
+        if proto is Proto.UDT:
+            max_rate = self.config.get_float("net.udt.max_rate")
+            cap = out_dir.spec.udp_cap if out_dir.spec.udp_cap is not None else math.inf
+            estimate = min(out_dir.spec.bandwidth, cap, max_rate)
+            return UdtCc(
+                rtt=rtt,
+                bandwidth_estimate=estimate,
+                receive_buffer=self.config.get_float("net.udt.receive_buffer"),
+                max_rate=max_rate,
+            )
+        if proto is Proto.UDP:
+            return UdpCc()
+        if proto is Proto.LEDBAT:
+            cap = out_dir.spec.udp_cap if out_dir.spec.udp_cap is not None else math.inf
+            return LedbatCc(rtt=rtt, bandwidth_estimate=min(out_dir.spec.bandwidth, cap))
+        raise TransportError(f"unsupported protocol {proto!r}")

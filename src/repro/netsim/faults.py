@@ -1,0 +1,91 @@
+"""Fault injection: link cuts and connection drops.
+
+Used to verify the middleware's at-most-once semantics: "Even over TCP and
+UDT a sudden channel drop may lead to the loss of messages" (§III-B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netsim.connection import Connection, ConnectionState
+from repro.netsim.fabric import SimNetwork
+from repro.netsim.link import Link
+
+
+class FaultInjector:
+    """Imperative fault control over a :class:`SimNetwork`."""
+
+    def __init__(self, network: SimNetwork) -> None:
+        self.network = network
+
+    # ------------------------------------------------------------------
+    # link faults
+    # ------------------------------------------------------------------
+    def cut_link(self, ip_a: str, ip_b: str, duration: Optional[float] = None) -> Link:
+        """Take the link down, aborting every connection traversing it.
+
+        With ``duration`` the link restores automatically; connections do
+        not — the middleware must re-establish channels on demand.
+        """
+        link = self.network.link_between(ip_a, ip_b)
+        link.set_up(False)
+        for conn in self._connections_over(ip_a, ip_b):
+            conn.close(notify_peer=False)
+        if duration is not None:
+            self.network.sim.schedule(duration, lambda: link.set_up(True), label="link-restore")
+        return link
+
+    def restore_link(self, ip_a: str, ip_b: str) -> Link:
+        link = self.network.link_between(ip_a, ip_b)
+        link.set_up(True)
+        return link
+
+    def degrade_link(
+        self,
+        ip_a: str,
+        ip_b: str,
+        spec,
+        spec_reverse=None,
+    ) -> Link:
+        """Change a link's characteristics without dropping connections.
+
+        Models changing network conditions — extra cross-traffic, a route
+        flap onto a longer path, a lossy period — which is exactly the
+        environment drift the paper's adaptive transport selection reacts
+        to.  Existing connections keep running; their congestion
+        controllers see the new loss/bandwidth immediately and their RTT
+        estimates are refreshed to the new propagation delays.
+        """
+        link = self.network.link_between(ip_a, ip_b)
+        link.forward.update_spec(spec)
+        link.backward.update_spec(spec_reverse if spec_reverse is not None else spec)
+        self.network.refresh_rtts()
+        return link
+
+    # ------------------------------------------------------------------
+    # connection faults
+    # ------------------------------------------------------------------
+    def drop_connection(self, conn: Connection) -> None:
+        """Abort one connection (both sides, instantly)."""
+        peer = conn.peer
+        conn.close(notify_peer=False)
+        if peer is not None:
+            peer.close(notify_peer=False)
+
+    def _connections_over(self, ip_a: str, ip_b: str) -> List[Connection]:
+        """Live connections whose route traverses the (ip_a, ip_b) link —
+        including multi-hop routed connections between other endpoints."""
+        from repro.netsim.routing import single_hop_directions
+
+        link = self.network.link_between(ip_a, ip_b)
+        cut = {link.forward, link.backward}
+        found: List[Connection] = []
+        for host in self.network.hosts.values():
+            for conn in host.stack.connections:
+                if conn.state not in (ConnectionState.ACTIVE, ConnectionState.CONNECTING):
+                    continue
+                hops = set(single_hop_directions(conn.flow.link_dir))
+                if hops & cut:
+                    found.append(conn)
+        return found

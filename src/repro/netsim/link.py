@@ -1,0 +1,196 @@
+"""Links: bandwidth, delay, loss, UDP policing and max-min fair sharing."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.connection import FlowState
+
+PACKET_SIZE = 1500.0  # bytes; granularity for loss-probability conversion
+
+
+class Proto(enum.Enum):
+    """Wire transports the simulator understands."""
+
+    TCP = "tcp"
+    UDP = "udp"
+    UDT = "udt"  # runs over UDP and is therefore subject to UDP policing
+    LEDBAT = "ledbat"  # scavenger background transport (RFC 6817), over UDP
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One direction's characteristics.
+
+    ``bandwidth``      bytes/second capacity.
+    ``delay``          one-way propagation delay in seconds.
+    ``loss``           per-packet (1500 B) random loss probability.
+    ``udp_cap``        bytes/second policing cap shared by all UDP-based
+                       traffic (models EC2's ~10 MB/s UDP rate limiting);
+                       ``None`` disables policing.
+    ``jitter``         max extra uniform delay applied to UDP datagrams.
+    """
+
+    bandwidth: float
+    delay: float
+    loss: float = 0.0
+    udp_cap: Optional[float] = None
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        if self.udp_cap is not None and self.udp_cap <= 0:
+            raise ValueError("udp_cap must be positive or None")
+
+    @property
+    def rtt(self) -> float:
+        return 2.0 * self.delay
+
+
+def max_min_allocation(demands: Sequence[float], capacity: float) -> List[float]:
+    """Progressive-filling max-min fair allocation.
+
+    Flows demanding less than their fair share keep their demand; the
+    leftover is redistributed among the rest.  ``inf`` demands are
+    satisfied last and share the remainder equally.
+    """
+    n = len(demands)
+    if n == 0:
+        return []
+    alloc = [0.0] * n
+    remaining = capacity
+    # Sort indices by demand so that under-demanders are settled first.
+    order = sorted(range(n), key=lambda i: demands[i])
+    active = n
+    for idx in order:
+        share = remaining / active
+        give = min(demands[idx], share)
+        alloc[idx] = give
+        remaining -= give
+        active -= 1
+    return alloc
+
+
+class LinkDirection:
+    """One direction of a link; tracks active flows for fair sharing."""
+
+    def __init__(self, spec: LinkSpec, name: str) -> None:
+        self.spec = spec
+        self.name = name
+        self.up = True
+        self._active: List["FlowState"] = []
+        self.bytes_carried = 0.0
+
+    def update_spec(self, spec: LinkSpec) -> None:
+        """Change the direction's characteristics at runtime.
+
+        Models changing network conditions (congestion elsewhere, route
+        changes, degradation) — the scenario the paper's adaptive selection
+        exists for.  Existing connections keep flowing; their congestion
+        state reacts to the new loss/bandwidth on the next transmissions.
+        NOTE: per-connection RTT estimates are refreshed by
+        ``SimNetwork.refresh_rtts`` (connections cache the RTT at dial time).
+        """
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # flow registration
+    # ------------------------------------------------------------------
+    def activate(self, flow: "FlowState") -> None:
+        if flow not in self._active:
+            self._active.append(flow)
+
+    def deactivate(self, flow: "FlowState") -> None:
+        if flow in self._active:
+            self._active.remove(flow)
+
+    @property
+    def active_flows(self) -> Tuple["FlowState", ...]:
+        return tuple(self._active)
+
+    # ------------------------------------------------------------------
+    # rate allocation
+    # ------------------------------------------------------------------
+    def allocate_rate(self, flow: "FlowState") -> float:
+        """This flow's current max-min share, given every active demand.
+
+        Three concerns compose:
+
+        * UDP-based flows (UDP, UDT, LEDBAT) first share the policing pool
+          ``udp_cap`` among themselves (EC2's rate limiting);
+        * *scavenger* flows (LEDBAT) only receive bandwidth left over after
+          every foreground flow's demand is satisfied — the less-than-best-
+          effort semantics of RFC 6817;
+        * within each tier, progressive-filling max-min fairness.
+        """
+        flows = self._active if flow in self._active else self._active + [flow]
+        demands: Dict["FlowState", float] = {f: f.demand_rate() for f in flows}
+
+        if self.spec.udp_cap is not None:
+            udp_flows = [f for f in flows if f.subject_to_udp_cap]
+            if udp_flows:
+                capped = max_min_allocation([demands[f] for f in udp_flows], self.spec.udp_cap)
+                for f, c in zip(udp_flows, capped):
+                    demands[f] = c
+
+        foreground = [f for f in flows if not f.scavenger]
+        background = [f for f in flows if f.scavenger]
+        fg_alloc = max_min_allocation([demands[f] for f in foreground], self.spec.bandwidth)
+        allocation: Dict["FlowState", float] = dict(zip(foreground, fg_alloc))
+        if background:
+            leftover = max(self.spec.bandwidth - sum(fg_alloc), 0.0)
+            bg_alloc = max_min_allocation([demands[f] for f in background], leftover)
+            allocation.update(zip(background, bg_alloc))
+
+        # Never return a zero rate for a flow with work: progress floor.
+        return max(allocation[flow], 1.0)
+
+    # ------------------------------------------------------------------
+    # loss
+    # ------------------------------------------------------------------
+    def loss_probability(self, nbytes: int) -> float:
+        """Probability that a transmission of ``nbytes`` sees >= 1 packet loss."""
+        if self.spec.loss <= 0.0:
+            return 0.0
+        packets = max(1.0, nbytes / PACKET_SIZE)
+        return 1.0 - math.pow(1.0 - self.spec.loss, packets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinkDirection({self.name}, bw={self.spec.bandwidth:.3g}B/s, d={self.spec.delay * 1e3:.3g}ms)"
+
+
+class Link:
+    """A duplex link between two hosts (or a host's loopback)."""
+
+    def __init__(self, a: str, b: str, spec_ab: LinkSpec, spec_ba: Optional[LinkSpec] = None) -> None:
+        self.a = a
+        self.b = b
+        self.forward = LinkDirection(spec_ab, f"{a}->{b}")
+        self.backward = LinkDirection(spec_ba or spec_ab, f"{b}->{a}")
+
+    def direction(self, src: str, dst: str) -> LinkDirection:
+        if (src, dst) == (self.a, self.b):
+            return self.forward
+        if (src, dst) == (self.b, self.a):
+            return self.backward
+        raise KeyError(f"link {self.a}<->{self.b} does not join {src}->{dst}")
+
+    @property
+    def up(self) -> bool:
+        return self.forward.up and self.backward.up
+
+    def set_up(self, up: bool) -> None:
+        self.forward.up = up
+        self.backward.up = up
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.a} <-> {self.b})"

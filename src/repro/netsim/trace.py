@@ -1,0 +1,140 @@
+"""Event tracing for the simulated network.
+
+A :class:`NetworkTracer` hooks a :class:`~repro.netsim.fabric.SimNetwork`
+and records per-connection wire events (transmissions, deliveries, drops,
+rate samples) as structured records — the simulator's analogue of a pcap,
+useful for debugging models and for assertion-rich tests.
+
+Tracing monkey-wraps ``FlowState._complete`` and ``Connection._receive``
+on *new* connections, so attach the tracer before the traffic starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.netsim.connection import Connection, FlowState
+from repro.netsim.fabric import SimNetwork
+from repro.netsim.host import NetworkStack
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One wire event."""
+
+    time: float
+    kind: str  # "tx" | "rx" | "drop"
+    conn_id: int
+    proto: str
+    src: tuple
+    dst: tuple
+    size: int
+    rate: float  # sender's pacing rate at the event (tx/drop), 0 for rx
+
+
+class NetworkTracer:
+    """Records wire events of every connection created after attachment."""
+
+    def __init__(self, network: SimNetwork, keep: Optional[int] = None) -> None:
+        self.network = network
+        self.keep = keep
+        self.records: List[TraceRecord] = []
+        self._original_build = NetworkStack._build_connection
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach(self) -> "NetworkTracer":
+        if self._attached:
+            return self
+        tracer = self
+        original_build = NetworkStack._build_connection
+
+        def build_and_hook(stack, local, remote, proto, out_dir, rtt):
+            conn = original_build(stack, local, remote, proto, out_dir, rtt)
+            if stack.network is tracer.network:
+                tracer._hook(conn)
+            return conn
+
+        NetworkStack._build_connection = build_and_hook  # type: ignore[method-assign]
+        self._patched_build = build_and_hook
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached and NetworkStack._build_connection is self._patched_build:
+            NetworkStack._build_connection = self._original_build  # type: ignore[method-assign]
+        self._attached = False
+
+    def __enter__(self) -> "NetworkTracer":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def _hook(self, conn: Connection) -> None:
+        tracer = self
+        flow = conn.flow
+        original_complete = flow._complete
+        original_deliver = flow.deliver
+
+        def complete_and_record() -> None:
+            dropped_before = flow.messages_dropped
+            size_hint = flow.queue[0].size if flow.queue else 0
+            rate = flow.cc.demand_rate(tracer.network.sim.now)
+            original_complete()
+            # A completion either put the message on the wire or dropped it
+            # (loss on unreliable transports, link down, abort).
+            if flow.messages_dropped > dropped_before:
+                tracer._record("drop", conn, size_hint, rate)
+            else:
+                tracer._record("tx", conn, size_hint, rate)
+
+        def deliver_and_record(msg) -> None:
+            # Runs at arrival time (scheduled after the propagation delay),
+            # uniformly for stream and datagram transports.
+            tracer._record("rx", conn, msg.size, 0.0)
+            original_deliver(msg)
+
+        flow._complete = complete_and_record  # type: ignore[method-assign]
+        flow.deliver = deliver_and_record  # type: ignore[method-assign]
+
+    def _record(self, kind: str, conn: Connection, size: int, rate: float) -> None:
+        self.records.append(
+            TraceRecord(
+                time=self.network.sim.now,
+                kind=kind,
+                conn_id=conn.id,
+                proto=conn.proto.value,
+                src=conn.local,
+                dst=conn.remote,
+                size=size,
+                rate=rate,
+            )
+        )
+        if self.keep is not None and len(self.records) > self.keep:
+            del self.records[: len(self.records) - self.keep]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def for_connection(self, conn_id: int) -> List[TraceRecord]:
+        return [r for r in self.records if r.conn_id == conn_id]
+
+    def bytes_transmitted(self, proto: Optional[str] = None) -> int:
+        return sum(
+            r.size for r in self.records
+            if r.kind == "tx" and (proto is None or r.proto == proto)
+        )
+
+    def rate_series(self, conn_id: int) -> List[tuple]:
+        """(time, pacing rate) samples of a connection's transmissions."""
+        return [(r.time, r.rate) for r in self.records if r.conn_id == conn_id and r.kind == "tx"]

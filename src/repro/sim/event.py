@@ -1,0 +1,39 @@
+"""Scheduled-event handles for the DES kernel."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class EventHandle:
+    """Handle to a scheduled callback; supports cancellation.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped when
+    it reaches the front, which keeps :meth:`cancel` O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str = "") -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing; safe to call multiple times."""
+        self.cancelled = True
+        self.callback = _noop
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        # Tie-break equal timestamps by scheduling order for determinism.
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.9f}, seq={self.seq}, {state}, {self.label!r})"
+
+
+def _noop() -> None:
+    return None

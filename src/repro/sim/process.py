@@ -1,0 +1,150 @@
+"""Generator-based simulation processes (SimPy-style sugar).
+
+Callback scheduling (the kernel's native style) gets unwieldy for
+sequential logic; a *process* writes it linearly instead::
+
+    def worker(env: ProcessEnv):
+        yield env.sleep(1.0)              # advance simulated time
+        result = yield env.wait(signal)   # block on a Signal
+        env.log.append((env.now, result))
+
+    run_process(sim, worker)
+
+Yield values:
+
+* ``env.sleep(dt)`` — resume after ``dt`` simulated seconds;
+* ``env.wait(signal)`` — resume when the signal fires, receiving its value;
+* another process handle — resume when that process finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+
+class Signal:
+    """A one-shot or repeating wake-up source for processes."""
+
+    def __init__(self) -> None:
+        self._waiters: List[Callable[[Any], None]] = []
+        self.fired = 0
+
+    def fire(self, value: Any = None) -> int:
+        """Wake every currently waiting process; returns how many."""
+        waiters, self._waiters = self._waiters, []
+        self.fired += 1
+        for waiter in waiters:
+            waiter(value)
+        return len(waiters)
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        self._waiters.append(resume)
+
+
+class _Sleep:
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+
+class _Wait:
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal) -> None:
+        self.signal = signal
+
+
+class Process:
+    """A running generator process; itself awaitable by other processes."""
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._gen = generator
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._done_signal = Signal()
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        self.sim.schedule(0.0, lambda: self._step(None), label=f"proc:{self.name}")
+
+    def _step(self, value: Any) -> None:
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .error
+            self._finish(error=exc)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, _Sleep):
+            self.sim.schedule(yielded.delay, lambda: self._step(None), label=f"proc:{self.name}")
+        elif isinstance(yielded, _Wait):
+            yielded.signal._add_waiter(lambda v: self._step(v))
+        elif isinstance(yielded, Process):
+            if yielded.finished:
+                self.sim.schedule(0.0, lambda: self._step(yielded.result))
+            else:
+                yielded._done_signal._add_waiter(lambda v: self._step(v))
+        else:
+            self._finish(error=SimulationError(
+                f"process {self.name!r} yielded {yielded!r}; expected "
+                f"env.sleep(...), env.wait(...), or another process"
+            ))
+
+    def _finish(self, result: Any = None, error: Optional[BaseException] = None) -> None:
+        self.finished = True
+        self.result = result
+        self.error = error
+        self._done_signal.fire(result)
+        if error is not None:
+            raise error
+
+
+class ProcessEnv:
+    """What a process body sees: the clock and the yieldable factories."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @staticmethod
+    def sleep(delay: float) -> _Sleep:
+        if delay < 0:
+            raise ValueError("cannot sleep a negative duration")
+        return _Sleep(delay)
+
+    @staticmethod
+    def wait(signal: Signal) -> _Wait:
+        return _Wait(signal)
+
+    def spawn(self, body: Callable[["ProcessEnv"], Generator], name: str = "") -> Process:
+        """Start a child process."""
+        return run_process(self.sim, body, name=name, env=self)
+
+
+def run_process(
+    sim: Simulator,
+    body: Callable[[ProcessEnv], Generator],
+    name: str = "",
+    env: Optional[ProcessEnv] = None,
+) -> Process:
+    """Start ``body`` as a simulation process; returns its handle."""
+    env = env if env is not None else ProcessEnv(sim)
+    process = Process(sim, body(env), name=name or body.__name__)
+    process._start()
+    return process

@@ -1,0 +1,139 @@
+"""The discrete-event simulator.
+
+Design notes
+------------
+* Events with equal timestamps fire in scheduling order (deterministic).
+* The kernel owns a :class:`SimulatedClock`; user code reads it but never
+  advances it.
+* ``max_events`` guards against runaway zero-delay loops; hitting it raises
+  :class:`~repro.errors.SimulationError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.event import EventHandle
+from repro.util.clock import SimulatedClock
+
+
+class Simulator:
+    """Deterministic discrete-event simulation kernel.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.5]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = SimulatedClock(start_time)
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now()
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        return self.schedule_at(self.now + delay, callback, label)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> EventHandle:
+        """Schedule ``callback`` to fire at absolute time ``time``."""
+        if time < self.now:
+            raise SchedulingError(f"cannot schedule at {time} < now {self.now}")
+        handle = EventHandle(time, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event; return False when none remain."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.clock._advance_to(handle.time)
+            self.events_executed += 1
+            handle.callback()
+            return True
+        return False
+
+    def run(self, max_events: int = 100_000_000) -> None:
+        """Run until the event queue drains (or ``stop`` is called)."""
+        self._run(until=None, max_events=max_events)
+
+    def run_until(self, until: float, max_events: int = 100_000_000) -> None:
+        """Run events with ``time <= until``; the clock ends at ``until``.
+
+        Events scheduled after ``until`` remain queued, so simulation can be
+        resumed with further ``run*`` calls.
+        """
+        self._run(until=until, max_events=max_events)
+        if self.now < until:
+            self.clock._advance_to(until)
+
+    def stop(self) -> None:
+        """Stop the current ``run*`` call after the in-flight event."""
+        self._stopped = True
+
+    def _run(self, until: Optional[float], max_events: int) -> None:
+        if self._running:
+            raise SimulationError("re-entrant run() call")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._heap and not self._stopped:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self.clock._advance_to(head.time)
+                self.events_executed += 1
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self.now}; "
+                        f"likely a zero-delay event loop (last label={head.label!r})"
+                    )
+                head.callback()
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def pending_events(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the queue is empty."""
+        for handle in sorted(self._heap):
+            if not handle.cancelled:
+                return handle.time
+        return None

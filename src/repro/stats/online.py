@@ -1,0 +1,98 @@
+"""Streaming statistics: Welford mean/variance and exponential moving average."""
+
+from __future__ import annotations
+
+import math
+
+
+class OnlineStats:
+    """Numerically stable streaming mean/variance (Welford's algorithm)."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        return self.stddev / math.sqrt(self.count) if self.count else 0.0
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new summary combining both inputs (parallel Welford)."""
+        merged = OnlineStats()
+        n = self.count + other.count
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged.count = n
+        merged._mean = self._mean + delta * other.count / n
+        merged._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / n
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OnlineStats(n={self.count}, mean={self.mean:.6g}, sd={self.stddev:.6g})"
+
+
+class Ewma:
+    """Exponentially weighted moving average.
+
+    ``alpha`` is the weight of each new observation; the first observation
+    initialises the average directly.
+    """
+
+    __slots__ = ("alpha", "_value", "_initialized")
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = 0.0
+        self._initialized = False
+
+    def add(self, value: float) -> float:
+        """Fold in one observation and return the updated average."""
+        if self._initialized:
+            self._value += self.alpha * (value - self._value)
+        else:
+            self._value = value
+            self._initialized = True
+        return self._value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized

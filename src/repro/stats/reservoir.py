@@ -1,0 +1,85 @@
+"""Reservoir sampling and distribution summaries.
+
+Figure 1 of the paper summarises ~160 000 ratio observations per dataset as
+box statistics (min / 25th / median / 75th / max).  For experiments that emit
+more samples than is worth keeping, :class:`ReservoirSampler` maintains a
+uniform sample; :func:`summarize_distribution` produces the box statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+class ReservoirSampler:
+    """Uniform fixed-size sample over an unbounded stream (Vitter's R)."""
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._rng = rng or random.Random(0)
+        self._items: List[float] = []
+        self.seen = 0
+
+    def add(self, value: float) -> None:
+        self.seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(value)
+            return
+        j = self._rng.randrange(self.seen)
+        if j < self.capacity:
+            self._items[j] = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def samples(self) -> Sequence[float]:
+        return tuple(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary, as used by the paper's Figure 1 box plots."""
+
+    count: int
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+
+    def row(self) -> str:
+        """One-line fixed-width rendering for bench tables."""
+        return (
+            f"n={self.count:>7d}  min={self.minimum:+.3f}  p25={self.p25:+.3f}  "
+            f"med={self.median:+.3f}  p75={self.p75:+.3f}  max={self.maximum:+.3f}  "
+            f"mean={self.mean:+.3f}"
+        )
+
+
+def summarize_distribution(values: Sequence[float]) -> BoxStats:
+    """Compute the five-number summary (plus mean) of ``values``."""
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    arr = np.asarray(values, dtype=float)
+    p25, median, p75 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return BoxStats(
+        count=int(arr.size),
+        minimum=float(arr.min()),
+        p25=float(p25),
+        median=float(median),
+        p75=float(p75),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+    )

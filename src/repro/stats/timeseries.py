@@ -1,0 +1,72 @@
+"""Time-series recording for experiment output (throughput(t), ratio(t), ...)."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator, List, Optional, Tuple
+
+
+class TimeSeries:
+    """Append-only (time, value) series with window aggregation helpers."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        """Append an observation; times must be non-decreasing."""
+        if self._times and t < self._times[-1]:
+            raise ValueError(f"time going backwards in series {self.name!r}: {t} < {self._times[-1]}")
+        self._times.append(t)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> List[float]:
+        return list(self._times)
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        if not self._times:
+            return None
+        return self._times[-1], self._values[-1]
+
+    def window_mean(self, start: float, end: float) -> Optional[float]:
+        """Mean of values with ``start <= t < end``; None if the window is empty."""
+        lo = bisect_right(self._times, start - 1e-12)
+        hi = bisect_right(self._times, end - 1e-12)
+        if hi <= lo:
+            return None
+        window = self._values[lo:hi]
+        return sum(window) / len(window)
+
+    def resample(self, interval: float, end: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Bucket the series into fixed intervals of width ``interval``.
+
+        Returns (bucket_end_time, bucket_mean) pairs; empty buckets carry the
+        previous bucket's mean (or are skipped at the head).
+        """
+        if not self._times:
+            return []
+        stop = end if end is not None else self._times[-1]
+        out: List[Tuple[float, float]] = []
+        t = interval
+        prev: Optional[float] = None
+        while t <= stop + 1e-12:
+            mean = self.window_mean(t - interval, t)
+            if mean is None:
+                mean = prev
+            if mean is not None:
+                out.append((t, mean))
+                prev = mean
+            t += interval
+        return out

@@ -1,0 +1,14 @@
+"""Small shared utilities: clocks, seeded RNG substreams, id generation."""
+
+from repro.util.clock import Clock, SimulatedClock, WallClock
+from repro.util.ids import IdGenerator
+from repro.util.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
+    "IdGenerator",
+    "RngRegistry",
+    "derive_seed",
+]

@@ -1,0 +1,26 @@
+"""Deterministic id generation.
+
+Components, channels, connections and messages all carry small integer ids
+for logging and trace correlation.  A counter per namespace keeps ids dense
+and deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator
+
+
+class IdGenerator:
+    """Namespace-scoped monotonically increasing integer ids."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Iterator[int]] = {}
+
+    def next(self, namespace: str = "") -> int:
+        """Return the next id in ``namespace`` (starting at 0)."""
+        counter = self._counters.get(namespace)
+        if counter is None:
+            counter = itertools.count()
+            self._counters[namespace] = counter
+        return next(counter)

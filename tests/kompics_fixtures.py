@@ -1,0 +1,64 @@
+"""Shared toy components for Kompics runtime tests."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kompics import ComponentDefinition, KompicsEvent, PortType
+
+
+class Ping(KompicsEvent):
+    __slots__ = ("seq",)
+
+    def __init__(self, seq: int = 0) -> None:
+        self.seq = seq
+
+
+class Pong(KompicsEvent):
+    __slots__ = ("seq",)
+
+    def __init__(self, seq: int = 0) -> None:
+        self.seq = seq
+
+
+class FancyPing(Ping):
+    """Subtype, for type-hierarchy matching tests."""
+
+
+class PingPort(PortType):
+    requests = (Ping,)
+    indications = (Pong,)
+
+
+class Server(ComponentDefinition):
+    """Provides PingPort: answers every Ping with a Pong of the same seq."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.port = self.provides(PingPort)
+        self.received: List[Ping] = []
+        self.subscribe(self.port, Ping, self.on_ping)
+
+    def on_ping(self, ping: Ping) -> None:
+        self.received.append(ping)
+        self.trigger(Pong(ping.seq), self.port)
+
+
+class Client(ComponentDefinition):
+    """Requires PingPort: sends pings, collects pongs."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.port = self.requires(PingPort)
+        self.pongs: List[Pong] = []
+        self.started = False
+        self.subscribe(self.port, Pong, self.on_pong)
+
+    def on_start(self) -> None:
+        self.started = True
+
+    def on_pong(self, pong: Pong) -> None:
+        self.pongs.append(pong)
+
+    def send(self, seq: int) -> None:
+        self.trigger(Ping(seq), self.port)

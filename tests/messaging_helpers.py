@@ -1,0 +1,148 @@
+"""Helpers for middleware-level tests: hosts with NettyNetwork instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kompics import ComponentDefinition, KompicsSystem
+from repro.messaging import (
+    BaseMsg,
+    BasicAddress,
+    BasicHeader,
+    MessageNotify,
+    Msg,
+    NettyNetwork,
+    Network,
+    Serializer,
+    SerializerRegistry,
+    Transport,
+)
+from repro.netsim import LinkSpec, SimNetwork
+from repro.sim import Simulator
+
+MB = 1024 * 1024
+MIDDLEWARE_PORT = 34000
+
+
+class Blob(BaseMsg):
+    """Test message whose wire size is explicit."""
+
+    __slots__ = ("tag", "nbytes")
+
+    def __init__(self, header, tag: str, nbytes: int = 200) -> None:
+        super().__init__(header)
+        self.tag = tag
+        self.nbytes = nbytes
+
+
+class BlobSerializer(Serializer):
+    def to_bytes(self, obj: Blob) -> bytes:
+        # Real encoding only used by byte-path tests; keep it simple.
+        import pickle
+
+        return pickle.dumps(obj)
+
+    def from_bytes(self, data: bytes) -> Blob:
+        import pickle
+
+        return pickle.loads(data)
+
+    def wire_size(self, obj: Blob) -> int:
+        return obj.nbytes
+
+
+def blob_registry() -> SerializerRegistry:
+    registry = SerializerRegistry()
+    registry.register(100, Blob, BlobSerializer())
+    return registry
+
+
+class Collector(ComponentDefinition):
+    """App component: sends blobs, records received msgs and notifies."""
+
+    def __init__(self, address: BasicAddress) -> None:
+        super().__init__()
+        self.address = address
+        self.net = self.requires(Network)
+        self.received: List[Msg] = []
+        self.receive_times: List[float] = []
+        self.notifies: List[MessageNotify.Resp] = []
+        self.subscribe(self.net, Msg, self._on_msg)
+        self.subscribe(self.net, MessageNotify.Resp, self._on_notify)
+
+    def _on_msg(self, msg: Msg) -> None:
+        self.received.append(msg)
+        self.receive_times.append(self.clock.now())
+
+    def _on_notify(self, resp: MessageNotify.Resp) -> None:
+        self.notifies.append(resp)
+
+    def send(self, dst: BasicAddress, tag: str, nbytes: int = 200,
+             transport: Transport = Transport.TCP, notify: bool = False) -> Blob:
+        msg = Blob(BasicHeader(self.address, dst, transport), tag, nbytes)
+        if notify:
+            self.trigger(MessageNotify.Req(msg), self.net)
+        else:
+            self.trigger(msg, self.net)
+        return msg
+
+
+@dataclass
+class Node:
+    host: object
+    address: BasicAddress
+    network: object  # Component handle for NettyNetwork
+    app: object  # Component handle for Collector
+
+    @property
+    def app_def(self) -> Collector:
+        return self.app.definition
+
+    @property
+    def net_def(self) -> NettyNetwork:
+        return self.network.definition
+
+
+@dataclass
+class World:
+    sim: Simulator
+    fabric: SimNetwork
+    system: KompicsSystem
+    nodes: List[Node] = field(default_factory=list)
+
+
+def make_world(
+    n_hosts: int = 2,
+    bandwidth: float = 100 * MB,
+    delay: float = 0.005,
+    loss: float = 0.0,
+    udp_cap: Optional[float] = None,
+    seed: int = 7,
+    config: Optional[dict] = None,
+    net_config: Optional[dict] = None,
+) -> World:
+    """Full-mesh world of hosts, each with a NettyNetwork + Collector."""
+    sim = Simulator()
+    fabric = SimNetwork(sim, seed=seed, config=net_config)
+    system = KompicsSystem.simulated(sim, seed=seed, config=config)
+    world = World(sim, fabric, system)
+
+    hosts = [fabric.add_host(f"h{i}", f"10.0.0.{i + 1}") for i in range(n_hosts)]
+    for i in range(n_hosts):
+        for j in range(i + 1, n_hosts):
+            fabric.connect_hosts(hosts[i], hosts[j], LinkSpec(bandwidth, delay, loss, udp_cap))
+
+    for i, host in enumerate(hosts):
+        address = BasicAddress(host.ip, MIDDLEWARE_PORT)
+        network = system.create(
+            NettyNetwork, address, host, serializers=blob_registry(), name=f"net-{i}"
+        )
+        app = system.create(Collector, address, name=f"app-{i}")
+        system.connect(network.provided(Network), app.required(Network))
+        system.start(network)
+        system.start(app)
+        world.nodes.append(Node(host, address, network, app))
+
+    sim.run()  # let everything start and bind
+    return world

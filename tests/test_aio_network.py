@@ -1,0 +1,170 @@
+"""End-to-end AioNetwork tests: threaded Kompics over real loopback sockets."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.aio import AioNetwork
+from repro.apps import register_app_serializers
+from repro.kompics import ComponentDefinition, KompicsSystem
+from repro.messaging import (
+    BasicAddress,
+    BasicHeader,
+    MessageNotify,
+    Msg,
+    Network,
+    SerializerRegistry,
+    Transport,
+    VirtualAddress,
+)
+
+from tests.messaging_helpers import Blob, BlobSerializer
+
+pytestmark = pytest.mark.integration
+
+HOST = "127.0.0.1"
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind((HOST, 0))
+        return s.getsockname()[1]
+
+
+def registry() -> SerializerRegistry:
+    reg = register_app_serializers(SerializerRegistry())
+    reg.register(100, Blob, BlobSerializer())
+    return reg
+
+
+class WaitingCollector(ComponentDefinition):
+    """Collector with a threading.Event-based wait helper."""
+
+    def __init__(self, address) -> None:
+        super().__init__()
+        self.net = self.requires(Network)
+        self.address = address
+        self.received = []
+        self.notifies = []
+        self.event = threading.Event()
+        self.subscribe(self.net, Msg, self._on_msg)
+        self.subscribe(self.net, MessageNotify.Resp, self._on_notify)
+
+    def _on_msg(self, msg) -> None:
+        self.received.append(msg)
+        self.event.set()
+
+    def _on_notify(self, resp) -> None:
+        self.notifies.append(resp)
+        self.event.set()
+
+    def wait(self, predicate, timeout=15.0) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            self.event.wait(timeout=0.1)
+            self.event.clear()
+        return predicate()
+
+
+def build_node(system, port):
+    address = BasicAddress(HOST, port)
+    network = system.create(AioNetwork, address, serializers=registry())
+    app = system.create(WaitingCollector, address)
+    system.connect(network.provided(Network), app.required(Network))
+    system.start(network)
+    system.start(app)
+    return address, network, app
+
+
+@pytest.fixture()
+def two_nodes():
+    system = KompicsSystem.threaded(workers=3)
+    a = build_node(system, free_port())
+    b = build_node(system, free_port())
+    time.sleep(0.3)  # let listeners bind
+    yield system, a, b
+    system.shutdown()
+    time.sleep(0.2)
+
+
+def send_blob(app, src, dst, tag, transport, nbytes=200, notify=False):
+    msg = Blob(BasicHeader(src, dst, transport), tag, nbytes)
+    msg.nbytes = nbytes
+    if notify:
+        app.definition.trigger(MessageNotify.Req(msg), app.definition.net)
+    else:
+        app.definition.trigger(msg, app.definition.net)
+    return msg
+
+
+class TestAioNetwork:
+    def test_tcp_roundtrip(self, two_nodes):
+        system, (addr_a, net_a, app_a), (addr_b, net_b, app_b) = two_nodes
+        send_blob(app_a, addr_a, addr_b, "over-tcp", Transport.TCP)
+        assert app_b.definition.wait(lambda: len(app_b.definition.received) == 1)
+        msg = app_b.definition.received[0]
+        assert msg.tag == "over-tcp"
+        assert msg.header.source == addr_a  # real serialization roundtrip
+
+    def test_udt_roundtrip(self, two_nodes):
+        system, (addr_a, net_a, app_a), (addr_b, net_b, app_b) = two_nodes
+        send_blob(app_a, addr_a, addr_b, "over-udt", Transport.UDT)
+        assert app_b.definition.wait(lambda: len(app_b.definition.received) == 1)
+        assert app_b.definition.received[0].tag == "over-udt"
+
+    def test_udp_roundtrip(self, two_nodes):
+        system, (addr_a, net_a, app_a), (addr_b, net_b, app_b) = two_nodes
+        send_blob(app_a, addr_a, addr_b, "over-udp", Transport.UDP)
+        assert app_b.definition.wait(lambda: len(app_b.definition.received) == 1)
+        assert app_b.definition.received[0].tag == "over-udp"
+
+    def test_fifo_order_over_tcp(self, two_nodes):
+        system, (addr_a, net_a, app_a), (addr_b, net_b, app_b) = two_nodes
+        for i in range(100):
+            send_blob(app_a, addr_a, addr_b, f"m{i}", Transport.TCP)
+        assert app_b.definition.wait(lambda: len(app_b.definition.received) == 100)
+        assert [m.tag for m in app_b.definition.received] == [f"m{i}" for i in range(100)]
+
+    def test_notify_success(self, two_nodes):
+        system, (addr_a, net_a, app_a), (addr_b, net_b, app_b) = two_nodes
+        send_blob(app_a, addr_a, addr_b, "tracked", Transport.TCP, notify=True)
+        assert app_a.definition.wait(lambda: len(app_a.definition.notifies) == 1)
+        assert app_a.definition.notifies[0].success
+
+    def test_notify_failure_unreachable(self, two_nodes):
+        system, (addr_a, net_a, app_a), _ = two_nodes
+        ghost = BasicAddress(HOST, free_port())  # nothing listening
+        send_blob(app_a, addr_a, ghost, "void", Transport.TCP, notify=True)
+        assert app_a.definition.wait(lambda: len(app_a.definition.notifies) == 1)
+        assert not app_a.definition.notifies[0].success
+
+    def test_reply_reuses_inbound_channel(self, two_nodes):
+        system, (addr_a, net_a, app_a), (addr_b, net_b, app_b) = two_nodes
+        send_blob(app_a, addr_a, addr_b, "ping", Transport.TCP)
+        assert app_b.definition.wait(lambda: len(app_b.definition.received) == 1)
+        send_blob(app_b, addr_b, addr_a, "pong", Transport.TCP)
+        assert app_a.definition.wait(lambda: len(app_a.definition.received) == 1)
+        assert app_a.definition.received[0].tag == "pong"
+        # b reused the inbound channel registered via the handshake hello.
+        assert len(net_b.definition._channels) == 1
+
+    def test_reflection_same_instance(self, two_nodes):
+        system, (addr_a, net_a, app_a), _ = two_nodes
+        vdst = VirtualAddress(addr_a.ip, addr_a.port, b"v1")
+        msg = Blob(BasicHeader(addr_a, vdst, Transport.TCP), "local", 100)
+        app_a.definition.trigger(msg, app_a.definition.net)
+        assert app_a.definition.wait(lambda: len(app_a.definition.received) == 1)
+        assert app_a.definition.received[0] is msg  # never serialized
+        assert net_a.definition.counters["reflected"] == 1
+
+    def test_mixed_transports_same_destination(self, two_nodes):
+        system, (addr_a, net_a, app_a), (addr_b, net_b, app_b) = two_nodes
+        send_blob(app_a, addr_a, addr_b, "t", Transport.TCP)
+        send_blob(app_a, addr_a, addr_b, "u", Transport.UDT)
+        send_blob(app_a, addr_a, addr_b, "d", Transport.UDP)
+        assert app_b.definition.wait(lambda: len(app_b.definition.received) == 3)
+        assert sorted(m.tag for m in app_b.definition.received) == ["d", "t", "u"]

@@ -1,0 +1,240 @@
+"""Loopback tests for the asyncio transports (real sockets on 127.0.0.1)."""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.aio.tcp import TcpTransport
+from repro.aio.udp import UdpEndpoint
+from repro.aio.udt import UdtLiteTransport
+
+pytestmark = pytest.mark.integration
+
+HOST = "127.0.0.1"
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30.0))
+
+
+class DropOnce:
+    """Loss injector dropping each matching sequence number only once,
+    so retransmissions get through."""
+
+    def __init__(self, predicate):
+        self.predicate = predicate
+        self.dropped = set()
+
+    def __call__(self, seq: int) -> bool:
+        if self.predicate(seq) and seq not in self.dropped:
+            self.dropped.add(seq)
+            return True
+        return False
+
+
+async def free_port() -> int:
+    """Grab an ephemeral port by binding then releasing it."""
+    server = await asyncio.start_server(lambda r, w: None, host=HOST, port=0)
+    port = server.sockets[0].getsockname()[1]
+    server.close()
+    await server.wait_closed()
+    return port
+
+
+class TestTcpTransport:
+    def test_hello_and_frames_roundtrip(self):
+        async def scenario():
+            port = await free_port()
+            accepted = []
+            received = []
+            transport = TcpTransport()
+
+            def on_connection(conn):
+                accepted.append(conn)
+                conn.on_frame = received.append
+
+            listener = await transport.listen(HOST, port, on_connection)
+            conn = await transport.connect((HOST, port), b"hello-from-client")
+            await conn.send_frame(b"frame-1")
+            await conn.send_frame(b"\x00" * 100_000)  # bigger than one TCP segment
+            await asyncio.sleep(0.2)
+            assert accepted[0].peer_hello == b"hello-from-client"
+            assert received == [b"frame-1", b"\x00" * 100_000]
+
+            # Duplex: server side replies over the same connection.
+            replies = []
+            conn.on_frame = replies.append
+            await accepted[0].send_frame(b"pong")
+            await asyncio.sleep(0.2)
+            assert replies == [b"pong"]
+
+            await conn.close()
+            await listener.close()
+
+        run(scenario())
+
+    def test_connection_refused(self):
+        async def scenario():
+            port = await free_port()  # nothing listening afterwards
+            with pytest.raises(OSError):
+                await TcpTransport().connect((HOST, port), b"x")
+
+        run(scenario())
+
+    def test_close_notifies(self):
+        async def scenario():
+            port = await free_port()
+            server_conns = []
+            listener = await TcpTransport().listen(HOST, port, server_conns.append)
+            conn = await TcpTransport().connect((HOST, port), b"h")
+            closed = []
+            await asyncio.sleep(0.1)
+            server_conns[0].on_closed = lambda c: closed.append(True)
+            await conn.close()
+            await asyncio.sleep(0.2)
+            assert closed == [True]
+            await listener.close()
+
+        run(scenario())
+
+
+class TestUdpEndpoint:
+    def test_datagram_roundtrip(self):
+        async def scenario():
+            received = []
+            server = UdpEndpoint()
+            addr = await server.open(HOST, 0, lambda d, src: received.append((d, src)))
+            client = UdpEndpoint()
+            await client.open(HOST, 0)
+            client.send(b"dgram-1", addr)
+            client.send(b"dgram-2", addr)
+            await asyncio.sleep(0.2)
+            assert [d for d, _ in received] == [b"dgram-1", b"dgram-2"]
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+
+class TestUdtLite:
+    def test_reliable_ordered_transfer(self):
+        async def scenario():
+            port = await free_port()
+            received = []
+            accepted = []
+
+            def on_connection(conn):
+                accepted.append(conn)
+                conn.on_frame = received.append
+
+            transport = UdtLiteTransport(initial_rate=8 * 1024 * 1024)
+            listener = await transport.listen(HOST, port, on_connection)
+            conn = await transport.connect((HOST, port), b"udt-client")
+            frames = [bytes([i % 256]) * (1000 + i * 37) for i in range(50)]
+            for frame in frames:
+                await conn.send_frame(frame)
+            await conn.drain()
+            await asyncio.sleep(0.3)
+            assert accepted[0].peer_hello == b"udt-client"
+            assert received == frames
+            await conn.close()
+            await listener.close()
+
+        run(scenario())
+
+    def test_large_frame_spans_many_packets(self):
+        async def scenario():
+            port = await free_port()
+            received = []
+            transport = UdtLiteTransport(initial_rate=32 * 1024 * 1024)
+            listener = await transport.listen(
+                HOST, port, lambda c: setattr(c, "on_frame", received.append)
+            )
+            conn = await transport.connect((HOST, port), b"h")
+            payload = os.urandom(300_000)  # ~250 DATA packets
+            await conn.send_frame(payload)
+            await conn.drain()
+            await asyncio.sleep(0.3)
+            assert received == [payload]
+            await conn.close()
+            await listener.close()
+
+        run(scenario())
+
+    def test_recovers_from_injected_loss(self):
+        async def scenario():
+            port = await free_port()
+            received = []
+            # Drop every 7th DATA packet on the sender side.
+            transport = UdtLiteTransport(
+                initial_rate=8 * 1024 * 1024, loss_fn=DropOnce(lambda seq: seq % 7 == 3)
+            )
+            listener = await UdtLiteTransport(initial_rate=8 * 1024 * 1024).listen(
+                HOST, port, lambda c: setattr(c, "on_frame", received.append)
+            )
+            conn = await transport.connect((HOST, port), b"h")
+            frames = [bytes([i % 256]) * 3000 for i in range(40)]
+            for frame in frames:
+                await conn.send_frame(frame)
+            await conn.drain()
+            await asyncio.sleep(0.3)
+            assert received == frames
+            assert conn.retransmissions > 0  # loss recovery actually ran
+            await conn.close()
+            await listener.close()
+
+        run(scenario())
+
+    def test_nak_decreases_rate(self):
+        async def scenario():
+            port = await free_port()
+            transport = UdtLiteTransport(
+                initial_rate=4 * 1024 * 1024, loss_fn=DropOnce(lambda seq: seq == 5)
+            )
+            listener = await UdtLiteTransport().listen(HOST, port, lambda c: None)
+            conn = await transport.connect((HOST, port), b"h")
+            for _ in range(20):
+                await conn.send_frame(b"y" * 3000)
+            await conn.drain()
+            assert conn.naks_received >= 1 or conn.retransmissions >= 1
+            await conn.close()
+            await listener.close()
+
+        run(scenario())
+
+    def test_handshake_timeout(self):
+        async def scenario():
+            port = await free_port()  # no UDT listener there
+            with pytest.raises(ConnectionError):
+                await UdtLiteTransport().connect((HOST, port), b"h")
+
+        # shorten by monkeypatching would be nicer; 5s default is tolerable
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))
+
+    def test_duplex_frames(self):
+        async def scenario():
+            port = await free_port()
+            server_received = []
+            client_received = []
+            accepted = []
+
+            def on_connection(conn):
+                accepted.append(conn)
+                conn.on_frame = server_received.append
+
+            listener = await UdtLiteTransport().listen(HOST, port, on_connection)
+            conn = await UdtLiteTransport().connect((HOST, port), b"h")
+            conn.on_frame = client_received.append
+            await conn.send_frame(b"to-server")
+            await conn.drain()
+            await asyncio.sleep(0.2)
+            await accepted[0].send_frame(b"to-client")
+            await accepted[0].drain()
+            await asyncio.sleep(0.2)
+            assert server_received == [b"to-server"]
+            assert client_received == [b"to-client"]
+            await conn.close()
+            await listener.close()
+
+        run(scenario())

@@ -1,0 +1,155 @@
+"""Reliability layer: exactly-once FIFO over the at-most-once network."""
+
+import pytest
+
+from repro.apps.reliable import (
+    AckMsg,
+    ReliabilityLayer,
+    SeqEnvelope,
+    register_reliability_serializers,
+)
+from repro.kompics import KompicsSystem, SimTimerComponent, Timer
+from repro.messaging import (
+    BasicAddress,
+    BasicHeader,
+    NettyNetwork,
+    Network,
+    SerializerRegistry,
+    Transport,
+)
+from repro.netsim import FaultInjector, LinkSpec, SimNetwork
+from repro.sim import Simulator
+
+from tests.messaging_helpers import MB, MIDDLEWARE_PORT, Blob, BlobSerializer, Collector
+
+
+def registry():
+    reg = SerializerRegistry()
+    reg.register(100, Blob, BlobSerializer())
+    return register_reliability_serializers(reg)
+
+
+def build_world(loss=0.0, bandwidth=50 * MB, delay=0.010, seed=21):
+    sim = Simulator()
+    fabric = SimNetwork(sim, seed=seed)
+    system = KompicsSystem.simulated(sim, seed=seed)
+    hosts = [fabric.add_host(f"h{i}", f"10.0.0.{i + 1}") for i in range(2)]
+    fabric.connect_hosts(hosts[0], hosts[1], LinkSpec(bandwidth, delay, loss=loss))
+    timer = system.create(SimTimerComponent)
+    system.start(timer)
+    nodes = []
+    for i, host in enumerate(hosts):
+        address = BasicAddress(host.ip, MIDDLEWARE_PORT)
+        network = system.create(NettyNetwork, address, host, serializers=registry(),
+                                name=f"net-{i}")
+        layer = system.create(ReliabilityLayer, address, name=f"rel-{i}")
+        app = system.create(Collector, address, name=f"app-{i}")
+        system.connect(network.provided(Network), layer.definition.lower)
+        system.connect(layer.provided(Network), app.definition.net)
+        system.connect(timer.provided(Timer), layer.definition.timer)
+        for c in (network, layer, app):
+            system.start(c)
+        nodes.append((address, layer, app))
+    sim.run_until(0.1)
+    return sim, fabric, system, nodes
+
+
+def send(app, src, dst, tag, transport=Transport.UDP, nbytes=500):
+    msg = Blob(BasicHeader(src, dst, transport), tag, nbytes)
+    app.definition.trigger(msg, app.definition.net)
+    return msg
+
+
+class TestExactlyOnceDelivery:
+    def test_in_order_over_lossless_udp(self):
+        sim, fabric, system, nodes = build_world()
+        (addr_a, rel_a, app_a), (addr_b, rel_b, app_b) = nodes
+        for i in range(50):
+            send(app_a, addr_a, addr_b, f"m{i}")
+        sim.run_until(5.0)
+        assert [m.tag for m in app_b.definition.received] == [f"m{i}" for i in range(50)]
+
+    def test_exactly_once_over_lossy_udp(self):
+        """The headline: 2% datagram loss, still exactly-once FIFO."""
+        sim, fabric, system, nodes = build_world(loss=0.02)
+        (addr_a, rel_a, app_a), (addr_b, rel_b, app_b) = nodes
+        for i in range(200):
+            send(app_a, addr_a, addr_b, f"m{i}")
+        sim.run_until(30.0)
+        assert [m.tag for m in app_b.definition.received] == [f"m{i}" for i in range(200)]
+        assert rel_a.definition.retransmissions > 0  # loss actually happened
+        assert rel_a.definition.unacked_count() == 0  # everything acked
+
+    def test_survives_link_flap_on_tcp(self):
+        sim, fabric, system, nodes = build_world(bandwidth=2 * MB)
+        (addr_a, rel_a, app_a), (addr_b, rel_b, app_b) = nodes
+        injector = FaultInjector(fabric)
+        for i in range(60):
+            send(app_a, addr_a, addr_b, f"m{i}", transport=Transport.TCP, nbytes=30000)
+        sim.schedule(0.5, lambda: injector.cut_link(addr_a.ip, addr_b.ip, duration=1.0))
+        sim.run_until(30.0)
+        # At-most-once below, exactly-once above: all 60 arrive, in order.
+        assert [m.tag for m in app_b.definition.received] == [f"m{i}" for i in range(60)]
+
+    def test_duplicates_suppressed(self):
+        sim, fabric, system, nodes = build_world(delay=0.200)  # slow acks
+        (addr_a, rel_a, app_a), (addr_b, rel_b, app_b) = nodes
+        rel_a.definition.retransmit_timeout = 0.05  # aggressive resends
+        send(app_a, addr_a, addr_b, "once")
+        sim.run_until(5.0)
+        assert [m.tag for m in app_b.definition.received] == ["once"]
+        assert rel_a.definition.retransmissions > 0
+        flows = rel_b.definition.incoming
+        assert sum(f.duplicates for f in flows.values()) > 0
+
+    def test_bidirectional_flows_independent(self):
+        sim, fabric, system, nodes = build_world()
+        (addr_a, rel_a, app_a), (addr_b, rel_b, app_b) = nodes
+        for i in range(10):
+            send(app_a, addr_a, addr_b, f"a{i}")
+            send(app_b, addr_b, addr_a, f"b{i}")
+        sim.run_until(5.0)
+        assert [m.tag for m in app_b.definition.received] == [f"a{i}" for i in range(10)]
+        assert [m.tag for m in app_a.definition.received] == [f"b{i}" for i in range(10)]
+
+    def test_transport_override_forces_protocol(self):
+        sim, fabric, system, nodes = build_world()
+        (addr_a, rel_a, app_a), (addr_b, rel_b, app_b) = nodes
+        rel_a.definition.transport_override = Transport.UDT
+        send(app_a, addr_a, addr_b, "forced", transport=Transport.TCP)
+        sim.run_until(5.0)
+        assert len(app_b.definition.received) == 1
+        # The consumer's inner message is untouched; the envelope used UDT.
+        assert app_b.definition.received[0].header.protocol is Transport.TCP
+
+
+class TestEnvelopeSerializers:
+    def test_envelope_roundtrip(self):
+        reg = registry()
+        inner = Blob(BasicHeader(BasicAddress("1.2.3.4", 9), BasicAddress("5.6.7.8", 9),
+                                 Transport.TCP), "payload", 123)
+        env = SeqEnvelope(
+            BasicHeader(BasicAddress("1.2.3.4", 9), BasicAddress("5.6.7.8", 9), Transport.UDP),
+            42, inner,
+        )
+        out = reg.deserialize(reg.serialize(env))
+        assert isinstance(out, SeqEnvelope)
+        assert out.seq == 42
+        assert out.inner.tag == "payload"
+
+    def test_ack_roundtrip(self):
+        reg = registry()
+        ack = AckMsg(BasicHeader(BasicAddress("1.2.3.4", 9), BasicAddress("5.6.7.8", 9),
+                                 Transport.UDP), 17)
+        out = reg.deserialize(reg.serialize(ack))
+        assert out.cumulative == 17
+
+    def test_envelope_wire_size_includes_inner(self):
+        reg = registry()
+        inner = Blob(BasicHeader(BasicAddress("1.2.3.4", 9), BasicAddress("5.6.7.8", 9),
+                                 Transport.TCP), "x", 5000)
+        env = SeqEnvelope(
+            BasicHeader(BasicAddress("1.2.3.4", 9), BasicAddress("5.6.7.8", 9), Transport.UDP),
+            0, inner,
+        )
+        assert reg.wire_size(env) > 5000

@@ -1,0 +1,141 @@
+"""Tests for the benchmark harness building blocks."""
+
+import pytest
+
+from repro.bench import AWS_SETUPS, TestbedPair, aws_testbed, setup_by_name
+from repro.bench.harness import (
+    estimate_rate,
+    run_selection_skew,
+    run_transfer_once,
+    run_transfer_repeated,
+)
+from repro.bench.report import format_series, format_table
+from repro.bench.scenario import MB, Setup
+from repro.messaging import Transport
+
+
+class TestScenario:
+    def test_four_setups_in_rtt_order(self):
+        names = [s.name for s in aws_testbed()]
+        assert names == ["Local", "EU-VPC", "EU2US", "EU2AU"]
+        rtts = [s.rtt for s in AWS_SETUPS]
+        assert rtts == sorted(rtts)
+
+    def test_setup_by_name(self):
+        assert setup_by_name("EU2US").rtt == pytest.approx(0.155)
+        with pytest.raises(KeyError):
+            setup_by_name("MOON")
+
+    def test_udp_policing_on_real_network_setups(self):
+        for setup in AWS_SETUPS:
+            if setup.local:
+                assert setup.udp_cap is None
+            else:
+                assert setup.udp_cap == 10 * MB
+
+    def test_local_pair_shares_one_host(self):
+        pair = TestbedPair(setup_by_name("Local"), seed=1)
+        assert pair.sender.host is pair.receiver.host
+        assert pair.sender.address.port != pair.receiver.address.port
+
+    def test_wan_pair_has_link(self):
+        pair = TestbedPair(setup_by_name("EU2AU"), seed=1)
+        direction = pair.fabric.path(pair.sender.address.ip, pair.receiver.address.ip)
+        assert direction.spec.delay == pytest.approx(0.160)
+
+
+class TestEstimateRate:
+    def test_tcp_window_bound_dominates_at_high_rtt(self):
+        setup = Setup(name="x", rtt=0.4, bandwidth=100 * MB, loss=0.0)
+        assert estimate_rate(setup, Transport.TCP) == pytest.approx(8 * MB / 0.4)
+
+    def test_tcp_loss_bound(self):
+        lossy = Setup(name="x", rtt=0.2, bandwidth=100 * MB, loss=1e-4)
+        clean = Setup(name="y", rtt=0.2, bandwidth=100 * MB, loss=0.0)
+        assert estimate_rate(lossy, Transport.TCP) < estimate_rate(clean, Transport.TCP)
+
+    def test_udt_cap(self):
+        setup = Setup(name="x", rtt=0.2, bandwidth=100 * MB, udp_cap=10 * MB)
+        assert estimate_rate(setup, Transport.UDT) == 10 * MB
+
+    def test_data_takes_best(self):
+        setup = Setup(name="x", rtt=0.3, bandwidth=100 * MB, loss=1e-4, udp_cap=10 * MB)
+        assert estimate_rate(setup, Transport.DATA) == max(
+            estimate_rate(setup, Transport.TCP), estimate_rate(setup, Transport.UDT)
+        )
+
+
+class TestSelectionSkew:
+    def test_shape_and_keys(self):
+        data = run_selection_skew([(1, 3)], n_messages=8000, windows=(16,), seed=1)
+        assert set(data) == {("1/3", "pattern", 16), ("1/3", "random", 16)}
+        box = data[("1/3", "pattern", 16)]
+        assert box.count == 8000 // 16
+        # Target signed ratio for 1 UDT per 3 TCP is -0.5.
+        assert box.median == pytest.approx(-0.5)
+
+
+@pytest.mark.integration
+class TestTransferRunners:
+    def test_single_run_result_fields(self):
+        result = run_transfer_once(setup_by_name("EU-VPC"), Transport.TCP, 24 * MB, seed=3)
+        assert result.setup == "EU-VPC"
+        assert result.transport == "tcp"
+        assert result.throughput == pytest.approx(24 * MB / result.duration)
+
+    def test_repeated_runs_deterministic_per_seed(self):
+        a = run_transfer_repeated(setup_by_name("EU-VPC"), Transport.UDT, 24 * MB,
+                                  min_runs=2, max_runs=2, base_seed=5)
+        b = run_transfer_repeated(setup_by_name("EU-VPC"), Transport.UDT, 24 * MB,
+                                  min_runs=2, max_runs=2, base_seed=5)
+        assert a.durations == b.durations
+
+    def test_rse_stopping_rule_can_stop_early(self):
+        rep = run_transfer_repeated(setup_by_name("EU-VPC"), Transport.UDT, 24 * MB,
+                                    min_runs=2, max_runs=10, rse_target=0.5, base_seed=5)
+        assert len(rep.durations) == 2  # UDT is extremely consistent
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            run_transfer_repeated(setup_by_name("EU-VPC"), Transport.UDT, 1 * MB,
+                                  min_runs=1, max_runs=1, bogus=1)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(("a", "long-header"), [(1, "x"), (100, "yy")], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "="
+        assert "long-header" in lines[2]
+        assert lines[3].startswith("-")
+        assert len(lines) == 6
+
+    def test_format_series(self):
+        out = format_series("thr", [(1.0, 2.5), (2.0, 3.5)])
+        assert out == "thr: 1s=2.50, 2s=3.50"
+
+
+class TestSparkline:
+    def test_empty(self):
+        from repro.bench.report import sparkline
+
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp(self):
+        from repro.bench.report import sparkline
+
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert out == " ▁▂▃▄▅▆▇█"
+
+    def test_flat_series_renders_full(self):
+        from repro.bench.report import sparkline
+
+        assert sparkline([5, 5, 5]) == "███"
+
+    def test_clamping_with_pinned_scale(self):
+        from repro.bench.report import sparkline
+
+        out = sparkline([-10, 0, 100], low=0.0, high=8.0)
+        assert out[0] == " "
+        assert out[-1] == "█"

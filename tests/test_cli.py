@@ -1,0 +1,62 @@
+"""CLI tests (fast paths; experiment smoke tests use tiny sizes)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.messaging import Transport
+
+pytestmark = pytest.mark.integration
+
+
+class TestParser:
+    def test_transport_parsing(self):
+        args = build_parser().parse_args(["transfer", "--transport", "udt"])
+        assert args.transport is Transport.UDT
+
+    def test_bad_transport_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["transfer", "--transport", "carrier-pigeon"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["latency"])
+        assert args.setup == "EU2AU"
+        assert args.data_transport is None
+
+
+class TestCommands:
+    def test_setups_lists_all(self, capsys):
+        assert main(["setups"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Local", "EU-VPC", "EU2US", "EU2AU"):
+            assert name in out
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_transfer_smoke(self, capsys):
+        code = main([
+            "transfer", "--setup", "EU-VPC", "--transport", "tcp",
+            "--size-mb", "24", "--runs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "24 MB over tcp on EU-VPC" in out
+        assert "95% CI" in out
+
+    def test_latency_smoke(self, capsys):
+        code = main(["latency", "--setup", "EU-VPC", "--transfer-mb", "24"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tcp ping only on EU-VPC" in out
+
+    def test_learn_smoke(self, capsys):
+        code = main(["learn", "--value-function", "approx", "--duration", "15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TD learner (approx)" in out
+        assert "TCP ref" in out

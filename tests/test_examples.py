@@ -1,0 +1,43 @@
+"""Smoke-run every example script (guards them against API rot)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    assert set(ALL_EXAMPLES) == {
+        "quickstart.py",
+        "file_transfer.py",
+        "adaptive_learning.py",
+        "virtual_nodes.py",
+        "multihop_routing.py",
+        "background_transfer.py",
+        "gossip.py",
+        "control_and_bulk.py",
+        "aio_loopback.py",
+    }
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs_clean(name):
+    import os
+
+    env = dict(os.environ, REPRO_EXAMPLE_QUICK="1")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+        env=env,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{name} produced no output"

@@ -1,0 +1,203 @@
+import pytest
+
+from repro.errors import ChannelError, ComponentError, PortError
+from repro.kompics import ChannelSelector, ComponentDefinition, KompicsSystem
+from repro.sim import Simulator
+
+from tests.kompics_fixtures import Client, FancyPing, Ping, PingPort, Pong, Server
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def system(sim):
+    return KompicsSystem.simulated(sim, seed=1)
+
+
+def wire_pair(system):
+    server = system.create(Server)
+    client = system.create(Client)
+    system.connect(server.provided(PingPort), client.required(PingPort))
+    system.start(server)
+    system.start(client)
+    return server, client
+
+
+class TestPortTypeValidation:
+    def test_cannot_instantiate_directly(self):
+        with pytest.raises(ComponentError):
+            Server()
+
+    def test_trigger_indication_on_required_port_rejected(self, sim, system):
+        server, client = wire_pair(system)
+        sim.run()
+        with pytest.raises(PortError):
+            client.definition.trigger(Pong(1), client.definition.port)
+
+    def test_trigger_request_on_provided_port_rejected(self, sim, system):
+        server, client = wire_pair(system)
+        sim.run()
+        with pytest.raises(PortError):
+            server.definition.trigger(Ping(1), server.definition.port)
+
+    def test_subscribe_wrong_direction_rejected(self, system):
+        server = system.create(Server)
+        with pytest.raises(PortError):
+            server.definition.subscribe(server.definition.port, Pong, lambda e: None)
+
+    def test_connect_two_required_ports_rejected(self, system):
+        c1 = system.create(Client)
+        c2 = system.create(Client)
+        with pytest.raises(ChannelError):
+            system.connect(c1.required(PingPort), c2.required(PingPort))
+
+    def test_connect_mismatched_types_rejected(self, system):
+        from repro.kompics import PortType
+
+        class Other(PortType):
+            requests = (Ping,)
+            indications = (Pong,)
+
+        server = system.create(Server)
+        client = system.create(Client)
+        # Manufacture an Other-typed port on the client.
+        other_port = client.core.port(Other, positive=False, create=True)
+        with pytest.raises(ChannelError):
+            system.connect(server.provided(PingPort), other_port)
+
+
+class TestEventFlow:
+    def test_request_reaches_provider_and_indication_returns(self, sim, system):
+        server, client = wire_pair(system)
+        sim.run()
+        client.definition.send(7)
+        sim.run()
+        assert [p.seq for p in server.definition.received] == [7]
+        assert [p.seq for p in client.definition.pongs] == [7]
+
+    def test_fifo_order_preserved(self, sim, system):
+        server, client = wire_pair(system)
+        sim.run()
+        for i in range(100):
+            client.definition.send(i)
+        sim.run()
+        assert [p.seq for p in client.definition.pongs] == list(range(100))
+
+    def test_broadcast_to_all_connected_channels(self, sim, system):
+        server = system.create(Server)
+        clients = [system.create(Client) for _ in range(3)]
+        for c in clients:
+            system.connect(server.provided(PingPort), c.required(PingPort))
+        system.start(server)
+        for c in clients:
+            system.start(c)
+        sim.run()
+        clients[0].definition.send(1)
+        sim.run()
+        # Every client sees the pong (indications broadcast on all channels).
+        for c in clients:
+            assert [p.seq for p in c.definition.pongs] == [1]
+
+    def test_subtype_events_match_supertype_handlers(self, sim, system):
+        server, client = wire_pair(system)
+        sim.run()
+        client.definition.trigger(FancyPing(3), client.definition.port)
+        sim.run()
+        assert [p.seq for p in server.definition.received] == [3]
+
+    def test_unhandled_events_silently_dropped(self, sim, system):
+        class SilentServer(ComponentDefinition):
+            def __init__(self) -> None:
+                super().__init__()
+                self.port = self.provides(PingPort)
+                # No subscriptions at all.
+
+        server = system.create(SilentServer)
+        client = system.create(Client)
+        system.connect(server.provided(PingPort), client.required(PingPort))
+        system.start(server)
+        system.start(client)
+        sim.run()
+        client.definition.send(1)
+        sim.run()  # nothing raises, nothing delivered
+        assert client.definition.pongs == []
+
+    def test_events_queued_until_component_started(self, sim, system):
+        server = system.create(Server)
+        client = system.create(Client)
+        system.connect(server.provided(PingPort), client.required(PingPort))
+        system.start(client)
+        sim.run()
+        client.definition.send(9)
+        sim.run()
+        assert server.definition.received == []  # server still passive
+        system.start(server)
+        sim.run()
+        assert [p.seq for p in server.definition.received] == [9]
+
+    def test_disconnected_channel_carries_nothing(self, sim, system):
+        server = system.create(Server)
+        client = system.create(Client)
+        channel = system.connect(server.provided(PingPort), client.required(PingPort))
+        system.start(server)
+        system.start(client)
+        sim.run()
+        channel.disconnect()
+        client.definition.send(1)
+        sim.run()
+        assert server.definition.received == []
+
+
+class TestChannelSelector:
+    def test_request_selector_filters(self, sim, system):
+        server = system.create(Server)
+        client = system.create(Client)
+        selector = ChannelSelector(on_request=lambda e: e.seq % 2 == 0)
+        system.connect(server.provided(PingPort), client.required(PingPort), selector)
+        system.start(server)
+        system.start(client)
+        sim.run()
+        for i in range(6):
+            client.definition.send(i)
+        sim.run()
+        assert [p.seq for p in server.definition.received] == [0, 2, 4]
+
+    def test_indication_selector_filters(self, sim, system):
+        server = system.create(Server)
+        client = system.create(Client)
+        selector = ChannelSelector(on_indication=lambda e: e.seq > 10)
+        system.connect(server.provided(PingPort), client.required(PingPort), selector)
+        system.start(server)
+        system.start(client)
+        sim.run()
+        client.definition.send(5)
+        client.definition.send(15)
+        sim.run()
+        assert [p.seq for p in server.definition.received] == [5, 15]
+        assert [p.seq for p in client.definition.pongs] == [15]
+
+    def test_selectors_route_between_parallel_channels(self, sim, system):
+        """The DataNetwork wiring pattern: two channels, complementary filters."""
+        s1 = system.create(Server)
+        s2 = system.create(Server)
+        client = system.create(Client)
+        system.connect(
+            s1.provided(PingPort), client.required(PingPort),
+            ChannelSelector(on_request=lambda e: e.seq < 100),
+        )
+        system.connect(
+            s2.provided(PingPort), client.required(PingPort),
+            ChannelSelector(on_request=lambda e: e.seq >= 100),
+        )
+        for c in (s1, s2, client):
+            system.start(c)
+        sim.run()
+        client.definition.send(1)
+        client.definition.send(100)
+        client.definition.send(2)
+        sim.run()
+        assert [p.seq for p in s1.definition.received] == [1, 2]
+        assert [p.seq for p in s2.definition.received] == [100]

@@ -1,0 +1,81 @@
+"""Wall-clock timer component tests (threaded runtime)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.kompics import (
+    CancelPeriodicTimeout,
+    ComponentDefinition,
+    KompicsSystem,
+    SchedulePeriodicTimeout,
+    ScheduleTimeout,
+    CancelTimeout,
+    Timeout,
+    Timer,
+)
+from repro.kompics.timer import WallTimerComponent
+
+pytestmark = pytest.mark.integration
+
+
+class Tick(Timeout):
+    __slots__ = ()
+
+
+class TimerUser(ComponentDefinition):
+    def __init__(self) -> None:
+        super().__init__()
+        self.timer = self.requires(Timer)
+        self.fired = []
+        self.event = threading.Event()
+        self.subscribe(self.timer, Tick, self._on_tick)
+
+    def _on_tick(self, tick: Tick) -> None:
+        self.fired.append(self.clock.now())
+        self.event.set()
+
+
+@pytest.fixture()
+def setup():
+    system = KompicsSystem.threaded(workers=2)
+    timer = system.create(WallTimerComponent)
+    user = system.create(TimerUser)
+    system.connect(timer.provided(Timer), user.required(Timer))
+    system.start(timer)
+    system.start(user)
+    time.sleep(0.1)
+    yield system, user.definition
+    system.shutdown()
+
+
+class TestWallTimer:
+    def test_one_shot_fires(self, setup):
+        system, user = setup
+        user.trigger(ScheduleTimeout(0.05, Tick()), user.timer)
+        assert user.event.wait(timeout=5.0)
+        assert len(user.fired) == 1
+
+    def test_cancel_one_shot(self, setup):
+        system, user = setup
+        tick = Tick()
+        user.trigger(ScheduleTimeout(0.5, tick), user.timer)
+        time.sleep(0.05)
+        user.trigger(CancelTimeout(tick.timeout_id), user.timer)
+        time.sleep(0.8)
+        assert user.fired == []
+
+    def test_periodic_fires_repeatedly(self, setup):
+        system, user = setup
+        tick = Tick()
+        user.trigger(SchedulePeriodicTimeout(0.05, 0.05, tick), user.timer)
+        deadline = time.monotonic() + 5.0
+        while len(user.fired) < 3 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert len(user.fired) >= 3
+        user.trigger(CancelPeriodicTimeout(tick.timeout_id), user.timer)
+        time.sleep(0.2)
+        count = len(user.fired)
+        time.sleep(0.3)
+        assert len(user.fired) <= count + 1  # at most one in-flight straggler

@@ -1,0 +1,178 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.messaging import (
+    BasicAddress,
+    NoCompression,
+    PickleSerializer,
+    Serializer,
+    SerializerRegistry,
+    SimulatedSnappy,
+    VirtualAddress,
+    ZlibCodec,
+    codec_by_name,
+    pack_address,
+    packed_address_size,
+    unpack_address,
+)
+
+
+class TestAddressPacking:
+    def test_roundtrip_basic(self):
+        addr = BasicAddress("192.168.1.20", 34000)
+        packed = pack_address(addr)
+        out, offset = unpack_address(packed)
+        assert out == addr
+        assert offset == len(packed) == packed_address_size(addr)
+
+    def test_roundtrip_virtual(self):
+        addr = VirtualAddress("10.0.0.1", 8080, b"vnode-42")
+        out, _ = unpack_address(pack_address(addr))
+        assert isinstance(out, VirtualAddress)
+        assert out == addr
+        assert out.vnode_id == b"vnode-42"
+
+    def test_roundtrip_at_offset(self):
+        addr = BasicAddress("1.2.3.4", 99)
+        data = b"prefix" + pack_address(addr)
+        out, offset = unpack_address(data, 6)
+        assert out == addr
+        assert offset == len(data)
+
+    @given(
+        st.from_regex(r"[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}", fullmatch=True),
+        st.integers(min_value=1, max_value=65535),
+        st.one_of(st.none(), st.binary(min_size=1, max_size=32)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, ip, port, vnode):
+        addr = VirtualAddress(ip, port, vnode) if vnode else BasicAddress(ip, port)
+        out, offset = unpack_address(pack_address(addr))
+        assert out == addr
+        assert offset == packed_address_size(addr)
+
+
+class Point:
+    def __init__(self, x: int, y: int) -> None:
+        self.x = x
+        self.y = y
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Point) and (self.x, self.y) == (other.x, other.y)
+
+
+class PointSerializer(Serializer):
+    def to_bytes(self, obj: Point) -> bytes:
+        return f"{obj.x},{obj.y}".encode()
+
+    def from_bytes(self, data: bytes) -> Point:
+        x, y = data.decode().split(",")
+        return Point(int(x), int(y))
+
+
+class TestRegistry:
+    def test_custom_serializer_roundtrip(self):
+        reg = SerializerRegistry()
+        reg.register(10, Point, PointSerializer())
+        data = reg.serialize(Point(3, -4))
+        assert reg.deserialize(data) == Point(3, -4)
+
+    def test_subtype_uses_parent_serializer(self):
+        class Point3(Point):
+            pass
+
+        reg = SerializerRegistry()
+        reg.register(10, Point, PointSerializer())
+        type_id, ser = reg.lookup(Point3(1, 2))
+        assert type_id == 10
+
+    def test_pickle_fallback(self):
+        reg = SerializerRegistry()
+        data = reg.serialize({"a": [1, 2, 3]})
+        assert reg.deserialize(data) == {"a": [1, 2, 3]}
+
+    def test_fallback_disabled(self):
+        reg = SerializerRegistry(allow_pickle_fallback=False)
+        with pytest.raises(SerializationError):
+            reg.serialize(object())
+
+    def test_duplicate_type_id_rejected(self):
+        reg = SerializerRegistry()
+        reg.register(10, Point, PointSerializer())
+        with pytest.raises(SerializationError):
+            reg.register(10, dict, PickleSerializer())
+
+    def test_duplicate_class_rejected(self):
+        reg = SerializerRegistry()
+        reg.register(10, Point, PointSerializer())
+        with pytest.raises(SerializationError):
+            reg.register(11, Point, PointSerializer())
+
+    def test_reserved_id_rejected(self):
+        reg = SerializerRegistry()
+        with pytest.raises(SerializationError):
+            reg.register(0, Point, PointSerializer())
+
+    def test_unknown_type_id(self):
+        reg = SerializerRegistry()
+        data = reg.serialize(Point(0, 0)) if False else None
+        # Forge a frame with unregistered id 999.
+        import struct
+
+        frame = struct.pack(">HI", 999, 2) + b"xy"
+        with pytest.raises(SerializationError):
+            reg.deserialize(frame)
+
+    def test_truncated_frame(self):
+        import struct
+
+        reg = SerializerRegistry()
+        frame = struct.pack(">HI", 0, 100) + b"short"
+        with pytest.raises(SerializationError):
+            reg.deserialize(frame)
+
+    def test_wire_size_matches_serialize(self):
+        reg = SerializerRegistry()
+        reg.register(10, Point, PointSerializer())
+        p = Point(12, 34)
+        assert reg.wire_size(p) == len(reg.serialize(p))
+
+
+class TestCompression:
+    def test_zlib_roundtrip(self):
+        codec = ZlibCodec()
+        data = b"hello world " * 100
+        packed = codec.compress(data)
+        assert len(packed) < len(data)
+        assert codec.decompress(packed) == data
+
+    def test_no_compression_identity(self):
+        codec = NoCompression()
+        assert codec.compress(b"abc") == b"abc"
+        assert codec.estimate_size(1000, 0.1) == 1000
+
+    def test_snappy_sim_incompressible(self):
+        codec = SimulatedSnappy()
+        assert codec.estimate_size(65536, 1.0) == 65536 + codec.OVERHEAD
+
+    def test_snappy_sim_ratio_floor(self):
+        codec = SimulatedSnappy()
+        # Snappy never does better than ~25% in this model.
+        assert codec.estimate_size(10000, 0.01) == 2500 + codec.OVERHEAD
+
+    def test_snappy_passthrough_bytes(self):
+        codec = SimulatedSnappy()
+        assert codec.decompress(codec.compress(b"x" * 10)) == b"x" * 10
+
+    def test_codec_by_name(self):
+        assert codec_by_name("none").name == "none"
+        assert codec_by_name("zlib").name == "zlib"
+        assert codec_by_name("snappy-sim").name == "snappy-sim"
+        with pytest.raises(ValueError):
+            codec_by_name("lz4")
+
+    def test_zlib_bad_level(self):
+        with pytest.raises(ValueError):
+            ZlibCodec(level=11)

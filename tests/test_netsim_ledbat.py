@@ -1,0 +1,92 @@
+"""LEDBAT scavenger behaviour over the simulated fabric."""
+
+import pytest
+
+from repro.netsim import Proto, WireMessage
+from repro.sim import Simulator
+
+from tests.netsim_helpers import MB, Sink, make_pair, run_transfer
+
+
+class TestScavengerAllocation:
+    def test_fills_idle_link(self):
+        sim = Simulator()
+        net, a, b = make_pair(sim, bandwidth=20 * MB, delay=0.005)
+        sink = run_transfer(sim, net, a, b, Proto.LEDBAT, 30 * MB)
+        assert sink.bytes_received == pytest.approx(30 * MB, abs=65536)
+        assert sink.goodput() > 10 * MB  # uses spare capacity when alone
+
+    def test_yields_to_foreground_tcp(self):
+        """While a TCP flow is active, LEDBAT shrinks to the leftovers;
+        after the TCP flow finishes, LEDBAT takes the capacity back."""
+        sim = Simulator()
+        net, a, b = make_pair(sim, bandwidth=20 * MB, delay=0.005)
+        tcp_sink = Sink(sim)
+        led_sink = Sink(sim)
+        b.stack.listen(7000, Proto.TCP, on_accept=tcp_sink.on_accept)
+        b.stack.listen(7001, Proto.LEDBAT, on_accept=led_sink.on_accept)
+
+        led = a.stack.connect((b.ip, 7001), Proto.LEDBAT)
+        for i in range(40 * MB // 65536):  # long-lived background stream
+            led.send(WireMessage(("bg", i), 65536))
+
+        def start_foreground():
+            tcp = a.stack.connect((b.ip, 7000), Proto.TCP)
+            for i in range(20 * MB // 65536):
+                tcp.send(WireMessage(("fg", i), 65536))
+
+        sim.schedule(2.0, start_foreground)
+        sim.run()
+
+        # The foreground TCP transfer proceeds as if nearly alone:
+        tcp_times = [t for (t, _) in tcp_sink.arrivals]
+        tcp_duration = tcp_times[-1] - 2.0
+        assert tcp_duration < 20 * MB / (15 * MB)  # >= ~75% of the link
+
+        # LEDBAT throughput during the TCP phase is a small fraction of its
+        # throughput when it has the link to itself.
+        def led_rate(t0, t1):
+            got = sum(s for (t, s) in led_sink.arrivals if t0 <= t < t1)
+            return got / (t1 - t0)
+
+        alone = led_rate(1.0, 2.0)
+        contended = led_rate(2.2, 2.2 + tcp_duration * 0.8)
+        assert contended < alone / 3
+
+    def test_middleware_delivery_over_ledbat(self):
+        """Transport.LEDBAT as a first-class middleware protocol."""
+        from repro.kompics import KompicsSystem
+        from repro.messaging import NettyNetwork, Network, Transport
+
+        from tests.messaging_helpers import MIDDLEWARE_PORT, Collector, blob_registry
+
+        sim = Simulator()
+        net, ha, hb = make_pair(sim, bandwidth=20 * MB, delay=0.005)
+        system = KompicsSystem.simulated(sim, seed=3)
+        from repro.messaging import BasicAddress
+
+        protocols = (Transport.TCP, Transport.UDP, Transport.UDT, Transport.LEDBAT)
+        nodes = []
+        for host, name in ((ha, "a"), (hb, "b")):
+            address = BasicAddress(host.ip, MIDDLEWARE_PORT)
+            network = system.create(
+                NettyNetwork, address, host, protocols=protocols,
+                serializers=blob_registry(), name=f"net-{name}",
+            )
+            app = system.create(Collector, address, name=f"app-{name}")
+            system.connect(network.provided(Network), app.required(Network))
+            system.start(network)
+            system.start(app)
+            nodes.append((address, app))
+        sim.run()
+        (addr_a, app_a), (addr_b, app_b) = nodes
+        app_a.definition.send(addr_b, "background-bulk", nbytes=60000, transport=Transport.LEDBAT)
+        sim.run()
+        assert [m.tag for m in app_b.definition.received] == ["background-bulk"]
+        assert app_b.definition.received[0].header.protocol is Transport.LEDBAT
+
+    def test_ledbat_subject_to_udp_policing(self):
+        sim = Simulator()
+        net, a, b = make_pair(sim, bandwidth=100 * MB, delay=0.005, udp_cap=5 * MB)
+        sink = run_transfer(sim, net, a, b, Proto.LEDBAT, 20 * MB)
+        assert sink.goodput() < 5.5 * MB

@@ -1,0 +1,119 @@
+"""Property-based end-to-end tests of the transport substrate."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import ConnectionState, LinkSpec, Proto, SimNetwork, WireMessage
+from repro.sim import Simulator
+
+from tests.netsim_helpers import MB, Sink, make_pair
+
+link_params = st.fixed_dictionaries(
+    {
+        "bandwidth": st.floats(min_value=0.5 * MB, max_value=200 * MB),
+        "delay": st.floats(min_value=0.0, max_value=0.3),
+        "loss": st.sampled_from([0.0, 1e-5, 1e-4, 1e-3]),
+    }
+)
+
+msg_sizes = st.lists(st.integers(min_value=1, max_value=65536), min_size=1, max_size=40)
+
+
+class TestReliableTransportProperties:
+    @given(link_params, msg_sizes, st.sampled_from([Proto.TCP, Proto.UDT]))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_reliable_protocols_deliver_everything_in_order(self, params, sizes, proto):
+        sim = Simulator()
+        net, a, b = make_pair(sim, udp_cap=None, seed=3, **params)
+        sink = Sink(sim)
+        b.stack.listen(7000, proto, on_accept=sink.on_accept)
+        conn = a.stack.connect((b.ip, 7000), proto)
+        for i, size in enumerate(sizes):
+            conn.send(WireMessage(i, size))
+        sim.run(max_events=2_000_000)
+        # Reliability: every message arrives exactly once...
+        assert sink.payloads == list(range(len(sizes)))
+        # ... with all bytes accounted for.
+        assert sink.bytes_received == sum(sizes)
+        # And arrivals never precede the physically possible minimum.
+        for (t, size), i in zip(sink.arrivals, range(len(sizes))):
+            assert t >= params["delay"] * 2  # handshake
+            assert t >= params["delay"]  # propagation
+
+    @given(link_params, msg_sizes)
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_udp_delivers_a_subset_without_duplication(self, params, sizes):
+        sim = Simulator()
+        net, a, b = make_pair(sim, udp_cap=None, seed=5, **params)
+        sink = Sink(sim)
+        b.stack.listen(7000, Proto.UDP, on_datagram=sink.on_datagram)
+        conn = a.stack.connect((b.ip, 7000), Proto.UDP)
+        for i, size in enumerate(sizes):
+            conn.send(WireMessage(i, size))
+        sim.run(max_events=2_000_000)
+        # At-most-once: a subset, no duplicates.
+        assert len(sink.payloads) == len(set(sink.payloads))
+        assert set(sink.payloads) <= set(range(len(sizes)))
+
+    @given(
+        st.floats(min_value=1 * MB, max_value=100 * MB),
+        st.floats(min_value=0.001, max_value=0.2),
+        st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_aggregate_rate_never_exceeds_link_capacity(self, bandwidth, delay, n_flows):
+        """Conservation: total goodput <= link bandwidth (within quantisation)."""
+        sim = Simulator()
+        net, a, b = make_pair(sim, bandwidth=bandwidth, delay=delay, seed=7)
+        sinks = []
+        conns = []
+        per_flow = 60
+        for k in range(n_flows):
+            sink = Sink(sim)
+            sinks.append(sink)
+            b.stack.listen(7000 + k, Proto.TCP, on_accept=sink.on_accept)
+            conns.append(a.stack.connect((b.ip, 7000 + k), Proto.TCP))
+        for i in range(per_flow):
+            for conn in conns:
+                conn.send(WireMessage(i, 65536))
+        sim.run(max_events=2_000_000)
+        total = sum(s.bytes_received for s in sinks)
+        end = max(s.arrivals[-1][0] for s in sinks) - 2 * delay
+        assert total == n_flows * per_flow * 65536
+        if end > 0.2:  # long enough to average out the message quantisation
+            assert total / end <= bandwidth * 1.35
+
+
+class TestAsymmetricLinks:
+    def test_directional_specs_apply_independently(self):
+        sim = Simulator()
+        net = SimNetwork(sim, seed=1)
+        a = net.add_host("a", "10.0.0.1")
+        b = net.add_host("b", "10.0.0.2")
+        net.connect_hosts(a, b, LinkSpec(50 * MB, 0.005), LinkSpec(5 * MB, 0.050))
+        fwd = Sink(sim)
+        b.stack.listen(7000, Proto.TCP, on_accept=fwd.on_accept)
+        conn = a.stack.connect((b.ip, 7000), Proto.TCP)
+        n = 5 * MB // 65536
+        for i in range(n):
+            conn.send(WireMessage(i, 65536))
+        sim.run()
+        fast_time = fwd.arrivals[-1][0]
+
+        sim2 = Simulator()
+        net2 = SimNetwork(sim2, seed=1)
+        a2 = net2.add_host("a", "10.0.0.1")
+        b2 = net2.add_host("b", "10.0.0.2")
+        net2.connect_hosts(a2, b2, LinkSpec(50 * MB, 0.005), LinkSpec(5 * MB, 0.050))
+        back = Sink(sim2)
+        a2.stack.listen(7000, Proto.TCP, on_accept=back.on_accept)
+        conn2 = b2.stack.connect((a2.ip, 7000), Proto.TCP)
+        for i in range(n):
+            conn2.send(WireMessage(i, 65536))
+        sim2.run()
+        slow_time = back.arrivals[-1][0]
+        # The reverse direction is 10x thinner: the transfer takes much
+        # longer (both directions share the same 55 ms RTT, so slow start
+        # costs the fast direction some of its advantage).
+        assert slow_time > 2 * fast_time

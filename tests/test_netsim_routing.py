@@ -1,0 +1,140 @@
+"""Multi-hop fabric routing: composite paths, bottleneck sharing, faults."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.netsim import (
+    CompositePath,
+    FaultInjector,
+    LinkSpec,
+    Proto,
+    SimNetwork,
+    WireMessage,
+)
+from repro.netsim.routing import single_hop_directions
+from repro.sim import Simulator
+
+from tests.netsim_helpers import MB, Sink, run_transfer
+
+
+def chain(sim, specs):
+    """hosts h0 - h1 - ... - hn joined by the given LinkSpecs."""
+    net = SimNetwork(sim, seed=2)
+    hosts = [net.add_host(f"h{i}", f"10.1.0.{i + 1}") for i in range(len(specs) + 1)]
+    for i, spec in enumerate(specs):
+        net.connect_hosts(hosts[i], hosts[i + 1], spec)
+    return net, hosts
+
+
+class TestCompositePath:
+    def test_requires_hops(self):
+        with pytest.raises(ValueError):
+            CompositePath([])
+
+    def test_aggregates_specs(self):
+        sim = Simulator()
+        net, hosts = chain(sim, [LinkSpec(100 * MB, 0.010, loss=0.001),
+                                 LinkSpec(20 * MB, 0.030, udp_cap=5 * MB)])
+        path = net.path(hosts[0].ip, hosts[2].ip)
+        assert isinstance(path, CompositePath)
+        assert path.spec.delay == pytest.approx(0.040)
+        assert path.spec.bandwidth == 20 * MB
+        assert path.spec.udp_cap == 5 * MB
+        assert len(path.directions) == 2
+
+    def test_loss_combines_across_hops(self):
+        sim = Simulator()
+        net, hosts = chain(sim, [LinkSpec(1e8, 0.01, loss=0.1), LinkSpec(1e8, 0.01, loss=0.1)])
+        path = net.path(hosts[0].ip, hosts[2].ip)
+        single = path.directions[0].loss_probability(1500)
+        combined = path.loss_probability(1500)
+        assert combined == pytest.approx(1 - (1 - single) ** 2)
+
+    def test_direct_link_stays_plain(self):
+        sim = Simulator()
+        net, hosts = chain(sim, [LinkSpec(1e8, 0.01)])
+        path = net.path(hosts[0].ip, hosts[1].ip)
+        assert not isinstance(path, CompositePath)
+        assert single_hop_directions(path) == (path,)
+
+    def test_unroutable_raises(self):
+        sim = Simulator()
+        net = SimNetwork(sim)
+        a = net.add_host("a", "10.0.0.1")
+        net.add_host("b", "10.0.0.2")  # no link
+        with pytest.raises(AddressError):
+            net.path("10.0.0.1", "10.0.0.2")
+        with pytest.raises(AddressError):
+            net.path("10.0.0.1", "10.0.0.99")
+
+
+class TestRoutedTransfers:
+    def test_transfer_across_relay(self):
+        sim = Simulator()
+        net, hosts = chain(sim, [LinkSpec(50 * MB, 0.010), LinkSpec(25 * MB, 0.020)])
+        sink = run_transfer(sim, net, hosts[0], hosts[2], Proto.TCP, 20 * MB)
+        assert sink.bytes_received == pytest.approx(20 * MB, abs=65536)
+        # Throughput bounded by the narrowest hop.
+        assert sink.goodput() < 26 * MB
+        # First arrival pays the full two-hop handshake + propagation.
+        assert sink.arrivals[0][0] > 2 * (0.010 + 0.020)
+
+    def test_shortest_delay_route_chosen(self):
+        sim = Simulator()
+        net = SimNetwork(sim, seed=4)
+        a = net.add_host("a", "10.2.0.1")
+        b = net.add_host("b", "10.2.0.2")
+        c = net.add_host("c", "10.2.0.3")
+        d = net.add_host("d", "10.2.0.4")
+        # a-b-d is 20ms total; a-c-d is 100ms total.
+        net.connect_hosts(a, b, LinkSpec(1e8, 0.010))
+        net.connect_hosts(b, d, LinkSpec(1e8, 0.010))
+        net.connect_hosts(a, c, LinkSpec(1e8, 0.050))
+        net.connect_hosts(c, d, LinkSpec(1e8, 0.050))
+        path = net.path(a.ip, d.ip)
+        assert path.spec.delay == pytest.approx(0.020)
+
+    def test_shared_bottleneck_fair_between_partial_overlaps(self):
+        """Dumbbell: flows a->c and b->c share only the r-c bottleneck."""
+        sim = Simulator()
+        net = SimNetwork(sim, seed=6)
+        a = net.add_host("a", "10.3.0.1")
+        b = net.add_host("b", "10.3.0.2")
+        r = net.add_host("r", "10.3.0.3")
+        c = net.add_host("c", "10.3.0.4")
+        net.connect_hosts(a, r, LinkSpec(100 * MB, 0.001))
+        net.connect_hosts(b, r, LinkSpec(100 * MB, 0.001))
+        net.connect_hosts(r, c, LinkSpec(20 * MB, 0.005))  # bottleneck
+
+        sink_a = Sink(sim)
+        sink_b = Sink(sim)
+        c.stack.listen(7000, Proto.TCP, on_accept=sink_a.on_accept)
+        c.stack.listen(7001, Proto.TCP, on_accept=sink_b.on_accept)
+        conn_a = a.stack.connect((c.ip, 7000), Proto.TCP)
+        conn_b = b.stack.connect((c.ip, 7001), Proto.TCP)
+        for i in range(20 * MB // 65536):
+            conn_a.send(WireMessage(i, 65536))
+            conn_b.send(WireMessage(i, 65536))
+        sim.run()
+        # Both finish around the fair-share time (2 x 20MB over 20MB/s).
+        t_a = sink_a.arrivals[-1][0]
+        t_b = sink_b.arrivals[-1][0]
+        assert t_a == pytest.approx(t_b, rel=0.2)
+        assert 1.6 < max(t_a, t_b) < 2.6
+
+    def test_cut_middle_link_aborts_routed_connection(self):
+        sim = Simulator()
+        net, hosts = chain(sim, [LinkSpec(50 * MB, 0.005), LinkSpec(50 * MB, 0.005)])
+        sink = Sink(sim)
+        hosts[2].stack.listen(7000, Proto.TCP, on_accept=sink.on_accept)
+        conn = hosts[0].stack.connect((hosts[2].ip, 7000), Proto.TCP)
+        outcomes = []
+        for i in range(200):
+            conn.send(WireMessage(i, 65536, on_sent=outcomes.append))
+        injector = FaultInjector(net)
+        sim.schedule(0.1, lambda: injector.cut_link(hosts[1].ip, hosts[2].ip))
+        sim.run()
+        from repro.netsim import ConnectionState
+
+        assert conn.state is ConnectionState.CLOSED
+        assert outcomes.count(False) > 0

@@ -1,0 +1,96 @@
+"""Network tracer tests."""
+
+import pytest
+
+from repro.netsim import Proto, WireMessage
+from repro.netsim.trace import NetworkTracer
+from repro.sim import Simulator
+
+from tests.netsim_helpers import MB, Sink, make_pair
+
+
+class TestTracer:
+    def test_records_tx_and_rx(self):
+        sim = Simulator()
+        net, a, b = make_pair(sim, bandwidth=10 * MB, delay=0.005)
+        with NetworkTracer(net) as tracer:
+            sink = Sink(sim)
+            b.stack.listen(7000, Proto.TCP, on_accept=sink.on_accept)
+            conn = a.stack.connect((b.ip, 7000), Proto.TCP)
+            for i in range(10):
+                conn.send(WireMessage(i, 65536))
+            sim.run()
+        tx = tracer.of_kind("tx")
+        rx = tracer.of_kind("rx")
+        assert len(tx) == 10
+        assert len(rx) == 10
+        assert tracer.bytes_transmitted() == 10 * 65536
+        assert tracer.bytes_transmitted("tcp") == 10 * 65536
+        assert tracer.bytes_transmitted("udt") == 0
+        # Every rx happens one propagation delay after its tx.
+        assert all(r.time >= t.time for t, r in zip(tx, rx))
+
+    def test_records_udp_drops(self):
+        sim = Simulator()
+        net, a, b = make_pair(sim, loss=0.05)
+        with NetworkTracer(net) as tracer:
+            sink = Sink(sim)
+            b.stack.listen(7000, Proto.UDP, on_datagram=sink.on_datagram)
+            conn = a.stack.connect((b.ip, 7000), Proto.UDP)
+            for i in range(400):
+                conn.send(WireMessage(i, 1400))
+            sim.run()
+        assert len(tracer.of_kind("drop")) > 0
+        assert len(tracer.of_kind("rx")) == len(sink.arrivals)
+
+    def test_rate_series_shows_slow_start_ramp(self):
+        sim = Simulator()
+        net, a, b = make_pair(sim, bandwidth=100 * MB, delay=0.020)
+        with NetworkTracer(net) as tracer:
+            sink = Sink(sim)
+            b.stack.listen(7000, Proto.TCP, on_accept=sink.on_accept)
+            conn = a.stack.connect((b.ip, 7000), Proto.TCP)
+            for i in range(100):
+                conn.send(WireMessage(i, 65536))
+            sim.run()
+        series = tracer.rate_series(conn.id)
+        assert len(series) == 100
+        rates = [r for _, r in series]
+        assert rates[-1] > rates[0]  # cwnd grew over the transfer
+
+    def test_detach_stops_tracing(self):
+        sim = Simulator()
+        net, a, b = make_pair(sim)
+        tracer = NetworkTracer(net).attach()
+        tracer.detach()
+        sink = Sink(sim)
+        b.stack.listen(7000, Proto.TCP, on_accept=sink.on_accept)
+        conn = a.stack.connect((b.ip, 7000), Proto.TCP)
+        conn.send(WireMessage(0, 1000))
+        sim.run()
+        assert tracer.records == []
+
+    def test_keep_bound(self):
+        sim = Simulator()
+        net, a, b = make_pair(sim)
+        with NetworkTracer(net, keep=5) as tracer:
+            sink = Sink(sim)
+            b.stack.listen(7000, Proto.TCP, on_accept=sink.on_accept)
+            conn = a.stack.connect((b.ip, 7000), Proto.TCP)
+            for i in range(20):
+                conn.send(WireMessage(i, 1000))
+            sim.run()
+        assert len(tracer.records) == 5
+
+    def test_only_traces_its_own_network(self):
+        sim1 = Simulator()
+        net1, a1, b1 = make_pair(sim1, seed=1)
+        sim2 = Simulator()
+        net2, a2, b2 = make_pair(sim2, seed=2)
+        with NetworkTracer(net1) as tracer:
+            sink = Sink(sim2)
+            b2.stack.listen(7000, Proto.TCP, on_accept=sink.on_accept)
+            conn = a2.stack.connect((b2.ip, 7000), Proto.TCP)
+            conn.send(WireMessage(0, 1000))
+            sim2.run()
+        assert tracer.records == []

@@ -1,0 +1,160 @@
+"""Generator-process sugar over the DES kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.process import ProcessEnv, Signal, run_process
+
+
+class TestSleep:
+    def test_sequential_sleeps(self):
+        sim = Simulator()
+        log = []
+
+        def body(env):
+            log.append(env.now)
+            yield env.sleep(1.0)
+            log.append(env.now)
+            yield env.sleep(2.5)
+            log.append(env.now)
+
+        run_process(sim, body)
+        sim.run()
+        assert log == [0.0, 1.0, 3.5]
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessEnv.sleep(-1.0)
+
+    def test_return_value_captured(self):
+        sim = Simulator()
+
+        def body(env):
+            yield env.sleep(1.0)
+            return 42
+
+        process = run_process(sim, body)
+        sim.run()
+        assert process.finished
+        assert process.result == 42
+        assert process.error is None
+
+
+class TestSignals:
+    def test_wait_receives_fired_value(self):
+        sim = Simulator()
+        signal = Signal()
+        got = []
+
+        def waiter(env):
+            value = yield env.wait(signal)
+            got.append((env.now, value))
+
+        run_process(sim, waiter)
+        sim.schedule(2.0, lambda: signal.fire("payload"))
+        sim.run()
+        assert got == [(2.0, "payload")]
+
+    def test_fire_wakes_all_current_waiters(self):
+        sim = Simulator()
+        signal = Signal()
+        woken = []
+
+        def waiter(env, i):
+            yield env.wait(signal)
+            woken.append(i)
+
+        for i in range(3):
+            run_process(sim, lambda env, i=i: waiter(env, i), name=f"w{i}")
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(signal.fire()))
+        sim.run()
+        assert sorted(woken) == [0, 1, 2]
+        assert fired == [3]
+
+    def test_fire_without_waiters_is_noop(self):
+        signal = Signal()
+        assert signal.fire() == 0
+
+
+class TestComposition:
+    def test_waiting_on_another_process(self):
+        sim = Simulator()
+        log = []
+
+        def child(env):
+            yield env.sleep(3.0)
+            return "child-result"
+
+        def parent(env):
+            handle = env.spawn(child)
+            result = yield handle
+            log.append((env.now, result))
+
+        run_process(sim, parent)
+        sim.run()
+        assert log == [(3.0, "child-result")]
+
+    def test_waiting_on_finished_process(self):
+        sim = Simulator()
+        log = []
+
+        def child(env):
+            yield env.sleep(1.0)
+            return 7
+
+        def parent(env):
+            handle = env.spawn(child)
+            yield env.sleep(5.0)  # child finishes long before
+            result = yield handle
+            log.append(result)
+
+        run_process(sim, parent)
+        sim.run()
+        assert log == [7]
+
+    def test_producer_consumer(self):
+        sim = Simulator()
+        items = Signal()
+        consumed = []
+
+        def producer(env):
+            for i in range(4):
+                yield env.sleep(1.0)
+                items.fire(i)
+
+        def consumer(env):
+            while len(consumed) < 4:
+                value = yield env.wait(items)
+                consumed.append((env.now, value))
+
+        run_process(sim, producer)
+        run_process(sim, consumer)
+        sim.run()
+        assert consumed == [(1.0, 0), (2.0, 1), (3.0, 2), (4.0, 3)]
+
+
+class TestErrors:
+    def test_exception_in_body_surfaces(self):
+        sim = Simulator()
+
+        def body(env):
+            yield env.sleep(1.0)
+            raise RuntimeError("boom")
+
+        process = run_process(sim, body)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert process.finished
+        assert isinstance(process.error, RuntimeError)
+
+    def test_bad_yield_value_errors(self):
+        sim = Simulator()
+
+        def body(env):
+            yield "nonsense"
+
+        process = run_process(sim, body)
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,172 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_run_fires_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(4.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.5]
+        assert sim.now == 4.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(("first", sim.now))
+            sim.schedule(1.0, lambda: fired.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [("first", 1.0), ("second", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_events_skips_cancelled(self):
+        sim = Simulator()
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run_until(2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_run_until_is_resumable(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run_until(2.0)
+        sim.run_until(10.0)
+        assert fired == [1, 5]
+
+    def test_event_exactly_at_boundary_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(1))
+        sim.run_until(2.0)
+        assert fired == [1]
+
+
+class TestGuards:
+    def test_zero_delay_loop_raises(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        def first():
+            fired.append(1)
+            sim.stop()
+
+        sim.schedule(1.0, first)
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+        assert sim.pending_events() == 1
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_step_executes_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_execution_times_are_sorted(self, delays):
+        sim = Simulator()
+        seen = []
+        for d in delays:
+            sim.schedule(d, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=30),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancelled_subset_never_fires(self, delays, data):
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(d, lambda i=i: fired.append(i)) for i, d in enumerate(delays)]
+        cancel = data.draw(st.sets(st.integers(min_value=0, max_value=len(delays) - 1)))
+        for i in cancel:
+            handles[i].cancel()
+        sim.run()
+        assert set(fired) == set(range(len(delays))) - cancel

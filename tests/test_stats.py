@@ -1,0 +1,178 @@
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    Ewma,
+    OnlineStats,
+    ReservoirSampler,
+    TimeSeries,
+    mean_confidence_interval,
+    relative_standard_error,
+    summarize_distribution,
+)
+from repro.stats.confidence import enough_runs
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_known_values(self):
+        s = OnlineStats()
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            s.add(v)
+        assert s.mean == pytest.approx(5.0)
+        assert s.variance == pytest.approx(32.0 / 7.0)
+        assert s.min == 2.0
+        assert s.max == 9.0
+
+    def test_single_value_variance_zero(self):
+        s = OnlineStats()
+        s.add(3.0)
+        assert s.variance == 0.0
+        assert s.stderr == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_batch_computation(self, values):
+        s = OnlineStats()
+        for v in values:
+            s.add(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert s.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+    @given(
+        st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=1, max_size=50),
+        st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_concatenation(self, a, b):
+        sa, sb, sc = OnlineStats(), OnlineStats(), OnlineStats()
+        for v in a:
+            sa.add(v)
+            sc.add(v)
+        for v in b:
+            sb.add(v)
+            sc.add(v)
+        merged = sa.merge(sb)
+        assert merged.count == sc.count
+        assert merged.mean == pytest.approx(sc.mean, rel=1e-9, abs=1e-9)
+        assert merged.variance == pytest.approx(sc.variance, rel=1e-6, abs=1e-6)
+
+
+class TestEwma:
+    def test_first_value_initialises(self):
+        e = Ewma(0.5)
+        assert e.add(10.0) == 10.0
+
+    def test_moves_toward_new_values(self):
+        e = Ewma(0.5)
+        e.add(0.0)
+        assert e.add(10.0) == 5.0
+        assert e.add(10.0) == 7.5
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            Ewma(0.0)
+        with pytest.raises(ValueError):
+            Ewma(1.5)
+
+
+class TestReservoir:
+    def test_keeps_everything_under_capacity(self):
+        r = ReservoirSampler(100)
+        r.extend(range(50))
+        assert sorted(r.samples) == list(map(float, range(50)))
+
+    def test_capacity_bound(self):
+        r = ReservoirSampler(10, rng=random.Random(1))
+        r.extend(range(1000))
+        assert len(r) == 10
+        assert r.seen == 1000
+
+    def test_approximately_uniform(self):
+        r = ReservoirSampler(2000, rng=random.Random(2))
+        r.extend(range(10000))
+        mean = sum(r.samples) / len(r)
+        assert abs(mean - 4999.5) < 300
+
+
+class TestSummaries:
+    def test_box_stats(self):
+        box = summarize_distribution(list(range(1, 101)))
+        assert box.minimum == 1.0
+        assert box.maximum == 100.0
+        assert box.median == pytest.approx(50.5)
+        assert box.count == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_distribution([])
+
+
+class TestConfidence:
+    def test_interval_contains_mean(self):
+        ci = mean_confidence_interval([10.0, 12.0, 11.0, 9.0, 13.0])
+        assert ci.low < 11.0 < ci.high
+        assert ci.n == 5
+
+    def test_single_sample_infinite_width(self):
+        ci = mean_confidence_interval([5.0])
+        assert math.isinf(ci.half_width)
+
+    def test_zero_variance(self):
+        ci = mean_confidence_interval([3.0, 3.0, 3.0])
+        assert ci.half_width == 0.0
+
+    def test_rse(self):
+        assert relative_standard_error([10.0, 10.0, 10.0]) == 0.0
+        assert math.isinf(relative_standard_error([5.0]))
+
+    def test_enough_runs_rule(self):
+        consistent = [100.0 + i * 0.01 for i in range(10)]
+        assert enough_runs(consistent)
+        assert not enough_runs(consistent[:5])
+        rng = random.Random(3)
+        noisy = [rng.uniform(0, 200) for _ in range(10)]
+        assert not enough_runs(noisy)
+
+
+class TestTimeSeries:
+    def test_record_and_iterate(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+        assert ts.last() == (1.0, 2.0)
+
+    def test_backwards_time_rejected(self):
+        ts = TimeSeries()
+        ts.record(2.0, 0.0)
+        with pytest.raises(ValueError):
+            ts.record(1.0, 0.0)
+
+    def test_window_mean(self):
+        ts = TimeSeries()
+        for t in range(10):
+            ts.record(float(t), float(t))
+        assert ts.window_mean(0.0, 5.0) == pytest.approx(2.0)
+        assert ts.window_mean(100.0, 200.0) is None
+
+    def test_resample_fills_gaps(self):
+        ts = TimeSeries()
+        ts.record(0.5, 10.0)
+        ts.record(3.5, 20.0)
+        out = ts.resample(1.0, end=4.0)
+        assert out == [(1.0, 10.0), (2.0, 10.0), (3.0, 10.0), (4.0, 20.0)]
+
+    def test_resample_empty(self):
+        assert TimeSeries().resample(1.0) == []

@@ -1,0 +1,163 @@
+"""Whole-system scenario: a small multi-datacenter deployment.
+
+Four sites (two EU, one US, one AU) with realistic links — partially
+meshed, so some traffic is fabric-routed through a relay — running three
+workloads at once:
+
+* an adaptive DATA bulk transfer EU1 -> US,
+* latency probes EU1 -> AU over TCP,
+* epidemic gossip among all four sites.
+
+This is the "everything on" smoke test: the paper's middleware is meant
+to host exactly this kind of mixed geo-distributed workload.
+"""
+
+import pytest
+
+from repro.apps import (
+    FileReceiver,
+    FileSender,
+    Pinger,
+    Ponger,
+    SyntheticDataset,
+    register_app_serializers,
+)
+from repro.apps.gossip import GossipNode, register_gossip_serializers
+from repro.bench.harness import run_in_steps
+from repro.core import DataNetwork
+from repro.kompics import KompicsSystem, SimTimerComponent, Timer
+from repro.messaging import BasicAddress, Network, SerializerRegistry, Transport
+from repro.netsim import DiskModel, LinkSpec, SimNetwork
+from repro.sim import Simulator
+
+MB = 1024 * 1024
+PORT = 34000
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+
+class _Pair:
+    """Minimal stand-in so run_in_steps works on a raw sim."""
+
+    def __init__(self, sim):
+        self.sim = sim
+
+
+def build_world(seed=31):
+    sim = Simulator()
+    fabric = SimNetwork(sim, seed=seed)
+    system = KompicsSystem.simulated(sim, seed=seed)
+
+    eu1 = fabric.add_host("eu1", "10.1.0.1", disk=DiskModel(sim))
+    eu2 = fabric.add_host("eu2", "10.1.0.2", disk=DiskModel(sim))
+    us = fabric.add_host("us", "10.2.0.1", disk=DiskModel(sim))
+    au = fabric.add_host("au", "10.3.0.1", disk=DiskModel(sim))
+
+    fabric.connect_hosts(eu1, eu2, LinkSpec(125 * MB, 0.0015, udp_cap=10 * MB))
+    fabric.connect_hosts(eu1, us, LinkSpec(60 * MB, 0.0775, loss=2e-5, udp_cap=10 * MB))
+    fabric.connect_hosts(eu2, us, LinkSpec(60 * MB, 0.0800, loss=2e-5, udp_cap=10 * MB))
+    fabric.connect_hosts(us, au, LinkSpec(60 * MB, 0.0700, loss=2e-5, udp_cap=10 * MB))
+    # NOTE: no direct EU-AU link: that traffic is fabric-routed via US.
+
+    hosts = {"eu1": eu1, "eu2": eu2, "us": us, "au": au}
+    addresses = {name: BasicAddress(h.ip, PORT) for name, h in hosts.items()}
+
+    def registry():
+        reg = register_app_serializers(SerializerRegistry())
+        return register_gossip_serializers(reg)
+
+    networks = {}
+    for name, host in hosts.items():
+        dn = system.create(
+            DataNetwork, addresses[name], host,
+            serializers=registry(), name=f"dnet-{name}",
+        )
+        system.start(dn)
+        networks[name] = dn
+
+    return sim, fabric, system, hosts, addresses, networks
+
+
+def test_mixed_geo_distributed_workloads():
+    sim, fabric, system, hosts, addresses, networks = build_world()
+
+    # --- workload 1: adaptive bulk transfer EU1 -> US -------------------
+    dataset = SyntheticDataset(size=64 * MB)
+    sender = system.create(
+        FileSender, addresses["eu1"], addresses["us"], dataset,
+        transport=Transport.DATA, disk=hosts["eu1"].disk, name="bulk-sender",
+    )
+    receiver = system.create(FileReceiver, addresses["us"], disk=hosts["us"].disk)
+    networks["eu1"].definition.connect_consumer(sender.required(Network))
+    networks["us"].definition.connect_consumer(receiver.required(Network))
+
+    # --- workload 2: latency probes EU1 -> AU (via the US relay!) -------
+    timer = system.create(SimTimerComponent)
+    pinger = system.create(Pinger, addresses["eu1"], addresses["au"], interval=0.25)
+    ponger = system.create(Ponger, addresses["au"])
+    system.connect(timer.provided(Timer), pinger.required(Timer))
+    networks["eu1"].definition.connect_consumer(pinger.required(Network))
+    networks["au"].definition.connect_consumer(ponger.required(Network))
+
+    # --- workload 3: gossip among all four sites -------------------------
+    gossip_nodes = {}
+    gossip_handles = []
+    all_addresses = list(addresses.values())
+    for name in hosts:
+        node = system.create(
+            GossipNode, addresses[name], all_addresses,
+            round_interval=0.5, name=f"gossip-{name}",
+        )
+        networks[name].definition.connect_consumer(node.definition.net)
+        system.connect(timer.provided(Timer), node.definition.timer)
+        gossip_nodes[name] = node.definition
+        gossip_handles.append(node)
+
+    for c in (timer, receiver, sender, pinger, ponger, *gossip_handles):
+        system.start(c)
+
+    gossip_nodes["au"].publish(99, b"au says hi")
+
+    run_in_steps(_Pair(sim), 60.0, lambda: sender.definition.duration is not None)
+    transfer_done_at = sim.now
+    run_in_steps(_Pair(sim), transfer_done_at + 10.0, lambda: False)
+
+    # Bulk transfer completed at a sane adaptive rate.
+    assert sender.definition.duration is not None
+    throughput = dataset.size / sender.definition.duration
+    assert throughput > 3 * MB
+
+    # Pings crossed two hops (~300 ms RTT) and mostly came back, even
+    # while the bulk transfer was running.
+    rtts = pinger.definition.rtts
+    assert len(rtts) > 20
+    assert min(rtts) >= 0.29  # 2 * (77.5 + 70) ms
+    assert sorted(rtts)[len(rtts) // 2] < 1.0  # not drowned by the bulk data
+
+    # Gossip reached every site, including across the routed EU-AU path.
+    assert all(node.knows(99) for node in gossip_nodes.values())
+
+
+def test_adaptive_transfer_picks_udt_on_wan(seed=33):
+    """On the EU1->US WAN leg the learner must end up UDT-heavy."""
+    sim, fabric, system, hosts, addresses, networks = build_world(seed=seed)
+    dataset = SyntheticDataset(size=96 * MB)
+    sender = system.create(
+        FileSender, addresses["eu1"], addresses["us"], dataset,
+        transport=Transport.DATA, disk=hosts["eu1"].disk,
+    )
+    receiver = system.create(FileReceiver, addresses["us"], disk=hosts["us"].disk)
+    networks["eu1"].definition.connect_consumer(sender.required(Network))
+    networks["us"].definition.connect_consumer(receiver.required(Network))
+    system.start(receiver)
+    system.start(sender)
+    run_in_steps(_Pair(sim), 120.0, lambda: sender.definition.duration is not None)
+    assert sender.definition.duration is not None
+
+    flow = networks["eu1"].definition.interceptor_def.flow_to(
+        addresses["us"].ip, addresses["us"].port
+    )
+    ratios = flow.telemetry.ratio_prescribed.values
+    # The last prescribed ratios lean UDT (TCP collapses at 155 ms RTT).
+    tail = ratios[-5:]
+    assert sum(tail) / len(tail) > -0.2, tail
