@@ -9,7 +9,7 @@ TCP transfer essentially undisturbed, while bulk data over TCP halves it.
 import pytest
 
 from repro.bench.scenario import MB, Setup, TestbedPair
-from repro.bench.harness import app_registry, run_in_steps, wire_endpoint
+from repro.bench.harness import run_in_steps, wire_endpoint
 from repro.apps import FileReceiver, FileSender, SyntheticDataset
 from repro.messaging import Transport
 

@@ -8,7 +8,6 @@ EXPERIMENTS.md).
 """
 
 from repro.bench.figures import fig4_matrix_q
-from repro.bench.scenario import MB
 
 from conftest import save_result
 

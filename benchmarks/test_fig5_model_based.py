@@ -3,7 +3,6 @@ seconds — the state-value vector is shared across actions, so exploration
 propagates an order of magnitude faster than the matrix (paper §IV-C4)."""
 
 from repro.bench.figures import fig5_model_based
-from repro.bench.scenario import MB
 
 from conftest import save_result
 

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""CI determinism gate: hash-seed independence of simulated runs.
+
+The simulator promises bitwise-identical histories for identical seeds.
+A classic way to break that silently is to iterate an unordered ``set``
+or ``dict`` of objects whose ordering depends on ``hash()`` — which
+Python randomises per process via ``PYTHONHASHSEED``.  This script
+
+1. runs the observability demo (``repro obs``) in two subprocesses with
+   *different* hash seeds and diffs the full JSON artifacts (metrics,
+   trace, and summary), and
+2. runs ``tests/test_determinism.py`` under both hash seeds,
+
+failing loudly on any drift.  Usage: ``python scripts/check_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HASH_SEEDS = ("1", "4242")
+DEMO_ARGS = ("--duration", "5", "--seed", "7")
+
+
+def run(cmd: list[str], hash_seed: str) -> None:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    print(f"+ PYTHONHASHSEED={hash_seed}", " ".join(cmd))
+    subprocess.run(cmd, cwd=REPO_ROOT, env=env, check=True)
+
+
+def demo_artifact(workdir: Path, hash_seed: str) -> Path:
+    out = workdir / f"obs-hashseed-{hash_seed}.json"
+    run(
+        [sys.executable, "-m", "repro.cli", "obs", *DEMO_ARGS,
+         "--trace", "--output", str(out)],
+        hash_seed,
+    )
+    return out
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-determinism-") as tmp:
+        workdir = Path(tmp)
+        artifacts = [demo_artifact(workdir, seed) for seed in HASH_SEEDS]
+
+        texts = [p.read_text() for p in artifacts]
+        if texts[0] != texts[1]:
+            print("DETERMINISM FAILURE: obs artifacts differ across hash seeds")
+            diff = difflib.unified_diff(
+                texts[0].splitlines(), texts[1].splitlines(),
+                fromfile=f"PYTHONHASHSEED={HASH_SEEDS[0]}",
+                tofile=f"PYTHONHASHSEED={HASH_SEEDS[1]}",
+                lineterm="",
+            )
+            shown = list(diff)[:80]
+            print("\n".join(shown))
+            return 1
+
+        document = json.loads(texts[0])
+        families = len(document["metrics"])
+        print(f"obs artifacts identical across hash seeds "
+              f"({families} metric families, {len(document.get('trace', []))} trace records)")
+
+    for seed in HASH_SEEDS:
+        run(
+            [sys.executable, "-m", "pytest", "-x", "-q", "tests/test_determinism.py"],
+            seed,
+        )
+
+    print("determinism check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

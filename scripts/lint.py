@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Lint gate: run ruff when available, else a built-in AST fallback.
+
+CI installs ruff and gets the full ``E``/``F``/``I`` rule set from
+``pyproject.toml``.  Offline development containers may not have ruff;
+there we still enforce the subset of rules that matters most and that we
+can check with the standard library alone:
+
+* files must parse (syntax errors);
+* no unused ``import X`` / ``from X import Y`` bindings (F401-lite);
+* no star imports (F403);
+* no trailing whitespace and no tabs in indentation (W291/W191-lite).
+
+Exit status is non-zero when any violation is found, so both paths are
+usable as a CI step: ``python scripts/lint.py [paths...]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = ["src", "tests", "benchmarks", "scripts"]
+
+#: modules whose import is their side effect (pytest plugins etc.)
+SIDE_EFFECT_IMPORTS = {"__future__"}
+
+
+def run_ruff(paths: list[str]) -> int:
+    cmd = ["ruff", "check", *paths]
+    print("+", " ".join(cmd))
+    return subprocess.call(cmd, cwd=REPO_ROOT)
+
+
+class _ImportVisitor(ast.NodeVisitor):
+    """Collect imported names and every identifier the module uses."""
+
+    def __init__(self) -> None:
+        self.imports: dict[str, tuple[int, str]] = {}
+        self.used: set[str] = set()
+        self.star_imports: list[int] = []
+        self.exported: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name.split(".")[0]
+            self.imports[name] = (node.lineno, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in SIDE_EFFECT_IMPORTS:
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                self.star_imports.append(node.lineno)
+                continue
+            name = alias.asname or alias.name
+            self.imports[name] = (node.lineno, alias.name)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # __all__ = [...] re-exports names without a Load reference.
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                for elt in ast.walk(node.value):
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                        self.exported.add(elt.value)
+        self.generic_visit(node)
+
+
+def _string_annotation_names(tree: ast.AST) -> set[str]:
+    """Names referenced inside string annotations ('SimNetwork' etc.)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        annotation = getattr(node, "annotation", None)
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            try:
+                parsed = ast.parse(annotation.value, mode="eval")
+            except SyntaxError:
+                continue
+            for sub in ast.walk(parsed):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.rstrip("\n") != line.rstrip():
+            problems.append(f"{path}:{lineno}: trailing whitespace")
+        stripped = line.lstrip(" ")
+        if stripped.startswith("\t"):
+            problems.append(f"{path}:{lineno}: tab in indentation")
+
+    # __init__.py files re-export; skip unused-import analysis there.
+    if path.name == "__init__.py":
+        return problems
+
+    visitor = _ImportVisitor()
+    visitor.visit(tree)
+    used = visitor.used | _string_annotation_names(tree)
+    # Docstring doctests and comments are not tracked; a name mentioned in
+    # TYPE_CHECKING-only code is still a Load so it counts as used.
+    for name, (lineno, module) in sorted(visitor.imports.items()):
+        if name in used or name in visitor.exported:
+            continue
+        problems.append(f"{path}:{lineno}: unused import '{module}' (as '{name}')")
+    for lineno in visitor.star_imports:
+        problems.append(f"{path}:{lineno}: star import")
+    return problems
+
+
+def run_fallback(paths: list[str]) -> int:
+    print("ruff not found; running stdlib AST fallback linter")
+    files: list[Path] = []
+    for raw in paths:
+        target = (REPO_ROOT / raw).resolve()
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.py")))
+        elif target.suffix == ".py":
+            files.append(target)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(files)} files, {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+def main(argv: list[str]) -> int:
+    paths = argv or DEFAULT_PATHS
+    if shutil.which("ruff"):
+        return run_ruff(paths)
+    return run_fallback(paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

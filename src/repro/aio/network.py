@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.aio.tcp import TcpTransport
 from repro.aio.transport import AioConnection, AioListener, Endpoint
@@ -20,7 +20,7 @@ from repro.aio.udt import UdtLiteTransport
 from repro.errors import SerializationError, TransportError
 from repro.kompics.component import ComponentDefinition
 from repro.messaging.address import Address
-from repro.messaging.compression import CompressionCodec, NoCompression, compressibility_of
+from repro.messaging.compression import CompressionCodec, NoCompression
 from repro.messaging.message import Msg
 from repro.messaging.network_port import MessageNotify, Network
 from repro.messaging.serialization import SerializerRegistry, pack_address, unpack_address

@@ -9,9 +9,8 @@ replies (exactly like the simulated stack's handshake hello).
 
 from __future__ import annotations
 
-import asyncio
 from abc import ABC, abstractmethod
-from typing import Awaitable, Callable, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 Endpoint = Tuple[str, int]
 FrameHandler = Callable[[bytes], None]

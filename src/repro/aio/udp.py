@@ -8,7 +8,7 @@ the 64 KiB UDP maximum, so any valid message fits).
 from __future__ import annotations
 
 import asyncio
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.aio.transport import DatagramHandler, Endpoint
 

@@ -15,7 +15,6 @@ import itertools
 import math
 from typing import Iterator, Tuple
 
-from repro.messaging.address import Address
 from repro.messaging.message import BaseMsg, Header
 
 #: the paper's dataset and buffer sizes

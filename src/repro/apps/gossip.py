@@ -16,20 +16,14 @@ anti-entropy protocol instead of bulk transfer.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence
 
 from repro.kompics.component import ComponentDefinition
 from repro.kompics.timer import SchedulePeriodicTimeout, Timeout, Timer
 from repro.messaging.address import Address
 from repro.messaging.message import BaseMsg, BasicHeader, Header
 from repro.messaging.network_port import Network
-from repro.messaging.serialization import (
-    Serializer,
-    SerializerRegistry,
-    pack_address,
-    packed_address_size,
-    unpack_address,
-)
+from repro.messaging.serialization import Serializer, SerializerRegistry
 from repro.messaging.transport import Transport
 
 RumorId = int

@@ -23,20 +23,14 @@ where TCP's connection state is undesirable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.kompics.component import ComponentDefinition
 from repro.kompics.timer import SchedulePeriodicTimeout, Timeout, Timer
 from repro.messaging.address import Address
 from repro.messaging.message import BaseMsg, BasicHeader, Header, Msg
 from repro.messaging.network_port import Network
-from repro.messaging.serialization import (
-    Serializer,
-    SerializerRegistry,
-    pack_address,
-    packed_address_size,
-    unpack_address,
-)
+from repro.messaging.serialization import Serializer, SerializerRegistry
 from repro.messaging.transport import Transport
 
 FlowKey = Tuple[str, int]

@@ -7,9 +7,8 @@ testbed of :mod:`repro.bench.scenario`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from fractions import Fraction
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps import (
     FileReceiver,
@@ -32,7 +31,6 @@ from repro.core.interceptor import PrpFactory, PspFactory
 from repro.kompics import Component, KompicsSystem, SimTimerComponent, Timer
 from repro.kompics.component import ComponentDefinition
 from repro.messaging import (
-    BasicAddress,
     DataHeader,
     MessageNotify,
     Msg,
@@ -41,7 +39,8 @@ from repro.messaging import (
     SerializerRegistry,
     Transport,
 )
-from repro.stats import OnlineStats, TimeSeries, mean_confidence_interval
+from repro.obs import MetricsRegistry, collecting, snapshot_document, tracing
+from repro.stats import TimeSeries, mean_confidence_interval
 from repro.stats.confidence import enough_runs, relative_standard_error
 from repro.stats.reservoir import BoxStats, summarize_distribution
 
@@ -597,3 +596,88 @@ def RandomSelectionFactory(seed: int, ratio: ProtocolRatio):
     from repro.core import RandomSelection
 
     return RandomSelection(random.Random(seed), ratio)
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+
+def run_observed(
+    driver: Callable[..., Any],
+    *args: Any,
+    keep_trace: Optional[int] = 10_000,
+    meta: Optional[Dict[str, Any]] = None,
+    **kwargs: Any,
+) -> Tuple[Any, Dict[str, Any]]:
+    """Run any harness driver with metrics and tracing collection on.
+
+    Installs a fresh :class:`~repro.obs.MetricsRegistry` and
+    :class:`~repro.obs.Tracer` for the duration of the call — the driver
+    builds its systems inside the context, so every instrument binds to
+    the live registry — and returns ``(driver result, snapshot document)``.
+    The snapshot is the JSON-ready structure of
+    :func:`repro.obs.snapshot_document`; trace records are keyed by the
+    driver's simulated clock.
+    """
+    registry = MetricsRegistry("bench")
+    document_meta = {"driver": getattr(driver, "__name__", str(driver))}
+    document_meta.update(meta or {})
+    with collecting(registry), tracing(keep=keep_trace) as tracer:
+        result = driver(*args, **kwargs)
+        document = snapshot_document(registry, tracer, meta=document_meta)
+    return result, document
+
+
+def run_observability_demo(
+    setup: Setup = LEARNER_ENV,
+    duration: float = 10.0,
+    seed: int = 0,
+    ping_interval: float = 0.25,
+    episode_length: float = 0.25,
+) -> Dict[str, Any]:
+    """Ping-pong plus an adaptive DATA stream: the ``repro obs`` scenario.
+
+    Control pings (TCP) interleave with a saturating DATA stream driven by
+    a TD ratio learner, so one short run touches every metric family:
+    ``kompics.scheduler.*``, ``netsim.link.*`` / ``netsim.cc.*``,
+    ``messaging.*`` and ``rl.*``.  Returns the ground-truth totals the
+    application itself measured, for cross-checking against the metrics
+    snapshot.
+    """
+    pair = TestbedPair(setup, seed=seed)
+    snd = wire_endpoint(
+        pair, pair.sender, "snd", data=True,
+        prp_factory=default_transfer_learner(seed), episode_length=episode_length,
+    )
+    rcv = wire_endpoint(pair, pair.receiver, "rcv", data=False)
+
+    pinger = pair.system.create(
+        Pinger, pair.sender.address, pair.receiver.address,
+        transport=Transport.TCP, interval=ping_interval,
+    )
+    ponger = pair.system.create(Ponger, pair.receiver.address)
+    timer = pair.system.create(SimTimerComponent)
+    pair.system.connect(timer.provided(Timer), pinger.required(Timer))
+    snd.attach(pair.system, pinger)
+    rcv.attach(pair.system, ponger)
+
+    source = pair.system.create(SaturatingSource, pair.sender.address, pair.receiver.address)
+    sink = pair.system.create(_Sink, name="obs-sink")
+    snd.attach(pair.system, source)
+    rcv.attach(pair.system, sink)
+
+    for component in (timer, ponger, pinger, sink, source):
+        pair.system.start(component)
+    run_in_steps(pair, duration, lambda: False, step=1.0)
+
+    flow = snd.interceptor.flow_to(pair.receiver.address.ip, pair.receiver.address.port)
+    rtts = pinger.definition.rtts
+    return {
+        "setup": setup.name,
+        "sim_time": pair.sim.now,
+        "pings_answered": len(rtts),
+        "mean_rtt_ms": (sum(rtts) / len(rtts)) * 1000.0 if rtts else None,
+        "data_messages_delivered": sink.definition.count,
+        "data_bytes_acked": flow.total_bytes_acked if flow is not None else 0,
+        "data_messages_total": flow.total_messages if flow is not None else 0,
+    }

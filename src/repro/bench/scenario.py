@@ -17,8 +17,8 @@ bandwidth-delay product.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.kompics import KompicsSystem
 from repro.messaging import BasicAddress

@@ -9,7 +9,7 @@ changes — the quantity a deployment actually wants to know.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench.harness import run_transfer_repeated
 from repro.bench.scenario import MB, Setup

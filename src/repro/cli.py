@@ -77,6 +77,22 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--duration", type=float, default=120.0)
     learn.add_argument("--seed", type=int, default=4)
 
+    obs = sub.add_parser(
+        "obs",
+        help="run an instrumented ping-pong + DATA scenario and dump metrics",
+    )
+    obs.add_argument("--setup", default=None,
+                     help="testbed setup name (default: the learner environment)")
+    obs.add_argument("--duration", type=float, default=10.0,
+                     help="simulated seconds to run")
+    obs.add_argument("--seed", type=int, default=3)
+    obs.add_argument("--format", choices=("json", "lines"), default="json",
+                     help="snapshot format: full JSON or flat line protocol")
+    obs.add_argument("--output", default=None,
+                     help="write the snapshot to this file instead of stdout")
+    obs.add_argument("--trace", action="store_true",
+                     help="include trace records in the JSON snapshot")
+
     return parser
 
 
@@ -184,6 +200,61 @@ def cmd_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.harness import LEARNER_ENV, run_observability_demo, run_observed
+
+    setup = LEARNER_ENV if args.setup is None else setup_by_name(args.setup)
+    summary, document = run_observed(
+        run_observability_demo, setup=setup, duration=args.duration, seed=args.seed,
+        meta={"setup": setup.name, "duration": args.duration, "seed": args.seed},
+    )
+    document["meta"]["summary"] = summary
+    if not args.trace:
+        document.pop("trace", None)
+
+    if args.format == "json":
+        from repro.obs.export import _json_default, _sanitize
+
+        text = json.dumps(
+            _sanitize(document), indent=2, sort_keys=True, default=_json_default
+        )
+    else:
+        text = "\n".join(_document_lines(document["metrics"]))
+
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.format} snapshot to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _document_lines(metrics: dict) -> List[str]:
+    """Flat ``name{labels} value`` lines from a snapshot's metrics section."""
+    import math
+
+    lines: List[str] = []
+    for name, entries in sorted(metrics.items()):
+        for entry in entries:
+            labels = entry["labels"]
+            label_text = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels else ""
+            )
+            if entry["type"] in ("counter", "gauge"):
+                lines.append(f"{name}{label_text} {entry['value']}")
+                continue
+            for stat in ("count", "mean", "p50", "p90", "p99", "min", "max"):
+                value = entry[stat]
+                if isinstance(value, float) and math.isnan(value):
+                    continue
+                lines.append(f"{name}.{stat}{label_text} {value}")
+    return lines
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -192,6 +263,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "transfer": cmd_transfer,
         "latency": cmd_latency,
         "learn": cmd_learn,
+        "obs": cmd_obs,
     }
     return handlers[args.command](args)
 

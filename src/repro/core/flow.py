@@ -26,6 +26,7 @@ from repro.errors import PolicyError
 from repro.messaging.message import Msg
 from repro.messaging.network_port import MessageNotify
 from repro.messaging.transport import Transport
+from repro.obs import get_registry, get_tracer
 from repro.stats import TimeSeries
 from repro.util.clock import Clock
 
@@ -66,6 +67,7 @@ class DestinationFlow:
         clock: Clock,
         release: Callable[[MessageNotify.Req], None],
         window_messages: int = DEFAULT_WINDOW_MESSAGES,
+        dest: Optional[str] = None,
     ) -> None:
         if window_messages < 1:
             raise PolicyError("window_messages must be at least 1")
@@ -92,6 +94,28 @@ class DestinationFlow:
         self.total_bytes_acked = 0
         self.total_messages = 0
 
+        metrics = get_registry()
+        self._obs = metrics.enabled
+        self._tracer = get_tracer()
+        self._dest = dest
+        labels = {"dest": dest} if dest is not None else {}
+        self._m_selected_tcp = metrics.counter(
+            "rl.selection_total", transport="tcp", **labels
+        )
+        self._m_selected_udt = metrics.counter(
+            "rl.selection_total", transport="udt", **labels
+        )
+        self._m_episodes = metrics.counter("rl.flow.episodes_total", **labels)
+        self._m_ratio = metrics.gauge("rl.flow.ratio_signed", **labels)
+        self._m_reward = metrics.gauge("rl.flow.reward", **labels)
+        if metrics.enabled:
+            metrics.gauge("rl.flow.queued", **labels).set_function(
+                lambda: len(self._queue)
+            )
+            metrics.gauge("rl.flow.in_flight", **labels).set_function(
+                lambda: len(self._in_flight)
+            )
+
     # ------------------------------------------------------------------
     # intake and release
     # ------------------------------------------------------------------
@@ -106,8 +130,12 @@ class DestinationFlow:
             transport = self.psp.select()
             if transport is Transport.TCP:
                 self._tcp_released += 1
+                if self._obs:
+                    self._m_selected_tcp.inc()
             else:
                 self._udt_released += 1
+                if self._obs:
+                    self._m_selected_udt.inc()
             stamped = item.msg.with_protocol(transport)
             req = MessageNotify.Req(stamped)
             self._in_flight[req.notify_id] = _InFlight(
@@ -165,6 +193,13 @@ class DestinationFlow:
         reward = getattr(self.prp, "last_reward", None)
         if reward is not None:
             self.telemetry.reward.record(now, reward)
+            self._m_reward.set(reward)
+        self._m_episodes.inc()
+        self._m_ratio.set(float(new_ratio.signed))
+        self._tracer.event(
+            "rl.episode", dest=self._dest, reward=reward,
+            ratio=float(new_ratio.signed), throughput=stats.throughput,
+        )
 
         self._episode_start = now
         self._bytes_acked = 0

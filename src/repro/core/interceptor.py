@@ -30,6 +30,7 @@ from repro.kompics.timer import SchedulePeriodicTimeout, Timeout, Timer
 from repro.messaging.message import Msg
 from repro.messaging.network_port import MessageNotify, Network
 from repro.messaging.transport import Transport
+from repro.obs import get_registry
 
 PspFactory = Callable[[], ProtocolSelectionPolicy]
 PrpFactory = Callable[[], ProtocolRatioPolicy]
@@ -83,6 +84,13 @@ class DataNetworkInterceptor(ComponentDefinition):
         self.flows: Dict[FlowKey, DestinationFlow] = {}
         self._owned_notify_ids: set[int] = set()
 
+        metrics = get_registry()
+        self._m_ticks = metrics.counter("rl.interceptor.ticks_total")
+        if metrics.enabled:
+            metrics.gauge("rl.interceptor.flows", component=self.name).set_function(
+                lambda: len(self.flows)
+            )
+
         self.subscribe(self.upper, Msg, self._on_consumer_msg)
         self.subscribe(self.upper, MessageNotify.Req, self._on_consumer_notify_req)
         self.subscribe(self.lower, Msg, self._on_network_msg)
@@ -130,6 +138,7 @@ class DataNetworkInterceptor(ComponentDefinition):
                 clock=self.clock,
                 release=self._release,
                 window_messages=self.window_messages,
+                dest=f"{key[0]}:{key[1]}",
             )
             self.flows[key] = flow
         return flow
@@ -161,6 +170,7 @@ class DataNetworkInterceptor(ComponentDefinition):
     # episodes
     # ------------------------------------------------------------------
     def _on_episode_tick(self, tick: _EpisodeTick) -> None:
+        self._m_ticks.inc()
         for flow in self.flows.values():
             flow.end_episode()
 

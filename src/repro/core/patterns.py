@@ -16,7 +16,6 @@ p-pattern), minimising the unbalanced tail.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Tuple
 
 from repro.core.psp import ProtocolSelectionPolicy

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Tuple, Union
+from typing import Union
 
 from repro.errors import RatioError
 from repro.messaging.transport import Transport

@@ -10,7 +10,7 @@ the value is uninitialised".
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, Optional
 
 
 class EpsilonGreedy:

@@ -43,6 +43,8 @@ class SarsaLambda:
         self.state: Optional[Hashable] = None
         self.action: Optional[Hashable] = None
         self.steps = 0
+        #: TD error δ from the most recent step (diagnostics / gauges)
+        self.last_delta: Optional[float] = None
 
     # ------------------------------------------------------------------
     # control
@@ -66,6 +68,7 @@ class SarsaLambda:
         a_prime = self._choose(s_prime)
 
         delta = reward + self.gamma * self.qfunc.estimate(s_prime, a_prime) - self.qfunc.estimate(s, a)
+        self.last_delta = delta
         self.traces.visit(s, a)
         for (es, ea), e in self.traces.items():
             self.qfunc.adjust(es, ea, self.alpha * delta * e)

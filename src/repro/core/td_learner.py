@@ -12,9 +12,10 @@ interceptor tick (1 s).  The value-function representation is pluggable:
 
 from __future__ import annotations
 
+import math
 import random
 from fractions import Fraction
-from typing import Callable, List, Optional, Union
+from typing import List, Optional, Union
 
 from repro.core.prp import ProtocolRatioPolicy
 from repro.core.ratio import ProtocolRatio
@@ -30,6 +31,7 @@ from repro.core.rl import (
     TransitionModel,
 )
 from repro.errors import PolicyError
+from repro.obs import get_registry
 
 #: paper defaults (§IV-C3): matrix needs aggressive exploration,
 #: the model-based variants converge with far less (§IV-C4).
@@ -110,6 +112,27 @@ class TDRatioLearner(ProtocolRatioPolicy):
         self._current_state: Optional[Fraction] = None
         self.last_reward: Optional[float] = None
 
+        metrics = get_registry()
+        # Registry-scoped instance index keeps labels deterministic across
+        # repeated runs against fresh registries (unlike a process counter).
+        labels = {"learner": str(len(metrics.family("rl.sarsa.episodes_total")))}
+        self._m_episodes = metrics.counter("rl.sarsa.episodes_total", **labels)
+        self._m_reward = metrics.gauge("rl.sarsa.reward", **labels)
+        if metrics.enabled:
+            metrics.gauge("rl.sarsa.td_error", **labels).set_function(
+                lambda: self.sarsa.last_delta
+                if self.sarsa.last_delta is not None
+                else math.nan
+            )
+            metrics.gauge("rl.policy.epsilon", **labels).set_function(
+                lambda: self.policy.epsilon
+            )
+            metrics.gauge("rl.sarsa.state_signed", **labels).set_function(
+                lambda: float(self._current_state)
+                if self._current_state is not None
+                else math.nan
+            )
+
     # ------------------------------------------------------------------
     # ProtocolRatioPolicy interface
     # ------------------------------------------------------------------
@@ -124,6 +147,8 @@ class TDRatioLearner(ProtocolRatioPolicy):
             return self.initial_ratio()
         reward = self.reward_function(stats)
         self.last_reward = reward
+        self._m_episodes.inc()
+        self._m_reward.set(reward)
         self._current_state = self.sarsa.step(reward, self._current_state)
         return ProtocolRatio.from_signed(self._current_state)
 

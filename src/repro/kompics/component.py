@@ -67,6 +67,20 @@ class ComponentCore:
         self.max_batch = system.config.get_int("kompics.max_events_per_schedule", 32)
         self.events_handled = 0
 
+        # Shared scheduler-level instruments (one per system) plus a
+        # per-component queue-depth gauge; all no-ops unless a registry is
+        # enabled, and only touched once per batch, never per event.
+        metrics = system.metrics
+        self._obs = metrics.enabled
+        self._m_events = metrics.counter("kompics.scheduler.events_total")
+        self._m_batches = metrics.counter("kompics.scheduler.batches_total")
+        self._m_batch_size = metrics.histogram(
+            "kompics.scheduler.batch_size", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
+        )
+        self._m_queue_depth = metrics.gauge("kompics.component.queue_depth", component=name)
+        if metrics.enabled:
+            self._m_queue_depth.set_function(lambda: len(self._queue) + len(self._control_queue))
+
         if parent is not None:
             parent.children.append(self)
 
@@ -135,6 +149,10 @@ class ComponentCore:
             else:
                 port, event = payload
                 self._dispatch(port, event)
+        if handled and self._obs:
+            self._m_events.inc(handled)
+            self._m_batches.inc()
+            self._m_batch_size.observe(handled)
         with self._lock:
             self._scheduled = False
             self._maybe_schedule_locked()

@@ -16,8 +16,7 @@ Example::
 
 from __future__ import annotations
 
-import operator
-from typing import Any, Callable, Mapping, Type
+from typing import Any, Callable, Type
 
 from repro.kompics.event import KompicsEvent
 from repro.kompics.port import Port

@@ -18,6 +18,7 @@ from repro.kompics.config import Config
 from repro.kompics.event import Fault, Kill, Start, Stop
 from repro.kompics.port import Port
 from repro.kompics.scheduler import Scheduler, SimScheduler, ThreadPoolScheduler
+from repro.obs import get_registry, get_tracer
 from repro.sim import Simulator
 from repro.util.clock import Clock, WallClock
 from repro.util.ids import IdGenerator
@@ -50,6 +51,16 @@ class KompicsSystem:
         self.ids = IdGenerator()
         self.components: List[Component] = []
         self.faults: List[Fault] = []
+        # Observability: cores share these system-level instruments; with
+        # the default null registry every call below is a no-op.
+        self.metrics = get_registry()
+        self.tracer = get_tracer()
+        if self.tracer.enabled:
+            # Key trace records to this system's (usually simulated) clock.
+            self.tracer.use_clock(clock)
+        self._m_components = self.metrics.gauge("kompics.system.components", system=name)
+        self._m_components.set_function(lambda: len(self.components))
+        self._m_faults = self.metrics.counter("kompics.system.faults_total", system=name)
 
     # ------------------------------------------------------------------
     # constructors
@@ -157,6 +168,12 @@ class KompicsSystem:
     def report_fault(self, fault: Fault) -> None:
         """Record (or re-raise, per ``kompics.fault_policy``) a handler fault."""
         self.faults.append(fault)
+        self._m_faults.inc()
+        self.tracer.event(
+            "kompics.fault",
+            component=fault.component_name,
+            event=type(fault.event).__name__,
+        )
         policy = self.config.get_str("kompics.fault_policy", "raise")
         if policy == "raise":
             raise ComponentError(

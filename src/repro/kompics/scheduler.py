@@ -18,6 +18,7 @@ import threading
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, List, Optional
 
+from repro.obs import get_registry
 from repro.sim import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -43,8 +44,15 @@ class SimScheduler(Scheduler):
             raise ValueError("scheduling overhead must be positive (livelock guard)")
         self.simulator = simulator
         self.overhead = overhead
+        registry = get_registry()
+        self._obs = registry.enabled
+        self._m_schedules = registry.counter(
+            "kompics.scheduler.schedules_total", backend="sim"
+        )
 
     def schedule_ready(self, core: "ComponentCore") -> None:
+        if self._obs:
+            self._m_schedules.inc()
         self.simulator.schedule(self.overhead, core.execute_batch, label=f"exec:{core.name}")
 
 
@@ -57,12 +65,20 @@ class ThreadPoolScheduler(Scheduler):
         self._queue: "queue.SimpleQueue[Optional[ComponentCore]]" = queue.SimpleQueue()
         self._threads: List[threading.Thread] = []
         self._shutdown = False
+        metrics = get_registry()
+        self._m_schedules = metrics.counter(
+            "kompics.scheduler.schedules_total", backend="threadpool"
+        )
+        ready = metrics.gauge("kompics.scheduler.ready_queue", backend="threadpool")
+        if metrics.enabled:
+            ready.set_function(self._queue.qsize)
         for i in range(workers):
             thread = threading.Thread(target=self._worker, name=f"kompics-worker-{i}", daemon=True)
             thread.start()
             self._threads.append(thread)
 
     def schedule_ready(self, core: "ComponentCore") -> None:
+        self._m_schedules.inc()
         self._queue.put(core)
 
     def _worker(self) -> None:

@@ -11,12 +11,13 @@ replies reuse them instead of dialling back.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.netsim.connection import Connection, ConnectionState, WireMessage
 from repro.netsim.host import NetworkStack
 from repro.netsim.link import Proto
+from repro.obs import get_registry, get_tracer
 
 Socket = Tuple[str, int]
 ChannelKey = Tuple[Socket, Proto]
@@ -78,6 +79,11 @@ class ChannelPool:
         #: listening socket, so acceptors can register the channel for reuse
         self.hello = hello
         self.channels: Dict[ChannelKey, ChannelRef] = {}
+        metrics = get_registry()
+        self.tracer = get_tracer()
+        self._m_dialed = metrics.counter("messaging.channels.dialed_total")
+        self._m_inbound = metrics.counter("messaging.channels.inbound_total")
+        self._m_reaped = metrics.counter("messaging.channels.reaped_total")
 
     # ------------------------------------------------------------------
     # outbound
@@ -97,6 +103,11 @@ class ChannelPool:
         conn.on_closed = lambda c: self._on_gone(key, "closed")
         ref = ChannelRef(key, conn, outbound=True)
         self.channels[key] = ref
+        self._m_dialed.inc()
+        self.tracer.event(
+            "messaging.channel_dial", remote=f"{remote[0]}:{remote[1]}",
+            proto=proto.value,
+        )
         return ref
 
     # ------------------------------------------------------------------
@@ -110,6 +121,7 @@ class ChannelPool:
             return
         conn.on_closed = lambda c: self._on_gone(key, "closed")
         self.channels[key] = ChannelRef(key, conn, outbound=False)
+        self._m_inbound.inc()
 
     def note_traffic_in(self, source: Socket, proto: Proto, size: int,
                         now: float = 0.0) -> None:
@@ -150,6 +162,7 @@ class ChannelPool:
             del self.channels[key]
             ref.conn.close()
             reaped += 1
+            self._m_reaped.inc()
             self.logger.debug("reaped idle channel %s", key)
         return reaped
 

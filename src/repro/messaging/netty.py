@@ -30,6 +30,7 @@ from repro.messaging.transport import Transport
 from repro.netsim.connection import Connection
 from repro.netsim.host import Listener, SimHost
 from repro.netsim.link import Proto
+from repro.obs import get_registry
 
 # The paper's three protocols plus the LEDBAT extension; simulated
 # listeners are free, so the extension is enabled by default here (the
@@ -93,6 +94,28 @@ class NettyNetwork(ComponentDefinition):
         self.counters: Dict[str, int] = {
             "sent": 0, "received": 0, "reflected": 0, "send_failures": 0,
         }
+
+        metrics = get_registry()
+        self._obs = metrics.enabled
+        instance = f"{self_address.ip}:{self_address.port}"
+        self._m_sent = {
+            t: metrics.counter("messaging.sent_total", transport=t.value)
+            for t in self.protocols
+        }
+        self._m_send_failures = {
+            t: metrics.counter("messaging.send_failures_total", transport=t.value)
+            for t in self.protocols
+        }
+        self._m_received = metrics.counter("messaging.received_total", instance=instance)
+        self._m_reflected = metrics.counter("messaging.reflected_total", instance=instance)
+        self._m_wire_bytes = metrics.histogram(
+            "messaging.serialization.wire_bytes",
+            buckets=(64, 256, 1024, 4096, 16384, 65536),
+        )
+        if metrics.enabled:
+            metrics.gauge("messaging.channels.open", instance=instance).set_function(
+                lambda: len(self.pool)
+            )
 
         self.subscribe(self.net, MessageNotify.Req, self._on_notify_request)
         self.subscribe(self.net, Msg, self._on_msg_request)
@@ -176,6 +199,8 @@ class NettyNetwork(ComponentDefinition):
             # Same middleware instance (vnode traffic): reflect, never
             # serialized — receivers must not expect a copy (§III-B).
             self.counters["reflected"] += 1
+            if self._obs:
+                self._m_reflected.inc()
             self.trigger(msg, self.net)
             if report is not None:
                 report(True, 0)
@@ -189,8 +214,12 @@ class NettyNetwork(ComponentDefinition):
         def on_sent(success: bool) -> None:
             if success:
                 self.counters["sent"] += 1
+                if self._obs:
+                    self._m_sent[transport].inc()
             else:
                 self.counters["send_failures"] += 1
+                if self._obs:
+                    self._m_send_failures[transport].inc()
             if report is not None:
                 report(success, size)
 
@@ -204,6 +233,8 @@ class NettyNetwork(ComponentDefinition):
                 f"message of {size} bytes exceeds the {self.buffer_size} byte "
                 f"serialisation buffer; split it into chunks"
             )
+        if self._obs:
+            self._m_wire_bytes.observe(size)
         return size
 
     # ------------------------------------------------------------------
@@ -232,4 +263,6 @@ class NettyNetwork(ComponentDefinition):
 
     def _deliver(self, msg: Any) -> None:
         self.counters["received"] += 1
+        if self._obs:
+            self._m_received.inc()
         self.trigger(msg, self.net)

@@ -11,7 +11,6 @@ routed here like any other indication.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.kompics.channel import Channel, ChannelSelector
 from repro.kompics.component import Component

@@ -39,6 +39,18 @@ class CongestionControl(ABC):
     def on_loss(self, now: float) -> None:
         """React to a loss signal."""
 
+    # ------------------------------------------------------------------
+    # side-effect-free introspection (observability gauges sample these at
+    # snapshot time; unlike demand_rate they must not mutate state)
+    # ------------------------------------------------------------------
+    def window_bytes(self) -> float:
+        """Current effective congestion window, in bytes."""
+        return math.nan
+
+    def current_rate(self) -> float:
+        """Current pacing rate, bytes/second, without rate-control updates."""
+        return math.nan
+
 
 class TcpCc(CongestionControl):
     """TCP Reno-style slow start + AIMD with a window cap.
@@ -84,6 +96,12 @@ class TcpCc(CongestionControl):
         self.loss_episodes += 1
         self.ssthresh = max(self.cwnd / 2.0, 2 * MSS)
         self.cwnd = self.ssthresh
+
+    def window_bytes(self) -> float:
+        return min(max(self.cwnd, 2 * MSS), self.wnd_max)
+
+    def current_rate(self) -> float:
+        return self.window_bytes() / self.rtt
 
 
 class UdtCc(CongestionControl):
@@ -158,6 +176,12 @@ class UdtCc(CongestionControl):
         self.loss_events += 1
         self.rate = max(self.rate * self.DECREASE, self.min_rate)
 
+    def window_bytes(self) -> float:
+        return self.current_rate() * self.rtt
+
+    def current_rate(self) -> float:
+        return min(max(self.rate, self.min_rate), self.max_rate)
+
 
 class UdpCc(CongestionControl):
     """UDP: no congestion control, no reliability, no ordering."""
@@ -217,3 +241,9 @@ class LedbatCc(CongestionControl):
     def on_loss(self, now: float) -> None:
         self.loss_events += 1
         self.rate = max(self.rate / 2.0, self.min_rate)
+
+    def window_bytes(self) -> float:
+        return self.current_rate() * self.rtt
+
+    def current_rate(self) -> float:
+        return max(self.rate, self.min_rate)

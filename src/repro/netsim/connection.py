@@ -101,6 +101,7 @@ class FlowState:
         if self.queued_bytes + msg.size > self.queue_limit_bytes:
             # Socket-buffer overflow (UDP): drop at the sender.
             self.messages_dropped += 1
+            self.link_dir.note_drop()
             msg._sent(False)
             return
         self.queue.append(msg)
@@ -125,7 +126,7 @@ class FlowState:
         self.queued_bytes -= msg.size
         self.bytes_sent += msg.size
         self.messages_sent += 1
-        self.link_dir.bytes_carried += msg.size
+        self.link_dir.note_transmit(msg.size)
 
         self.cc.on_bytes_sent(msg.size, now)
         lost = self.rng.random() < self.link_dir.loss_probability(msg.size)
@@ -144,6 +145,7 @@ class FlowState:
             msg._sent(True)
         else:
             self.messages_dropped += 1
+            self.link_dir.note_drop()
             msg._sent(False)
 
         if self.queue:
@@ -167,6 +169,7 @@ class FlowState:
         self.queued_bytes = 0
         for msg in pending:
             self.messages_dropped += 1
+            self.link_dir.note_drop()
             msg._sent(False)
 
 

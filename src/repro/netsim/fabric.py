@@ -14,6 +14,7 @@ from repro.netsim.congestion import CongestionControl, LedbatCc, TcpCc, UdpCc, U
 from repro.netsim.disk import DiskModel
 from repro.netsim.host import NetworkStack, SimHost
 from repro.netsim.link import Link, LinkDirection, LinkSpec, Proto
+from repro.obs import get_registry, get_tracer
 from repro.sim import Simulator
 from repro.util.ids import IdGenerator
 from repro.util.rng import RngRegistry
@@ -50,6 +51,10 @@ class SimNetwork:
         self.config = Config(NETSIM_DEFAULTS).with_overrides(config or {})
         self.ids = IdGenerator()
         self.connect_timeout = connect_timeout
+        self.metrics = get_registry()
+        self.tracer = get_tracer()
+        if self.tracer.enabled:
+            self.tracer.use_clock(sim.clock)
         self.hosts: Dict[str, SimHost] = {}
         self.links: Dict[Tuple[str, str], Link] = {}
         self._loopbacks: Dict[str, Link] = {}
@@ -148,6 +153,7 @@ class SimNetwork:
         """
         from repro.netsim.connection import ConnectionState
 
+        self.tracer.event("netsim.rtt_refresh")
         updated = 0
         for host in self.hosts.values():
             for conn in host.stack.connections:

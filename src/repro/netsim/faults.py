@@ -11,6 +11,7 @@ from typing import List, Optional
 from repro.netsim.connection import Connection, ConnectionState
 from repro.netsim.fabric import SimNetwork
 from repro.netsim.link import Link
+from repro.obs import get_registry, get_tracer
 
 
 class FaultInjector:
@@ -18,6 +19,12 @@ class FaultInjector:
 
     def __init__(self, network: SimNetwork) -> None:
         self.network = network
+        metrics = get_registry()
+        self.tracer = get_tracer()
+        self._m_cuts = metrics.counter("netsim.faults.link_cuts_total")
+        self._m_restores = metrics.counter("netsim.faults.link_restores_total")
+        self._m_degrades = metrics.counter("netsim.faults.link_degrades_total")
+        self._m_conn_drops = metrics.counter("netsim.faults.connection_drops_total")
 
     # ------------------------------------------------------------------
     # link faults
@@ -30,6 +37,8 @@ class FaultInjector:
         """
         link = self.network.link_between(ip_a, ip_b)
         link.set_up(False)
+        self._m_cuts.inc()
+        self.tracer.event("netsim.fault.link_cut", a=ip_a, b=ip_b, duration=duration)
         for conn in self._connections_over(ip_a, ip_b):
             conn.close(notify_peer=False)
         if duration is not None:
@@ -39,6 +48,8 @@ class FaultInjector:
     def restore_link(self, ip_a: str, ip_b: str) -> Link:
         link = self.network.link_between(ip_a, ip_b)
         link.set_up(True)
+        self._m_restores.inc()
+        self.tracer.event("netsim.fault.link_restore", a=ip_a, b=ip_b)
         return link
 
     def degrade_link(
@@ -60,6 +71,11 @@ class FaultInjector:
         link = self.network.link_between(ip_a, ip_b)
         link.forward.update_spec(spec)
         link.backward.update_spec(spec_reverse if spec_reverse is not None else spec)
+        self._m_degrades.inc()
+        self.tracer.event(
+            "netsim.fault.link_degrade", a=ip_a, b=ip_b,
+            bandwidth=spec.bandwidth, delay=spec.delay, loss=spec.loss,
+        )
         self.network.refresh_rtts()
         return link
 
@@ -69,6 +85,10 @@ class FaultInjector:
     def drop_connection(self, conn: Connection) -> None:
         """Abort one connection (both sides, instantly)."""
         peer = conn.peer
+        self._m_conn_drops.inc()
+        self.tracer.event(
+            "netsim.fault.connection_drop", conn=conn.id, proto=conn.proto.value
+        )
         conn.close(notify_peer=False)
         if peer is not None:
             peer.close(notify_peer=False)

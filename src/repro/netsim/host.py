@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import AddressError, NetworkError, TransportError
+from repro.errors import NetworkError
 from repro.netsim.connection import Connection, ConnectionState, FlowState, WireMessage
 from repro.netsim.disk import DiskModel
 from repro.netsim.link import Proto
@@ -189,6 +189,22 @@ class NetworkStack:
         )
         conn = Connection(self, local, remote, proto, flow, conn_id)
         conn_box.append(conn)
+
+        metrics = self.network.metrics
+        metrics.counter("netsim.connections_total", proto=proto.value).inc()
+        self.network.tracer.event(
+            "netsim.connection_open", conn=conn_id, proto=proto.value,
+            local=f"{local[0]}:{local[1]}", remote=f"{remote[0]}:{remote[1]}",
+        )
+        if metrics.enabled:
+            # Sampled only at snapshot time: congestion window and pacing
+            # rate per connection, via the side-effect-free cc accessors.
+            labels = {"conn": str(conn_id), "proto": proto.value, "host": self.ip}
+            metrics.gauge("netsim.cc.window_bytes", **labels).set_function(cc.window_bytes)
+            metrics.gauge("netsim.cc.rate", **labels).set_function(cc.current_rate)
+            metrics.gauge("netsim.cc.queued_bytes", **labels).set_function(
+                lambda: flow.queued_bytes
+            )
         return conn
 
     # ------------------------------------------------------------------

@@ -7,6 +7,8 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import get_registry
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.connection import FlowState
 
@@ -89,6 +91,31 @@ class LinkDirection:
         self.up = True
         self._active: List["FlowState"] = []
         self.bytes_carried = 0.0
+
+        # Per-direction wire accounting (no-ops unless a registry is enabled).
+        metrics = get_registry()
+        self._obs = metrics.enabled
+        self._m_bytes = metrics.counter("netsim.link.bytes_total", link=name)
+        self._m_messages = metrics.counter("netsim.link.messages_total", link=name)
+        self._m_drops = metrics.counter("netsim.link.drops_total", link=name)
+        if metrics.enabled:
+            metrics.gauge("netsim.link.active_flows", link=name).set_function(
+                lambda: len(self._active)
+            )
+
+    # ------------------------------------------------------------------
+    # wire accounting (called by FlowState on the transmit path)
+    # ------------------------------------------------------------------
+    def note_transmit(self, nbytes: int) -> None:
+        """Account one message put on the wire in this direction."""
+        self.bytes_carried += nbytes
+        if self._obs:
+            self._m_bytes.inc(nbytes)
+            self._m_messages.inc()
+
+    def note_drop(self) -> None:
+        """Account one message lost in this direction (loss, cut, abort)."""
+        self._m_drops.inc()
 
     def update_spec(self, spec: LinkSpec) -> None:
         """Change the direction's characteristics at runtime.

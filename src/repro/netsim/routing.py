@@ -17,7 +17,6 @@ of link directions.  A composite path quacks like a single
 
 from __future__ import annotations
 
-import math
 from typing import TYPE_CHECKING, Sequence, Tuple
 
 from repro.netsim.link import LinkDirection, LinkSpec
@@ -65,6 +64,18 @@ class CompositePath:
 
     def allocate_rate(self, flow: "FlowState") -> float:
         return max(min(d.allocate_rate(flow) for d in self._dirs), 1.0)
+
+    # ------------------------------------------------------------------
+    # wire accounting: every hop carries the bytes
+    # ------------------------------------------------------------------
+    def note_transmit(self, nbytes: int) -> None:
+        self.bytes_carried += nbytes
+        for d in self._dirs:
+            d.note_transmit(nbytes)
+
+    def note_drop(self) -> None:
+        for d in self._dirs:
+            d.note_drop()
 
     # ------------------------------------------------------------------
     # loss

@@ -12,11 +12,12 @@ on *new* connections, so attach the tracer before the traffic starts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.netsim.connection import Connection, FlowState
+from repro.netsim.connection import Connection
 from repro.netsim.fabric import SimNetwork
 from repro.netsim.host import NetworkStack
+from repro.obs import get_registry
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,13 @@ class NetworkTracer:
         self.network = network
         self.keep = keep
         self.records: List[TraceRecord] = []
+        # Running totals survive ``keep`` trimming, so the aggregate queries
+        # stay exact even when old records have been discarded.
+        self._event_counts: Dict[Tuple[str, str], int] = {}
+        self._tx_bytes: Dict[str, int] = {}
+        self._metrics = get_registry()
+        self._m_events: Dict[Tuple[str, str], Any] = {}
+        self._m_tx: Dict[str, Any] = {}
         self._original_build = NetworkStack._build_connection
         self._attached = False
 
@@ -105,18 +113,37 @@ class NetworkTracer:
         flow.deliver = deliver_and_record  # type: ignore[method-assign]
 
     def _record(self, kind: str, conn: Connection, size: int, rate: float) -> None:
+        proto = conn.proto.value
         self.records.append(
             TraceRecord(
                 time=self.network.sim.now,
                 kind=kind,
                 conn_id=conn.id,
-                proto=conn.proto.value,
+                proto=proto,
                 src=conn.local,
                 dst=conn.remote,
                 size=size,
                 rate=rate,
             )
         )
+        key = (kind, proto)
+        self._event_counts[key] = self._event_counts.get(key, 0) + 1
+        if self._metrics.enabled:
+            counter = self._m_events.get(key)
+            if counter is None:
+                counter = self._m_events[key] = self._metrics.counter(
+                    "netsim.trace.events_total", kind=kind, proto=proto
+                )
+            counter.inc()
+        if kind == "tx":
+            self._tx_bytes[proto] = self._tx_bytes.get(proto, 0) + size
+            if self._metrics.enabled:
+                counter = self._m_tx.get(proto)
+                if counter is None:
+                    counter = self._m_tx[proto] = self._metrics.counter(
+                        "netsim.trace.tx_bytes_total", proto=proto
+                    )
+                counter.inc(size)
         if self.keep is not None and len(self.records) > self.keep:
             del self.records[: len(self.records) - self.keep]
 
@@ -130,10 +157,20 @@ class NetworkTracer:
         return [r for r in self.records if r.conn_id == conn_id]
 
     def bytes_transmitted(self, proto: Optional[str] = None) -> int:
-        return sum(
-            r.size for r in self.records
-            if r.kind == "tx" and (proto is None or r.proto == proto)
-        )
+        """Total bytes put on the wire since attachment.
+
+        Computed from running totals, not the record list, so the answer
+        is exact even when ``keep`` has trimmed old records away.
+        """
+        if proto is not None:
+            return self._tx_bytes.get(proto, 0)
+        return sum(self._tx_bytes.values())
+
+    def event_count(self, kind: str, proto: Optional[str] = None) -> int:
+        """Events of ``kind`` seen since attachment (trim-proof)."""
+        if proto is not None:
+            return self._event_counts.get((kind, proto), 0)
+        return sum(n for (k, _), n in self._event_counts.items() if k == kind)
 
     def rate_series(self, conn_id: int) -> List[tuple]:
         """(time, pacing rate) samples of a connection's transmissions."""

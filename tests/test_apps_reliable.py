@@ -1,6 +1,5 @@
 """Reliability layer: exactly-once FIFO over the at-most-once network."""
 
-import pytest
 
 from repro.apps.reliable import (
     AckMsg,

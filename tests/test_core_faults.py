@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import StaticRatio, ProtocolRatio
 from repro.netsim import FaultInjector
-from repro.messaging import Transport
 
 from tests.messaging_helpers import MB
 from tests.test_core_interceptor import make_data_world, send_data

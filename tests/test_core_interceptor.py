@@ -5,14 +5,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.core import (
-    DataNetwork,
-    PatternSelection,
-    ProtocolRatio,
-    RandomSelection,
-    StaticRatio,
-    TDRatioLearner,
-)
+from repro.core import DataNetwork, PatternSelection, ProtocolRatio, StaticRatio, TDRatioLearner
 from repro.kompics import KompicsSystem
 from repro.messaging import (
     BasicAddress,

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import PatternForm, ProtocolRatio, signed_of_counts
+from repro.core import ProtocolRatio, signed_of_counts
 from repro.errors import RatioError
 from repro.messaging import Transport
 

@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.errors import SchedulingError
 from repro.kompics import ComponentDefinition, KompicsSystem
 from repro.kompics.component import ComponentState
 from repro.sim import Simulator
 
-from tests.kompics_fixtures import Client, Ping, PingPort, Pong, Server
+from tests.kompics_fixtures import Client, PingPort, Server
 
 
 @pytest.fixture()

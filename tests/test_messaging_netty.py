@@ -1,7 +1,6 @@
 import pytest
 
 from repro.errors import ComponentError
-from repro.kompics import KompicsSystem
 from repro.kompics.component import ComponentState
 from repro.messaging import (
     BasicAddress,

@@ -1,12 +1,6 @@
 import pytest
 
-from repro.messaging import (
-    BasicHeader,
-    Network,
-    Transport,
-    VirtualAddress,
-    VirtualNetworkChannel,
-)
+from repro.messaging import BasicHeader, Transport, VirtualAddress, VirtualNetworkChannel
 
 from tests.messaging_helpers import Blob, Collector, make_world
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.netsim import ConnectionState, LinkSpec, Proto, SimNetwork, WireMessage
-from repro.netsim.connection import FlowState
 from repro.sim import Simulator
 
 from tests.netsim_helpers import MB, Sink, make_pair

@@ -1,10 +1,9 @@
 """Property-based end-to-end tests of the transport substrate."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.netsim import ConnectionState, LinkSpec, Proto, SimNetwork, WireMessage
+from repro.netsim import LinkSpec, Proto, SimNetwork, WireMessage
 from repro.sim import Simulator
 
 from tests.netsim_helpers import MB, Sink, make_pair

@@ -1,6 +1,5 @@
 """Network tracer tests."""
 
-import pytest
 
 from repro.netsim import Proto, WireMessage
 from repro.netsim.trace import NetworkTracer
