@@ -8,8 +8,11 @@
   traces, and offline selection-skew sampling.
 * :mod:`repro.bench.figures` — one function per paper figure, returning
   structured rows and printing the table the figure plots.
+* :mod:`repro.bench.faults` — scripted fault campaigns (cut / degrade /
+  restore) exercising the channel-recovery layer.
 """
 
+from repro.bench.faults import FAULT_ENV, FaultCampaignResult, run_fault_campaign
 from repro.bench.harness import (
     LatencyResult,
     LearnerTrace,
@@ -36,4 +39,7 @@ __all__ = [
     "run_latency_experiment",
     "run_learner_trace",
     "run_selection_skew",
+    "FAULT_ENV",
+    "FaultCampaignResult",
+    "run_fault_campaign",
 ]

@@ -1,0 +1,173 @@
+"""Fault campaigns: scripted cut/degrade/restore timelines (resilience).
+
+Drives the channel-recovery layer end to end: a ping-pong control stream
+(TCP) and a bulk file transfer share one link, a scripted
+:class:`~repro.netsim.faults.FaultInjector` timeline takes that link down
+mid-transfer (and optionally degrades it afterwards), and the campaign
+reports how the middleware recovered — reconnect attempts, recovered
+channels, fallback activations — through ``repro.obs`` metrics and trace
+events.
+
+Run it instrumented via :func:`repro.bench.harness.run_observed` (the
+``repro faults`` CLI subcommand does) so the recovery counters and the
+``messaging.reconnect_*`` trace events land in the snapshot document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.apps import FileReceiver, FileSender, Pinger, Ponger, SyntheticDataset
+from repro.apps.filetransfer.chunks import PAPER_CHUNK_BYTES as CHUNK
+from repro.bench.harness import run_in_steps, wire_endpoint
+from repro.bench.scenario import MB, Setup, TestbedPair
+from repro.kompics import SimTimerComponent, Timer
+from repro.messaging import Transport
+from repro.netsim import LinkSpec
+from repro.netsim.faults import FaultInjector
+from repro.obs import get_registry, get_tracer
+
+#: the default campaign environment: a modest point-to-point WAN-ish link
+#: whose RTT keeps reconnect handshakes visibly non-free
+FAULT_ENV = Setup(name="fault-env", rtt=0.01, bandwidth=20 * MB, udp_cap=None)
+
+
+@dataclass(frozen=True)
+class FaultCampaignResult:
+    """What one scripted campaign observed (metrics read from the active
+    registry; zeros when run without instrumentation)."""
+
+    setup: str
+    sim_time: float
+    cut_at: float
+    cut_duration: float
+    pings_sent: int
+    pings_answered: int
+    transfer_bytes: int
+    transfer_progress: float
+    transfer_done: bool
+    reconnect_attempts: int
+    reconnect_recovered: int
+    reconnect_giveups: int
+    fallback_activations: int
+    backoff_delays: Tuple[float, ...]
+
+    @property
+    def ping_loss(self) -> int:
+        return self.pings_sent - self.pings_answered
+
+
+def run_fault_campaign(
+    setup: Setup = FAULT_ENV,
+    duration: float = 20.0,
+    cut_at: float = 3.0,
+    cut_duration: float = 2.0,
+    degrade_at: Optional[float] = None,
+    degrade_duration: float = 3.0,
+    transfer_bytes: int = 8 * MB,
+    transfer_transport: Transport = Transport.TCP,
+    ping_interval: float = 0.25,
+    seed: int = 0,
+    recovery: bool = True,
+    fallback: bool = False,
+    reconnect: Optional[Dict[str, object]] = None,
+    connect_timeout: float = 1.0,
+) -> FaultCampaignResult:
+    """Ping-pong + file transfer through a scripted fault timeline.
+
+    The link between the two endpoints is cut at ``cut_at`` for
+    ``cut_duration`` seconds (auto-restored by the injector); with
+    ``degrade_at`` set, the link is additionally degraded to a quarter of
+    its bandwidth with 1% loss for ``degrade_duration`` seconds, then
+    restored.  ``recovery=False`` runs the same timeline on the bare
+    middleware (today's message-loss behaviour) for comparison.
+
+    ``reconnect`` entries override ``messaging.reconnect.*`` keys, e.g.
+    ``{"jitter": 0.0, "base_delay": 0.1}``.  ``connect_timeout`` governs
+    how long a dial into a dead link blocks before failing — campaigns
+    want it well below the paper-faithful 5 s default so backoff, not the
+    dial timeout, dominates the recovery time.
+    """
+    if setup.local:
+        raise ValueError("fault campaigns need a point-to-point setup (a link to cut)")
+    sys_config: Dict[str, object] = {}
+    if recovery:
+        sys_config["messaging.reconnect.enabled"] = True
+        for key, value in (reconnect or {}).items():
+            sys_config[f"messaging.reconnect.{key}"] = value
+    if fallback:
+        sys_config["messaging.fallback.enabled"] = True
+
+    pair = TestbedPair(setup, seed=seed, sys_config=sys_config)
+    pair.fabric.connect_timeout = connect_timeout
+    snd = wire_endpoint(pair, pair.sender, "snd", data=False)
+    rcv = wire_endpoint(pair, pair.receiver, "rcv", data=False)
+
+    pinger = pair.system.create(
+        Pinger, pair.sender.address, pair.receiver.address,
+        transport=Transport.TCP, interval=ping_interval,
+    )
+    ponger = pair.system.create(Ponger, pair.receiver.address)
+    timer = pair.system.create(SimTimerComponent)
+    pair.system.connect(timer.provided(Timer), pinger.required(Timer))
+    snd.attach(pair.system, pinger)
+    rcv.attach(pair.system, ponger)
+
+    dataset = SyntheticDataset(size=transfer_bytes, chunk_size=CHUNK, seed=seed)
+    sender = pair.system.create(
+        FileSender, pair.sender.address, pair.receiver.address, dataset,
+        transport=transfer_transport, disk=pair.sender.disk,
+    )
+    receiver = pair.system.create(
+        FileReceiver, pair.receiver.address, disk=pair.receiver.disk,
+    )
+    snd.attach(pair.system, sender)
+    rcv.attach(pair.system, receiver)
+
+    injector = FaultInjector(pair.fabric)
+    ip_a, ip_b = pair.sender.host.ip, pair.receiver.host.ip
+    injector.at(
+        cut_at, lambda: injector.cut_link(ip_a, ip_b, duration=cut_duration)
+    )
+    if degrade_at is not None:
+        degraded = LinkSpec(
+            bandwidth=setup.bandwidth / 4, delay=setup.one_way_delay,
+            loss=0.01, udp_cap=setup.udp_cap,
+        )
+        restored = LinkSpec(
+            bandwidth=setup.bandwidth, delay=setup.one_way_delay,
+            loss=setup.loss, udp_cap=setup.udp_cap,
+        )
+        injector.at(degrade_at, lambda: injector.degrade_link(ip_a, ip_b, degraded))
+        injector.at(
+            degrade_at + degrade_duration,
+            lambda: injector.degrade_link(ip_a, ip_b, restored),
+        )
+
+    for component in (timer, ponger, receiver, pinger, sender):
+        pair.system.start(component)
+    run_in_steps(pair, duration, lambda: False, step=0.25)
+
+    metrics = get_registry()
+    tracer = get_tracer()
+    backoff = tuple(
+        r.fields["delay"] for r in tracer.named("messaging.reconnect_scheduled")
+    ) if tracer.enabled else ()
+    transfer_id = sender.definition.transfer_id
+    return FaultCampaignResult(
+        setup=setup.name,
+        sim_time=pair.sim.now,
+        cut_at=cut_at,
+        cut_duration=cut_duration,
+        pings_sent=pinger.definition._next_seq,
+        pings_answered=len(pinger.definition.rtts),
+        transfer_bytes=transfer_bytes,
+        transfer_progress=receiver.definition.progress(transfer_id),
+        transfer_done=sender.definition.duration is not None,
+        reconnect_attempts=int(metrics.total("messaging.reconnect.attempts_total")),
+        reconnect_recovered=int(metrics.total("messaging.reconnect.recovered_total")),
+        reconnect_giveups=int(metrics.total("messaging.reconnect.giveups_total")),
+        fallback_activations=int(metrics.total("messaging.fallback.activations_total")),
+        backoff_delays=backoff,
+    )

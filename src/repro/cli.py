@@ -6,6 +6,7 @@ Examples::
     python -m repro transfer --setup EU2US --transport data --size-mb 96 --runs 3
     python -m repro latency --setup EU2AU --data-transport udt
     python -m repro learn --value-function approx --duration 60
+    python -m repro faults --cut-at 3 --cut-duration 2
     python -m repro setups
 """
 
@@ -92,6 +93,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the snapshot to this file instead of stdout")
     obs.add_argument("--trace", action="store_true",
                      help="include trace records in the JSON snapshot")
+
+    faults = sub.add_parser(
+        "faults",
+        help="scripted fault campaign (cut/degrade/restore) with recovery metrics",
+    )
+    faults.add_argument("--duration", type=float, default=20.0,
+                        help="simulated seconds to run")
+    faults.add_argument("--cut-at", type=float, default=3.0,
+                        help="when to cut the link (sim seconds)")
+    faults.add_argument("--cut-duration", type=float, default=2.0,
+                        help="how long the link stays down")
+    faults.add_argument("--degrade-at", type=float, default=None,
+                        help="optionally degrade the link at this time")
+    faults.add_argument("--transfer-mb", type=int, default=8,
+                        help="parallel file-transfer size")
+    faults.add_argument("--transport", type=_transport, default=Transport.TCP,
+                        help="transfer transport (pings always use TCP)")
+    faults.add_argument("--seed", type=int, default=5)
+    faults.add_argument("--no-recovery", action="store_true",
+                        help="run the bare middleware (today's loss behaviour)")
+    faults.add_argument("--fallback", action="store_true",
+                        help="enable degrade-to-TCP transport fallback")
+    faults.add_argument("--jitter", type=float, default=None,
+                        help="override messaging.reconnect.jitter")
+    faults.add_argument("--format", choices=("summary", "json"), default="summary",
+                        help="human summary or the full obs snapshot document")
+    faults.add_argument("--output", default=None,
+                        help="write the output to this file instead of stdout")
 
     return parser
 
@@ -232,6 +261,64 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.bench.faults import run_fault_campaign
+    from repro.bench.harness import run_observed
+
+    reconnect = {} if args.jitter is None else {"jitter": args.jitter}
+    result, document = run_observed(
+        run_fault_campaign,
+        duration=args.duration,
+        cut_at=args.cut_at,
+        cut_duration=args.cut_duration,
+        degrade_at=args.degrade_at,
+        transfer_bytes=args.transfer_mb * MB,
+        transfer_transport=args.transport,
+        seed=args.seed,
+        recovery=not args.no_recovery,
+        fallback=args.fallback,
+        reconnect=reconnect,
+        meta={"seed": args.seed, "duration": args.duration},
+    )
+
+    if args.format == "json":
+        from repro.obs.export import _json_default, _sanitize
+
+        document["meta"]["summary"] = dataclasses.asdict(result)
+        text = json.dumps(
+            _sanitize(document), indent=2, sort_keys=True, default=_json_default
+        )
+    else:
+        mode = "bare (no recovery)" if args.no_recovery else "recovery on"
+        lines = [
+            f"fault campaign on {result.setup} ({mode}): "
+            f"link cut at {result.cut_at:.1f}s for {result.cut_duration:.1f}s",
+            f"  pings           {result.pings_answered}/{result.pings_sent} answered "
+            f"({result.ping_loss} lost)",
+            f"  transfer        {result.transfer_progress:.1%} of "
+            f"{result.transfer_bytes // MB} MB"
+            + (" (complete)" if result.transfer_done else ""),
+            f"  reconnects      {result.reconnect_attempts} attempt(s), "
+            f"{result.reconnect_recovered} recovered, {result.reconnect_giveups} gave up",
+            f"  fallbacks       {result.fallback_activations}",
+        ]
+        if result.backoff_delays:
+            delays = ", ".join(f"{d:.3f}" for d in result.backoff_delays)
+            lines.append(f"  backoff (s)     {delays}")
+        text = "\n".join(lines)
+
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.format} output to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _document_lines(metrics: dict) -> List[str]:
     """Flat ``name{labels} value`` lines from a snapshot's metrics section."""
     import math
@@ -264,6 +351,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "latency": cmd_latency,
         "learn": cmd_learn,
         "obs": cmd_obs,
+        "faults": cmd_faults,
     }
     return handlers[args.command](args)
 

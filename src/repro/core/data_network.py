@@ -22,7 +22,7 @@ from repro.kompics.timer import SimTimerComponent, Timer
 from repro.messaging.address import Address
 from repro.messaging.compression import CompressionCodec
 from repro.messaging.netty import DEFAULT_PROTOCOLS, NettyNetwork
-from repro.messaging.network_port import MessageNotify, Network
+from repro.messaging.network_port import MessageNotify, Network, TransportStatus
 from repro.messaging.serialization import SerializerRegistry
 from repro.messaging.transport import Transport
 from repro.netsim.host import SimHost
@@ -69,7 +69,11 @@ class DataNetwork(ComponentDefinition):
 
         def owned_resp(event: KompicsEvent) -> bool:
             # Only the interceptor's own send notifications flow back into
-            # it; inbound messages go straight to consumers.
+            # it; inbound messages go straight to consumers.  Transport
+            # health events also reach the interceptor so the selector can
+            # steer flows away from a dead transport (recovery fallback).
+            if isinstance(event, (TransportStatus.Down, TransportStatus.Up)):
+                return True
             return isinstance(event, MessageNotify.Resp) and interceptor_def.owns_notify_id(
                 event.notify_id
             )

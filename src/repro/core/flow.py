@@ -81,6 +81,9 @@ class DestinationFlow:
 
         self._queue: Deque[_Queued] = deque()
         self._in_flight: Dict[int, _InFlight] = {}
+        #: transports held out of selection until the given sim time
+        #: (transport-fallback signal from the recovery layer, §IV-A)
+        self._down_until: Dict[Transport, float] = {}
 
         self._episode_start = clock.now()
         self._bytes_acked = 0
@@ -106,6 +109,7 @@ class DestinationFlow:
             "rl.selection_total", transport="udt", **labels
         )
         self._m_episodes = metrics.counter("rl.flow.episodes_total", **labels)
+        self._m_overrides = metrics.counter("rl.flow.fallback_overrides_total", **labels)
         self._m_ratio = metrics.gauge("rl.flow.ratio_signed", **labels)
         self._m_reward = metrics.gauge("rl.flow.reward", **labels)
         if metrics.enabled:
@@ -128,6 +132,8 @@ class DestinationFlow:
         while self._queue and len(self._in_flight) < self.window_messages:
             item = self._queue.popleft()
             transport = self.psp.select()
+            if self._down_until:
+                transport = self._apply_transport_hold(transport)
             if transport is Transport.TCP:
                 self._tcp_released += 1
                 if self._obs:
@@ -142,6 +148,39 @@ class DestinationFlow:
                 item.consumer_notify_id, item.enqueued_at, transport
             )
             self._release(req)
+
+    # ------------------------------------------------------------------
+    # transport fallback (recovery layer → selector penalty, §IV-A)
+    # ------------------------------------------------------------------
+    def mark_transport_down(self, transport: Transport, until: float) -> None:
+        """Hold ``transport`` out of the release path until sim time ``until``.
+
+        Released messages the PSP prescribes for a held transport go out
+        over the alternative instead; the resulting skew between prescribed
+        and true ratio — and the failures that triggered the hold — are the
+        penalty signal the ratio policy learns from.
+        """
+        self._down_until[transport] = max(self._down_until.get(transport, 0.0), until)
+        self._tracer.event(
+            "rl.transport_hold", dest=self._dest, transport=transport.value,
+            until=until,
+        )
+
+    def mark_transport_up(self, transport: Transport) -> None:
+        if self._down_until.pop(transport, None) is not None:
+            self._tracer.event(
+                "rl.transport_release", dest=self._dest, transport=transport.value,
+            )
+
+    def _apply_transport_hold(self, transport: Transport) -> Transport:
+        now = self.clock.now()
+        if self._down_until.get(transport, 0.0) <= now:
+            return transport
+        other = Transport.UDT if transport is Transport.TCP else Transport.TCP
+        if self._down_until.get(other, 0.0) > now:
+            return transport  # both held: nothing better to offer
+        self._m_overrides.inc()
+        return other
 
     # ------------------------------------------------------------------
     # feedback

@@ -28,7 +28,7 @@ from repro.core.ratio import ProtocolRatio
 from repro.kompics.component import ComponentDefinition
 from repro.kompics.timer import SchedulePeriodicTimeout, Timeout, Timer
 from repro.messaging.message import Msg
-from repro.messaging.network_port import MessageNotify, Network
+from repro.messaging.network_port import MessageNotify, Network, TransportStatus
 from repro.messaging.transport import Transport
 from repro.obs import get_registry
 
@@ -83,9 +83,15 @@ class DataNetworkInterceptor(ComponentDefinition):
 
         self.flows: Dict[FlowKey, DestinationFlow] = {}
         self._owned_notify_ids: set[int] = set()
+        #: how long a TransportStatus.Down holds a transport out of a flow's
+        #: release path (sim seconds); Up indications lift it early
+        self.fallback_hold = self.config.get_float("messaging.fallback.hold", 10.0)
+        #: active holds, kept so flows created mid-outage inherit them
+        self._transport_down: Dict[Tuple[FlowKey, Transport], float] = {}
 
         metrics = get_registry()
         self._m_ticks = metrics.counter("rl.interceptor.ticks_total")
+        self._m_transport_down = metrics.counter("rl.interceptor.transport_down_total")
         if metrics.enabled:
             metrics.gauge("rl.interceptor.flows", component=self.name).set_function(
                 lambda: len(self.flows)
@@ -95,6 +101,8 @@ class DataNetworkInterceptor(ComponentDefinition):
         self.subscribe(self.upper, MessageNotify.Req, self._on_consumer_notify_req)
         self.subscribe(self.lower, Msg, self._on_network_msg)
         self.subscribe(self.lower, MessageNotify.Resp, self._on_network_notify_resp)
+        self.subscribe(self.lower, TransportStatus.Down, self._on_transport_down)
+        self.subscribe(self.lower, TransportStatus.Up, self._on_transport_up)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -141,6 +149,11 @@ class DataNetworkInterceptor(ComponentDefinition):
                 dest=f"{key[0]}:{key[1]}",
             )
             self.flows[key] = flow
+            # A flow created mid-outage inherits the active holds.
+            now = self.clock.now()
+            for (down_key, transport), until in self._transport_down.items():
+                if down_key == key and until > now:
+                    flow.mark_transport_down(transport, until)
         return flow
 
     def _release(self, req: MessageNotify.Req) -> None:
@@ -165,6 +178,26 @@ class DataNetworkInterceptor(ComponentDefinition):
                 if consumer_resp is not None:
                     self.trigger(consumer_resp, self.upper)
                 return
+
+    # ------------------------------------------------------------------
+    # transport health (recovery-layer fallback signal, §IV-A)
+    # ------------------------------------------------------------------
+    def _on_transport_down(self, event: TransportStatus.Down) -> None:
+        if event.transport not in (Transport.TCP, Transport.UDT):
+            return  # only the selectable pair matters to the PSP
+        self._m_transport_down.inc()
+        until = self.clock.now() + self.fallback_hold
+        self._transport_down[(event.remote, event.transport)] = until
+        flow = self.flows.get(event.remote)
+        if flow is not None:
+            flow.mark_transport_down(event.transport, until)
+
+    def _on_transport_up(self, event: TransportStatus.Up) -> None:
+        if self._transport_down.pop((event.remote, event.transport), None) is None:
+            return
+        flow = self.flows.get(event.remote)
+        if flow is not None:
+            flow.mark_transport_up(event.transport)
 
     # ------------------------------------------------------------------
     # episodes

@@ -31,7 +31,8 @@ from repro.messaging.message import (
     RoutingHeader,
 )
 from repro.messaging.netty import NettyNetwork
-from repro.messaging.network_port import MessageNotify, Network
+from repro.messaging.network_port import MessageNotify, Network, TransportStatus
+from repro.messaging.recovery import ChannelRecovery, PendingSend, ReconnectPolicy
 from repro.messaging.serialization import (
     PickleSerializer,
     Serializer,
@@ -58,7 +59,11 @@ __all__ = [
     "BaseMsg",
     "Network",
     "MessageNotify",
+    "TransportStatus",
     "NettyNetwork",
+    "ReconnectPolicy",
+    "ChannelRecovery",
+    "PendingSend",
     "VirtualNetworkChannel",
     "ChannelPool",
     "ChannelRef",

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.messaging.recovery import ChannelRecovery, PendingSend, ReconnectPolicy
 from repro.netsim.connection import Connection, ConnectionState, WireMessage
 from repro.netsim.host import NetworkStack
 from repro.netsim.link import Proto
@@ -21,6 +22,11 @@ from repro.obs import get_registry, get_tracer
 
 Socket = Tuple[str, int]
 ChannelKey = Tuple[Socket, Proto]
+
+#: callback invoked when a recovery campaign exhausts its attempts:
+#: ``(key, pending sends, reason)`` — set by the pool owner for transport
+#: fallback; the default fails every pending send (at-most-once).
+RecoveryExhausted = Callable[[ChannelKey, List[PendingSend], str], None]
 
 
 @dataclass
@@ -71,6 +77,8 @@ class ChannelPool:
         on_message: Callable[[Any, int, Connection], None],
         logger: Optional[logging.Logger] = None,
         hello: Any = None,
+        recovery_policy: Optional[ReconnectPolicy] = None,
+        recovery_rng: Any = None,
     ) -> None:
         self.stack = stack
         self.on_message = on_message
@@ -79,6 +87,23 @@ class ChannelPool:
         #: listening socket, so acceptors can register the channel for reuse
         self.hello = hello
         self.channels: Dict[ChannelKey, ChannelRef] = {}
+        #: owner hook fired when recovery exhausts its attempts (fallback)
+        self.on_recovery_exhausted: Optional[RecoveryExhausted] = None
+        #: owner hook fired when an outbound channel's dial completes —
+        #: proof the wire protocol towards that remote actually works
+        #: (a fallback delivery over another protocol is no such proof)
+        self.on_channel_up: Optional[Callable[[ChannelKey], None]] = None
+        self.recovery: Optional[ChannelRecovery] = None
+        if recovery_policy is not None:
+            self.recovery = ChannelRecovery(
+                sim=stack.sim,
+                policy=recovery_policy,
+                dial=self._redial,
+                flush=self._flush_recovered,
+                give_up=self._recovery_exhausted,
+                rng=recovery_rng,
+                logger=self.logger,
+            )
         metrics = get_registry()
         self.tracer = get_tracer()
         self._m_dialed = metrics.counter("messaging.channels.dialed_total")
@@ -88,6 +113,26 @@ class ChannelPool:
     # ------------------------------------------------------------------
     # outbound
     # ------------------------------------------------------------------
+    def send(self, remote: Socket, proto: Proto, payload: Any, size: int,
+             on_sent: Optional[Callable[[bool], None]] = None,
+             now: float = 0.0) -> None:
+        """Send over the pooled channel, dialling (or recovering) as needed.
+
+        While a recovery campaign runs for ``(remote, proto)`` the message
+        is parked in the campaign's bounded queue instead of being thrown
+        into a connection that is known to be down; beyond the bound the
+        send fails immediately.
+        """
+        key = (remote, proto)
+        if self.recovery is not None and self.recovery.recovering(key):
+            if not self.recovery.queue_send(key, payload, size, on_sent):
+                if on_sent is not None:
+                    on_sent(False)
+            return
+        ref = self.get_or_connect(remote, proto)
+        ref.last_used = max(ref.last_used, now)
+        ref.send(payload, size, on_sent)
+
     def get_or_connect(self, remote: Socket, proto: Proto) -> ChannelRef:
         key = (remote, proto)
         ref = self.channels.get(key)
@@ -96,12 +141,13 @@ class ChannelPool:
         conn = self.stack.connect(
             remote,
             proto,
+            on_connected=lambda c: self._channel_up(key),
             on_failed=lambda c, reason: self._on_gone(key, reason),
             hello=self.hello,
         )
         conn.on_message = self.on_message
         conn.on_closed = lambda c: self._on_gone(key, "closed")
-        ref = ChannelRef(key, conn, outbound=True)
+        ref = ChannelRef(key, conn, outbound=True, now=self.stack.sim.now)
         self.channels[key] = ref
         self._m_dialed.inc()
         self.tracer.event(
@@ -111,16 +157,64 @@ class ChannelPool:
         return ref
 
     # ------------------------------------------------------------------
+    # recovery plumbing
+    # ------------------------------------------------------------------
+    def _redial(self, key: ChannelKey) -> None:
+        """One recovery attempt: dial and report the outcome to recovery."""
+        remote, proto = key
+        conn = self.stack.connect(
+            remote,
+            proto,
+            on_connected=lambda c: self._on_redialed(key),
+            on_failed=lambda c, reason: self._on_gone(key, reason),
+            hello=self.hello,
+        )
+        conn.on_message = self.on_message
+        conn.on_closed = lambda c: self._on_gone(key, "closed")
+        self.channels[key] = ChannelRef(key, conn, outbound=True, now=self.stack.sim.now)
+        self._m_dialed.inc()
+
+    def _on_redialed(self, key: ChannelKey) -> None:
+        if self.recovery is not None:
+            self.recovery.dial_succeeded(key)
+        self._channel_up(key)
+
+    def _channel_up(self, key: ChannelKey) -> None:
+        if self.on_channel_up is not None:
+            self.on_channel_up(key)
+
+    def _flush_recovered(self, key: ChannelKey, pending: List[PendingSend]) -> None:
+        ref = self.channels.get(key)
+        if ref is None or not ref.usable:  # lost again between dial and flush
+            for item in pending:
+                item.fail()
+            return
+        ref.last_used = max(ref.last_used, self.stack.sim.now)
+        for item in pending:
+            ref.send(item.payload, item.size, item.on_sent)
+
+    def _recovery_exhausted(self, key: ChannelKey, pending: List[PendingSend],
+                            reason: str) -> None:
+        if self.on_recovery_exhausted is not None:
+            self.on_recovery_exhausted(key, pending, reason)
+            return
+        for item in pending:
+            item.fail()
+
+    # ------------------------------------------------------------------
     # inbound
     # ------------------------------------------------------------------
-    def register_inbound(self, source: Socket, proto: Proto, conn: Connection) -> None:
+    def register_inbound(self, source: Socket, proto: Proto, conn: Connection,
+                         now: float = 0.0) -> None:
         """Make an accepted connection reusable for replies to ``source``."""
         key = (source, proto)
         existing = self.channels.get(key)
         if existing is not None and existing.usable:
             return
         conn.on_closed = lambda c: self._on_gone(key, "closed")
-        self.channels[key] = ChannelRef(key, conn, outbound=False)
+        # ``now`` matters: a fresh inbound channel with last_used=0 would be
+        # reaped by the first idle sweep right after being accepted.
+        self.channels[key] = ChannelRef(key, conn, outbound=False, now=now)
         self._m_inbound.inc()
 
     def note_traffic_in(self, source: Socket, proto: Proto, size: int,
@@ -139,23 +233,39 @@ class ChannelPool:
         if ref is not None and not ref.usable:
             del self.channels[key]
             self.logger.debug("channel %s dropped (%s)", key, reason)
+            # Deliberate closes (reap_idle, close_all) remove the ref from
+            # the map *before* closing, so only genuine failures get here
+            # with a live ref — those are the ones worth recovering.
+            if self.recovery is not None and ref.outbound:
+                self.recovery.channel_lost(key, reason)
 
     def close_all(self) -> None:
-        for ref in list(self.channels.values()):
+        if self.recovery is not None:
+            self.recovery.shutdown()
+        refs = list(self.channels.values())
+        self.channels.clear()  # cleared first: close() must not look like a cut
+        for ref in refs:
             ref.conn.close()
-        self.channels.clear()
 
     def reap_idle(self, now: float, idle_timeout: float) -> int:
         """Drop channels unused for ``idle_timeout`` seconds (§III-C).
 
         The paper is deliberately conservative here — establishment can be
         expensive (e.g. NAT hole punching) — so reaping only runs when the
-        owner explicitly enables an idle timeout.  Returns the number of
-        channels closed.
+        owner explicitly enables an idle timeout.  Dead channels whose
+        close/fail callbacks never fired are evicted unconditionally so
+        they cannot leak in the pool.  Returns the number of channels
+        dropped.
         """
         reaped = 0
         for key, ref in list(self.channels.items()):
-            if not ref.usable or now - ref.last_used < idle_timeout:
+            if not ref.usable:
+                del self.channels[key]
+                reaped += 1
+                self._m_reaped.inc()
+                self.logger.debug("evicted dead channel %s", key)
+                continue
+            if now - ref.last_used < idle_timeout:
                 continue
             if ref.conn.flow.queued_bytes > 0 or ref.conn.flow.busy:
                 continue  # definitely still in use

@@ -16,21 +16,22 @@ instances for more ports (§III-A).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import SerializationError, TransportError
 from repro.kompics.component import ComponentDefinition
 from repro.messaging.address import Address
-from repro.messaging.channels import ChannelPool
+from repro.messaging.channels import ChannelKey, ChannelPool
 from repro.messaging.compression import CompressionCodec, codec_by_name, compressibility_of
-from repro.messaging.message import Msg
-from repro.messaging.network_port import MessageNotify, Network
+from repro.messaging.message import Msg, RoutingHeader
+from repro.messaging.network_port import MessageNotify, Network, TransportStatus
+from repro.messaging.recovery import PendingSend, ReconnectPolicy
 from repro.messaging.serialization import SerializerRegistry
 from repro.messaging.transport import Transport
 from repro.netsim.connection import Connection
 from repro.netsim.host import Listener, SimHost
 from repro.netsim.link import Proto
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 
 # The paper's three protocols plus the LEDBAT extension; simulated
 # listeners are free, so the extension is enabled by default here (the
@@ -83,10 +84,24 @@ class NettyNetwork(ComponentDefinition):
             compression = codec_by_name(self.config.get_str("messaging.compression", "snappy-sim"))
         self.compression = compression
 
+        # Channel recovery (§III-B/§III-C): default-off — without the
+        # switch the pool behaves byte-for-byte like the bare middleware.
+        recovery_policy = None
+        recovery_rng = None
+        if self.config.get_bool("messaging.reconnect.enabled", False):
+            recovery_policy = ReconnectPolicy.from_config(self.config)
+            recovery_rng = self.rng("reconnect")
+        self._fallback_enabled = self.config.get_bool("messaging.fallback.enabled", False)
+        #: protocols currently known-bad per remote (fallback bookkeeping)
+        self._down: Set[ChannelKey] = set()
+
         self.pool = ChannelPool(
             host.stack, self._on_wire_message, self.logger,
             hello=self_address.as_socket(),
+            recovery_policy=recovery_policy, recovery_rng=recovery_rng,
         )
+        self.pool.on_recovery_exhausted = self._on_recovery_exhausted
+        self.pool.on_channel_up = self._on_channel_up
         idle = self.config.get("messaging.channel_idle_timeout", None)
         self._idle_timeout = float(idle) if idle is not None else None
         self._sweep_armed = False
@@ -97,7 +112,9 @@ class NettyNetwork(ComponentDefinition):
 
         metrics = get_registry()
         self._obs = metrics.enabled
+        self.tracer = get_tracer()
         instance = f"{self_address.ip}:{self_address.port}"
+        self._m_fallbacks = metrics.counter("messaging.fallback.activations_total")
         self._m_sent = {
             t: metrics.counter("messaging.sent_total", transport=t.value)
             for t in self.protocols
@@ -207,9 +224,8 @@ class NettyNetwork(ComponentDefinition):
             return
 
         size = self._wire_size(msg)
-        ref = self.pool.get_or_connect(destination.as_socket(), transport.to_proto())
-        ref.last_used = self.clock.now()
-        self._arm_channel_sweep()
+        remote = destination.as_socket()
+        proto = transport.to_proto()
 
         def on_sent(success: bool) -> None:
             if success:
@@ -223,7 +239,8 @@ class NettyNetwork(ComponentDefinition):
             if report is not None:
                 report(success, size)
 
-        ref.send(msg, size, on_sent)
+        self.pool.send(remote, proto, msg, size, on_sent, now=self.clock.now())
+        self._arm_channel_sweep()
 
     def _wire_size(self, msg: Msg) -> int:
         frame = self.serializers.wire_size(msg)
@@ -238,6 +255,62 @@ class NettyNetwork(ComponentDefinition):
         return size
 
     # ------------------------------------------------------------------
+    # recovery fallback
+    # ------------------------------------------------------------------
+    def _on_recovery_exhausted(self, key: ChannelKey, pending: List[PendingSend],
+                               reason: str) -> None:
+        """A reconnect campaign gave up: degrade to TCP or fail the queue.
+
+        Either way the consumers (and, through the DataNetwork wiring, the
+        adaptive selector) are told the transport is down so they can stop
+        prescribing it (§IV-A's penalty signal for the Sarsa(λ) learner).
+        """
+        remote, proto = key
+        transport = Transport(proto.value)
+        self._down.add(key)
+        self.trigger(TransportStatus.Down(remote, transport, reason), self.net)
+        can_fall_back = (
+            self._fallback_enabled
+            and proto is not Proto.TCP
+            and Transport.TCP in self.protocols
+        )
+        if can_fall_back and pending:
+            self._m_fallbacks.inc()
+            self.tracer.event(
+                "messaging.transport_fallback",
+                remote=f"{remote[0]}:{remote[1]}", down=proto.value, via="tcp",
+                pending=len(pending), reason=reason,
+            )
+            self.logger.debug(
+                "%s: %s to %s down (%s); degrading %d pending message(s) to tcp",
+                self.name, proto.value, remote, reason, len(pending),
+            )
+            now = self.clock.now()
+            for item in pending:
+                self.pool.send(remote, Proto.TCP, item.payload, item.size,
+                               item.on_sent, now=now)
+            return
+        for item in pending:
+            item.fail()
+
+    def _on_channel_up(self, key: ChannelKey) -> None:
+        """A dial over ``key``'s protocol completed: lift any Down mark.
+
+        Deliberately keyed to *dial success on that protocol*, not to a
+        delivered message — a fallback delivery over TCP says nothing
+        about whether UDT is back.
+        """
+        if key not in self._down:
+            return
+        self._down.discard(key)
+        remote, proto = key
+        self.trigger(TransportStatus.Up(remote, Transport(proto.value)), self.net)
+        self.tracer.event(
+            "messaging.transport_up",
+            remote=f"{remote[0]}:{remote[1]}", proto=proto.value,
+        )
+
+    # ------------------------------------------------------------------
     # receive path
     # ------------------------------------------------------------------
     def _on_accept(self, conn: Connection) -> None:
@@ -247,7 +320,9 @@ class NettyNetwork(ComponentDefinition):
         # message header's *source* must NOT be used here — with multi-hop
         # RoutingHeaders it names the original sender, not the peer.)
         if conn.peer_hello is not None:
-            self.pool.register_inbound(tuple(conn.peer_hello), conn.proto, conn)
+            self.pool.register_inbound(
+                tuple(conn.peer_hello), conn.proto, conn, now=self.clock.now()
+            )
             self._arm_channel_sweep()
 
     def _on_wire_message(self, payload: Any, size: int, conn: Connection) -> None:
@@ -259,7 +334,18 @@ class NettyNetwork(ComponentDefinition):
         self._deliver(msg)
 
     def _on_datagram(self, payload: Any, size: int, src: Tuple[str, int]) -> None:
-        self._deliver(payload)
+        # Datagrams carry no connection hello, and ``src`` is the sender's
+        # ephemeral socket — but a basic header's source names the sending
+        # middleware instance, which is exactly the key an outbound UDP
+        # channel to that peer is pooled under.  Crediting it keeps UDP
+        # stats symmetric with TCP/UDT and visible to the idle sweep.
+        # (Routed headers name the origin, not the peer — skip those.)
+        msg = payload
+        if isinstance(msg, Msg) and not isinstance(msg.header, RoutingHeader):
+            self.pool.note_traffic_in(
+                msg.header.source.as_socket(), Proto.UDP, size, now=self.clock.now()
+            )
+        self._deliver(msg)
 
     def _deliver(self, msg: Any) -> None:
         self.counters["received"] += 1

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import itertools
+from typing import Tuple
 
 from repro.kompics.event import KompicsEvent
 from repro.kompics.port import PortType
 from repro.messaging.message import Msg
+from repro.messaging.transport import Transport
 
 _notify_ids = itertools.count()
 
@@ -42,12 +44,47 @@ class MessageNotify:
             return f"MessageNotify.Resp(#{self.notify_id} {state} at {self.sent_at:.6f})"
 
 
+class TransportStatus:
+    """Namespace for transport-health indications (channel-recovery layer).
+
+    The network component emits ``Down`` when a wire protocol's reconnect
+    campaign towards a remote instance is exhausted (the channel cannot be
+    re-established) and ``Up`` when traffic over that protocol succeeds
+    again.  The data interceptor uses these to steer the adaptive selector
+    away from a dead transport (degrade-to-TCP fallback); plain consumers
+    may use them for their own failover logic.
+    """
+
+    class Down(KompicsEvent):
+        __slots__ = ("remote", "transport", "reason")
+
+        def __init__(self, remote: Tuple[str, int], transport: Transport,
+                     reason: str = "") -> None:
+            self.remote = remote
+            self.transport = transport
+            self.reason = reason
+
+        def __repr__(self) -> str:  # pragma: no cover - debugging aid
+            return f"TransportStatus.Down({self.remote}, {self.transport.value})"
+
+    class Up(KompicsEvent):
+        __slots__ = ("remote", "transport")
+
+        def __init__(self, remote: Tuple[str, int], transport: Transport) -> None:
+            self.remote = remote
+            self.transport = transport
+
+        def __repr__(self) -> str:  # pragma: no cover - debugging aid
+            return f"TransportStatus.Up({self.remote}, {self.transport.value})"
+
+
 class Network(PortType):
     """Kompics' network port (listing 1).
 
     Messages travel in both directions: consumers *request* sends and the
-    network *indicates* received messages.
+    network *indicates* received messages (plus transport-health events
+    from the recovery layer).
     """
 
     requests = (Msg, MessageNotify.Req)
-    indications = (Msg, MessageNotify.Resp)
+    indications = (Msg, MessageNotify.Resp, TransportStatus.Down, TransportStatus.Up)

@@ -1,0 +1,260 @@
+"""Channel recovery: automatic re-dial with capped exponential backoff.
+
+The paper is emphatic that channels are expensive to establish (§III-C:
+NAT hole punching, handshakes) and that "even over TCP and UDT a sudden
+channel drop may lead to the loss of messages" (§III-B).  The base
+middleware therefore keeps at-most-once semantics and simply drops the
+channel on failure — every later send re-dials cold and everything queued
+in the meantime is lost.
+
+:class:`ChannelRecovery` is the opt-in layer above that floor: when an
+*outbound* channel is cut, the owning :class:`~repro.messaging.channels.
+ChannelPool` hands the key over and the recovery engine
+
+* re-dials on a capped exponential backoff schedule with deterministic
+  jitter (driven by the simulation scheduler, so campaigns are exactly
+  reproducible from the root seed);
+* queues messages sent towards the recovering destination up to a bounded
+  in-flight limit, failing their notifications beyond it;
+* flushes the queue onto the fresh channel on success, or reports the
+  campaign as exhausted after ``max_attempts`` so the owner can degrade
+  (transport fallback) or fail the pending sends.
+
+Everything is **default-off**: without ``messaging.reconnect.enabled``
+the pool never constructs a recovery engine and behaves byte-for-byte as
+before.
+
+Config keys (all under ``messaging.reconnect.*``)::
+
+    enabled       bool    master switch (default False)
+    base_delay    float   first retry delay, seconds (default 0.2)
+    max_delay     float   backoff cap, seconds (default 5.0)
+    multiplier    float   backoff growth factor (default 2.0)
+    jitter        float   +/- fraction of the delay, drawn from a seeded
+                          stream (default 0.1; 0 disables draws entirely)
+    max_attempts  int     dials before giving up (default 6)
+    queue_limit   int     max messages parked per recovering channel
+                          (default 128)
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs import get_registry, get_tracer
+
+Socket = Tuple[str, int]
+#: mirror of :data:`repro.messaging.channels.ChannelKey` without the import
+#: cycle — ``(remote socket, Proto)``
+ChannelKey = Tuple[Socket, Any]
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Backoff schedule and queueing bounds for one pool's recovery."""
+
+    base_delay: float = 0.2
+    max_delay: float = 5.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    max_attempts: int = 6
+    queue_limit: int = 128
+
+    @classmethod
+    def from_config(cls, config) -> "ReconnectPolicy":
+        return cls(
+            base_delay=config.get_float("messaging.reconnect.base_delay", cls.base_delay),
+            max_delay=config.get_float("messaging.reconnect.max_delay", cls.max_delay),
+            multiplier=config.get_float("messaging.reconnect.multiplier", cls.multiplier),
+            jitter=config.get_float("messaging.reconnect.jitter", cls.jitter),
+            max_attempts=config.get_int("messaging.reconnect.max_attempts", cls.max_attempts),
+            queue_limit=config.get_int("messaging.reconnect.queue_limit", cls.queue_limit),
+        )
+
+    def delay_for(self, attempt: int, rng=None) -> float:
+        """Delay before 0-based reconnect ``attempt``, jittered."""
+        delay = min(self.base_delay * (self.multiplier ** attempt), self.max_delay)
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+class PendingSend:
+    """One message parked while its channel recovers."""
+
+    __slots__ = ("payload", "size", "on_sent")
+
+    def __init__(self, payload: Any, size: int,
+                 on_sent: Optional[Callable[[bool], None]]) -> None:
+        self.payload = payload
+        self.size = size
+        self.on_sent = on_sent
+
+    def fail(self) -> None:
+        if self.on_sent is not None:
+            self.on_sent(False)
+
+
+class _Campaign:
+    """Per-channel recovery state: attempt count, queue, pending timer."""
+
+    __slots__ = ("key", "attempts", "queue", "handle", "dialing")
+
+    def __init__(self, key: ChannelKey) -> None:
+        self.key = key
+        self.attempts = 0
+        self.queue: Deque[PendingSend] = deque()
+        self.handle = None  # EventHandle of the next scheduled dial
+        self.dialing = False  # a dial is currently in flight
+
+
+class ChannelRecovery:
+    """Reconnect engine for one :class:`ChannelPool`.
+
+    The pool reports lost outbound channels via :meth:`channel_lost` (both
+    for the initial loss and for every failed re-dial — the engine tells
+    the two apart), parks sends with :meth:`queue_send` while a campaign
+    runs, and confirms success with :meth:`dial_succeeded`.
+    """
+
+    def __init__(
+        self,
+        sim,
+        policy: ReconnectPolicy,
+        dial: Callable[[ChannelKey], None],
+        flush: Callable[[ChannelKey, List[PendingSend]], None],
+        give_up: Callable[[ChannelKey, List[PendingSend], str], None],
+        rng=None,
+        logger: Optional[logging.Logger] = None,
+    ) -> None:
+        self.sim = sim
+        self.policy = policy
+        self._dial = dial
+        self._flush = flush
+        self._give_up = give_up
+        self.rng = rng
+        self.logger = logger or logging.getLogger("repro.messaging.recovery")
+        self.campaigns: Dict[ChannelKey, _Campaign] = {}
+        self.closed = False
+
+        metrics = get_registry()
+        self.tracer = get_tracer()
+        self._m_attempts = metrics.counter("messaging.reconnect.attempts_total")
+        self._m_recovered = metrics.counter("messaging.reconnect.recovered_total")
+        self._m_giveups = metrics.counter("messaging.reconnect.giveups_total")
+        self._m_queue_drops = metrics.counter("messaging.reconnect.queue_drops_total")
+
+    # ------------------------------------------------------------------
+    # pool-facing API
+    # ------------------------------------------------------------------
+    def recovering(self, key: ChannelKey) -> bool:
+        return key in self.campaigns
+
+    def channel_lost(self, key: ChannelKey, reason: str) -> None:
+        """Begin a campaign for ``key``, or advance one whose dial failed."""
+        if self.closed:
+            return
+        campaign = self.campaigns.get(key)
+        if campaign is None:
+            campaign = _Campaign(key)
+            self.campaigns[key] = campaign
+        elif campaign.dialing:
+            campaign.dialing = False  # the dial we were waiting on failed
+        else:
+            return  # duplicate loss report; the next dial is already set
+        if campaign.attempts >= self.policy.max_attempts:
+            self._finish_give_up(campaign, reason)
+            return
+        delay = self.policy.delay_for(campaign.attempts, self.rng)
+        self.tracer.event(
+            "messaging.reconnect_scheduled",
+            remote=_remote_of(key), proto=_proto_of(key),
+            attempt=campaign.attempts, delay=delay, reason=reason,
+        )
+        campaign.handle = self.sim.schedule(
+            delay, lambda: self._attempt(campaign), label="chan-reconnect"
+        )
+
+    def queue_send(self, key: ChannelKey, payload: Any, size: int,
+                   on_sent: Optional[Callable[[bool], None]]) -> bool:
+        """Park a send for a recovering channel; False beyond the bound."""
+        campaign = self.campaigns.get(key)
+        if campaign is None:
+            return False
+        if len(campaign.queue) >= self.policy.queue_limit:
+            self._m_queue_drops.inc()
+            return False
+        campaign.queue.append(PendingSend(payload, size, on_sent))
+        return True
+
+    def dial_succeeded(self, key: ChannelKey) -> None:
+        """A re-dial went ACTIVE: close the campaign and flush its queue."""
+        campaign = self.campaigns.pop(key, None)
+        if campaign is None:
+            return
+        self._m_recovered.inc()
+        self.tracer.event(
+            "messaging.reconnect_success",
+            remote=_remote_of(key), proto=_proto_of(key),
+            attempts=campaign.attempts, flushed=len(campaign.queue),
+        )
+        self.logger.debug(
+            "channel %s recovered after %d attempt(s), flushing %d message(s)",
+            key, campaign.attempts, len(campaign.queue),
+        )
+        if campaign.queue:
+            self._flush(key, list(campaign.queue))
+
+    def shutdown(self) -> None:
+        """Cancel every campaign and fail everything still parked."""
+        self.closed = True
+        for campaign in self.campaigns.values():
+            if campaign.handle is not None:
+                campaign.handle.cancel()
+            for pending in campaign.queue:
+                pending.fail()
+        self.campaigns.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _attempt(self, campaign: _Campaign) -> None:
+        if self.closed or self.campaigns.get(campaign.key) is not campaign:
+            return
+        campaign.handle = None
+        campaign.attempts += 1
+        campaign.dialing = True
+        self._m_attempts.inc()
+        self.tracer.event(
+            "messaging.reconnect_attempt",
+            remote=_remote_of(campaign.key), proto=_proto_of(campaign.key),
+            attempt=campaign.attempts,
+        )
+        self._dial(campaign.key)
+
+    def _finish_give_up(self, campaign: _Campaign, reason: str) -> None:
+        self.campaigns.pop(campaign.key, None)
+        self._m_giveups.inc()
+        self.tracer.event(
+            "messaging.reconnect_giveup",
+            remote=_remote_of(campaign.key), proto=_proto_of(campaign.key),
+            attempts=campaign.attempts, pending=len(campaign.queue), reason=reason,
+        )
+        self.logger.debug(
+            "giving up on channel %s after %d attempts (%s)",
+            campaign.key, campaign.attempts, reason,
+        )
+        self._give_up(campaign.key, list(campaign.queue), reason)
+
+
+def _remote_of(key: ChannelKey) -> str:
+    (ip, port), _ = key
+    return f"{ip}:{port}"
+
+
+def _proto_of(key: ChannelKey) -> str:
+    _, proto = key
+    return getattr(proto, "value", str(proto))

@@ -27,6 +27,19 @@ class FaultInjector:
         self._m_conn_drops = metrics.counter("netsim.faults.connection_drops_total")
 
     # ------------------------------------------------------------------
+    # scripting
+    # ------------------------------------------------------------------
+    def at(self, time: float, action, label: str = "fault-script"):
+        """Schedule a scripted fault action at absolute sim time ``time``.
+
+        Convenience for campaign timelines::
+
+            faults.at(5.0, lambda: faults.cut_link("10.0.0.1", "10.0.0.2",
+                                                   duration=2.0))
+        """
+        return self.network.sim.schedule_at(time, action, label=label)
+
+    # ------------------------------------------------------------------
     # link faults
     # ------------------------------------------------------------------
     def cut_link(self, ip_a: str, ip_b: str, duration: Optional[float] = None) -> Link:
@@ -42,7 +55,14 @@ class FaultInjector:
         for conn in self._connections_over(ip_a, ip_b):
             conn.close(notify_peer=False)
         if duration is not None:
-            self.network.sim.schedule(duration, lambda: link.set_up(True), label="link-restore")
+            def auto_restore() -> None:
+                link.set_up(True)
+                self._m_restores.inc()
+                self.tracer.event(
+                    "netsim.fault.link_restore", a=ip_a, b=ip_b, auto=True
+                )
+
+            self.network.sim.schedule(duration, auto_restore, label="link-restore")
         return link
 
     def restore_link(self, ip_a: str, ip_b: str) -> Link:

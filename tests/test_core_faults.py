@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import StaticRatio, ProtocolRatio
 from repro.netsim import FaultInjector
+from repro.obs import collecting, tracing
 
 from tests.messaging_helpers import MB
 from tests.test_core_interceptor import make_data_world, send_data
@@ -55,6 +56,33 @@ class TestInterceptorUnderFaults:
         sim.run_until(6.0)
         assert len(app1.definition.received) > before
         assert any(m.tag.startswith("second-") for m in app1.definition.received)
+
+    def test_cut_link_auto_restore_is_accounted_and_traffic_resumes(self):
+        # cut_link(duration=...) restores the link itself; the injector
+        # must account that restore like an explicit one, and the
+        # middleware must be able to re-establish channels afterwards.
+        with collecting() as reg, tracing() as tracer:
+            sim, fabric, system, nodes = make_data_world(
+                prp_factory=lambda: StaticRatio(ProtocolRatio.ALL_TCP),
+                bandwidth=5 * MB,
+                window=8,
+            )
+            (h0, a0, dn0, app0), (h1, a1, dn1, app1) = nodes
+            injector = FaultInjector(fabric)
+            link = injector.cut_link(a0.ip, a1.ip, duration=0.5)
+            assert not link.forward.up
+            sim.run_until(sim.now + 1.0)
+            assert link.forward.up
+            assert reg.value("netsim.faults.link_restores_total") == 1
+            restores = tracer.named("netsim.fault.link_restore")
+            assert restores and restores[0].fields.get("auto") is True
+
+            for i in range(10):
+                send_data(app0, a0, a1, f"post-{i}", nbytes=20000)
+            sim.run_until(sim.now + 2.0)
+            assert sum(
+                1 for m in app1.definition.received if m.tag.startswith("post-")
+            ) == 10
 
     def test_consumer_notify_failure_propagates_through_interceptor(self):
         sim, fabric, system, nodes = make_data_world(
