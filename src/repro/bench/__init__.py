@@ -10,6 +10,9 @@
   structured rows and printing the table the figure plots.
 * :mod:`repro.bench.faults` — scripted fault campaigns (cut / degrade /
   restore) exercising the channel-recovery layer.
+* :mod:`repro.bench.perf` — perf-regression harness: hot-path
+  microbenchmarks, figure-shaped wall-clock suites, a baseline
+  regression gate, and the fastpath equivalence gate.
 """
 
 from repro.bench.faults import FAULT_ENV, FaultCampaignResult, run_fault_campaign
@@ -23,6 +26,7 @@ from repro.bench.harness import (
     run_transfer_once,
     run_transfer_repeated,
 )
+from repro.bench.perf import check_regression, run_equivalence, run_perf
 from repro.bench.scenario import AWS_SETUPS, Setup, TestbedPair, aws_testbed, setup_by_name
 
 __all__ = [
@@ -42,4 +46,7 @@ __all__ = [
     "FAULT_ENV",
     "FaultCampaignResult",
     "run_fault_campaign",
+    "run_perf",
+    "run_equivalence",
+    "check_regression",
 ]

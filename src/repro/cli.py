@@ -122,6 +122,24 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--output", default=None,
                         help="write the output to this file instead of stdout")
 
+    perf = sub.add_parser(
+        "perf",
+        help="hot-path perf suites, baseline regression gate, equivalence gate",
+    )
+    perf.add_argument("--suite", action="append", default=None,
+                      help="suite to run (repeatable); default: all")
+    perf.add_argument("--quick", action="store_true",
+                      help="smaller workloads for CI smoke runs")
+    perf.add_argument("--out", default=None,
+                      help="write the result document (JSON) to this file")
+    perf.add_argument("--baseline", default=None,
+                      help="baseline JSON (e.g. BENCH_PR3.json) to gate against")
+    perf.add_argument("--max-regression", type=float, default=0.30,
+                      help="allowed fractional drop in gated rate metrics")
+    perf.add_argument("--equivalence", action="store_true",
+                      help="run the fastpath-on vs. off snapshot equivalence gate "
+                           "instead of the measurement suites")
+
     return parser
 
 
@@ -319,6 +337,55 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.perf import check_regression, run_equivalence, run_perf
+
+    if args.equivalence:
+        outcomes = run_equivalence(quick=args.quick)
+        width = max(len(name) for name, _ in outcomes)
+        for name, identical in outcomes:
+            print(f"{name:<{width}}  {'IDENTICAL' if identical else 'DIFFER'}")
+        bad = [name for name, identical in outcomes if not identical]
+        if bad:
+            print(f"equivalence gate FAILED: {', '.join(bad)}", file=sys.stderr)
+            return 1
+        print("equivalence gate passed: fast paths are observationally identical")
+        return 0
+
+    try:
+        document = run_perf(suites=args.suite, quick=args.quick)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    for suite, metrics in document["suites"].items():
+        parts = ", ".join(
+            f"{k}={v:,.2f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in metrics.items()
+        )
+        print(f"{suite}: {parts}")
+
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote perf document to {args.out}")
+
+    if args.baseline is not None:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = check_regression(document, baseline, args.max_regression)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed (threshold {args.max_regression:.0%} "
+              f"vs {args.baseline})")
+    return 0
+
+
 def _document_lines(metrics: dict) -> List[str]:
     """Flat ``name{labels} value`` lines from a snapshot's metrics section."""
     import math
@@ -352,6 +419,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "learn": cmd_learn,
         "obs": cmd_obs,
         "faults": cmd_faults,
+        "perf": cmd_perf,
     }
     return handlers[args.command](args)
 

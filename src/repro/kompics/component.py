@@ -66,6 +66,13 @@ class ComponentCore:
         self._scheduled = False
         self.max_batch = system.config.get_int("kompics.max_events_per_schedule", 32)
         self.events_handled = 0
+        # Under the SimScheduler everything runs on the driving thread, so
+        # the intake/batch paths can skip the queue lock entirely; the
+        # thread-pool backend keeps it (one component on at most one
+        # worker, but enqueue races with the batch loop).
+        from repro.kompics.scheduler import SimScheduler
+
+        self._single_threaded = isinstance(system.scheduler, SimScheduler)
 
         # Shared scheduler-level instruments (one per system) plus a
         # per-component queue-depth gauge; all no-ops unless a registry is
@@ -103,6 +110,16 @@ class ComponentCore:
     # ------------------------------------------------------------------
     def enqueue(self, port: Port, event: KompicsEvent) -> None:
         """Queue a delivered event; wake the scheduler if needed."""
+        if self._single_threaded:
+            state = self.state
+            if state is ComponentState.DESTROYED or state is ComponentState.FAULTY:
+                return
+            self._queue.append((port, event))
+            # inlined _maybe_schedule_locked: _queue is known non-empty
+            if not self._scheduled and (self._control_queue or state is ComponentState.ACTIVE):
+                self._scheduled = True
+                self.system.scheduler.schedule_ready(self)
+            return
         with self._lock:
             if self.state in (ComponentState.DESTROYED, ComponentState.FAULTY):
                 return
@@ -111,6 +128,15 @@ class ComponentCore:
 
     def enqueue_control(self, event: KompicsEvent) -> None:
         """Queue a lifecycle event; processed ahead of port events."""
+        if self._single_threaded:
+            state = self.state
+            if state is ComponentState.DESTROYED or state is ComponentState.FAULTY:
+                return
+            self._control_queue.append(event)
+            if not self._scheduled:
+                self._scheduled = True
+                self.system.scheduler.schedule_ready(self)
+            return
         with self._lock:
             if self.state in (ComponentState.DESTROYED, ComponentState.FAULTY):
                 return
@@ -133,27 +159,59 @@ class ComponentCore:
     def execute_batch(self) -> None:
         """Handle up to ``max_batch`` queued events (scheduler entry point)."""
         handled = 0
-        while handled < self.max_batch:
-            with self._lock:
-                if self._control_queue:
-                    item: Any = ("control", self._control_queue.popleft())
-                elif self._queue and self.state is ComponentState.ACTIVE:
-                    item = ("port", self._queue.popleft())
+        max_batch = self.max_batch
+        control_queue = self._control_queue
+        queue = self._queue
+        active = ComponentState.ACTIVE
+        if self._single_threaded:
+            # Lock-free twin of the loop below.  The control queue has
+            # priority and lifecycle transitions (Stop/Kill/fault) take
+            # effect immediately, so both queues and the state are
+            # re-checked for every event.
+            while handled < max_batch:
+                port = None
+                if control_queue:
+                    event: Any = control_queue.popleft()
+                elif queue and self.state is active:
+                    port, event = queue.popleft()
                 else:
                     break
-            kind, payload = item
+                handled += 1
+                self.events_handled += 1
+                if port is None:
+                    self._handle_control(event)
+                else:
+                    self._dispatch(port, event)
+            if handled and self._obs:
+                self._m_events.inc(handled)
+                self._m_batches.inc()
+                self._m_batch_size.observe(handled)
+            self._scheduled = False
+            if control_queue or (queue and self.state is active):
+                self._scheduled = True
+                self.system.scheduler.schedule_ready(self)
+            return
+        lock = self._lock
+        while handled < max_batch:
+            port = None
+            with lock:
+                if control_queue:
+                    event = control_queue.popleft()
+                elif queue and self.state is active:
+                    port, event = queue.popleft()
+                else:
+                    break
             handled += 1
             self.events_handled += 1
-            if kind == "control":
-                self._handle_control(payload)
+            if port is None:
+                self._handle_control(event)
             else:
-                port, event = payload
                 self._dispatch(port, event)
         if handled and self._obs:
             self._m_events.inc(handled)
             self._m_batches.inc()
             self._m_batch_size.observe(handled)
-        with self._lock:
+        with lock:
             self._scheduled = False
             self._maybe_schedule_locked()
 

@@ -10,8 +10,9 @@ one negative instance.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Tuple, Type
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence, Tuple, Type
 
+from repro import fastpath
 from repro.errors import PortError
 from repro.kompics.event import KompicsEvent
 
@@ -54,9 +55,23 @@ class Port:
     Events *triggered* on a port travel out over all connected channels;
     events *delivered* to a port are queued at the owning component and
     dispatched to matching subscribed handlers when it is scheduled.
+
+    Dispatch is memoized: the first event of a concrete type resolves the
+    subscription list once (MRO matching, in subscription order) into a
+    tuple cached per type; later events of that type skip the scan.  The
+    cache is invalidated on every subscribe/unsubscribe/attach/detach, so
+    it can never serve a stale handler set.
     """
 
-    __slots__ = ("port_type", "owner", "positive", "_channels", "_subscriptions")
+    __slots__ = (
+        "port_type",
+        "owner",
+        "positive",
+        "_channels",
+        "_subscriptions",
+        "_dispatch_cache",
+        "_direction_cache",
+    )
 
     def __init__(self, port_type: Type[PortType], owner: "ComponentCore", positive: bool) -> None:
         self.port_type = port_type
@@ -64,15 +79,27 @@ class Port:
         self.positive = positive
         self._channels: List["Channel"] = []
         self._subscriptions: List[Tuple[Type[KompicsEvent], Handler]] = []
+        #: concrete event type -> handlers, in subscription order
+        self._dispatch_cache: Dict[Type[KompicsEvent], Tuple[Handler, ...]] = {}
+        #: concrete event type -> outbound direction check result (the
+        #: PortType declaration is immutable, so this never invalidates)
+        self._direction_cache: Dict[Type[KompicsEvent], bool] = {}
 
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
     def attach(self, channel: "Channel") -> None:
         self._channels.append(channel)
+        self._dispatch_cache.clear()
 
     def detach(self, channel: "Channel") -> None:
-        self._channels.remove(channel)
+        try:
+            self._channels.remove(channel)
+        except ValueError:
+            raise PortError(
+                f"channel is not attached to {self!r} (already detached?)"
+            ) from None
+        self._dispatch_cache.clear()
 
     @property
     def channels(self) -> Tuple["Channel", ...]:
@@ -101,12 +128,31 @@ class Port:
                     f"not {event_type.__name__}"
                 )
         self._subscriptions.append((event_type, handler))
+        self._dispatch_cache.clear()
 
     def unsubscribe(self, event_type: Type[KompicsEvent], handler: Handler) -> None:
-        self._subscriptions.remove((event_type, handler))
+        try:
+            self._subscriptions.remove((event_type, handler))
+        except ValueError:
+            raise PortError(
+                f"handler is not subscribed for {event_type.__name__} on {self!r} "
+                f"(already unsubscribed?)"
+            ) from None
+        self._dispatch_cache.clear()
 
-    def matching_handlers(self, event: KompicsEvent) -> List[Handler]:
-        """Handlers whose subscribed type matches ``event`` (isinstance)."""
+    def matching_handlers(self, event: KompicsEvent) -> Sequence[Handler]:
+        """Handlers whose subscribed type matches ``event``, in
+        subscription order (the paper's type-hierarchy matching)."""
+        if fastpath.DISPATCH_CACHE:
+            cls = event.__class__
+            handlers = self._dispatch_cache.get(cls)
+            if handlers is None:
+                handlers = tuple(
+                    h for (t, h) in self._subscriptions if issubclass(cls, t)
+                )
+                self._dispatch_cache[cls] = handlers
+            return handlers
+        # reference path: re-scan the subscription list per event
         return [h for (t, h) in self._subscriptions if isinstance(event, t)]
 
     @property
@@ -120,20 +166,31 @@ class Port:
         """Publish ``event`` outward on every connected channel.
 
         Direction validation happens here: the provider may only trigger
-        indications, the requirer only requests (paper §II-A).
+        indications, the requirer only requests (paper §II-A).  The check
+        depends only on the (immutable) PortType declaration and the
+        event's concrete type, so its result is memoized per type.
         """
+        cls = event.__class__
+        allowed = self._direction_cache.get(cls)
+        if allowed is None:
+            if self.positive:
+                declared = self.port_type.indications
+            else:
+                declared = self.port_type.requests
+            allowed = bool(declared) and issubclass(cls, declared)
+            self._direction_cache[cls] = allowed
         if self.positive:
-            if not self.port_type.allows_indication(event):
+            if not allowed:
                 raise PortError(
-                    f"cannot trigger {type(event).__name__} on provided "
+                    f"cannot trigger {cls.__name__} on provided "
                     f"{self.port_type.__name__}: not an indication"
                 )
             for channel in self._channels:
                 channel.forward_indication(event)
         else:
-            if not self.port_type.allows_request(event):
+            if not allowed:
                 raise PortError(
-                    f"cannot trigger {type(event).__name__} on required "
+                    f"cannot trigger {cls.__name__} on required "
                     f"{self.port_type.__name__}: not a request"
                 )
             for channel in self._channels:

@@ -18,7 +18,7 @@ import threading
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, List, Optional
 
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 from repro.sim import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -49,11 +49,17 @@ class SimScheduler(Scheduler):
         self._m_schedules = registry.counter(
             "kompics.scheduler.schedules_total", backend="sim"
         )
+        # Labels only matter for tracing/diagnostics; this is the hottest
+        # schedule() caller, so skip the per-call f-string when tracing is
+        # off.  The hint is sampled once — installing a tracer mid-run
+        # costs nothing but the labels of already-built schedulers.
+        self._labels = get_tracer().enabled
 
     def schedule_ready(self, core: "ComponentCore") -> None:
         if self._obs:
             self._m_schedules.inc()
-        self.simulator.schedule(self.overhead, core.execute_batch, label=f"exec:{core.name}")
+        label = f"exec:{core.name}" if self._labels else ""
+        self.simulator.schedule(self.overhead, core.execute_batch, label=label)
 
 
 class ThreadPoolScheduler(Scheduler):

@@ -15,6 +15,7 @@ from typing import Dict
 from repro.kompics.component import ComponentDefinition
 from repro.kompics.event import KompicsEvent
 from repro.kompics.port import PortType
+from repro.obs import get_tracer
 from repro.sim.event import EventHandle
 
 _timeout_ids = itertools.count()
@@ -82,6 +83,7 @@ class SimTimerComponent(ComponentDefinition):
         super().__init__()
         self.timer = self.provides(Timer)
         self._handles: Dict[int, EventHandle] = {}
+        self._labels = get_tracer().enabled
         self.subscribe(self.timer, ScheduleTimeout, self._schedule)
         self.subscribe(self.timer, SchedulePeriodicTimeout, self._schedule_periodic)
         self.subscribe(self.timer, CancelTimeout, self._cancel)
@@ -100,18 +102,20 @@ class SimTimerComponent(ComponentDefinition):
             self._handles.pop(tid, None)
             self.trigger(event.timeout, self.timer)
 
-        self._handles[tid] = self._sim().schedule(event.delay, fire, label=f"timeout:{tid}")
+        label = f"timeout:{tid}" if self._labels else ""
+        self._handles[tid] = self._sim().schedule(event.delay, fire, label=label)
 
     def _schedule_periodic(self, event: SchedulePeriodicTimeout) -> None:
         tid = event.timeout.timeout_id
+        label = f"ptimeout:{tid}" if self._labels else ""
 
         def fire() -> None:
             if tid not in self._handles:
                 return
-            self._handles[tid] = self._sim().schedule(event.period, fire, label=f"ptimeout:{tid}")
+            self._handles[tid] = self._sim().schedule(event.period, fire, label=label)
             self.trigger(event.timeout, self.timer)
 
-        self._handles[tid] = self._sim().schedule(event.delay, fire, label=f"ptimeout:{tid}")
+        self._handles[tid] = self._sim().schedule(event.delay, fire, label=label)
 
     def _cancel(self, event) -> None:
         handle = self._handles.pop(event.timeout_id, None)

@@ -21,6 +21,24 @@ from repro.messaging.transport import Transport
 
 _msg_ids = itertools.count()
 
+# Per-class slot inventory for BaseMsg.__copy__ (every declared slot
+# across the MRO, in declaration order).  copy.copy on a slotted class
+# otherwise detours through __reduce_ex__/copy._reconstruct, which shows
+# up on the bulk path at one clone per chunk (with_protocol).
+_copy_slots: dict = {}
+
+
+def _slots_of(cls: type) -> tuple:
+    names: List[str] = []
+    for klass in cls.__mro__:
+        declared = klass.__dict__.get("__slots__", ())
+        if isinstance(declared, str):
+            declared = (declared,)
+        for name in declared:
+            if name not in ("__dict__", "__weakref__") and name not in names:
+                names.append(name)
+    return tuple(names)
+
 
 class Header(ABC):
     """Routing metadata of a message (listing 3)."""
@@ -209,6 +227,22 @@ class BaseMsg(Msg):
             )
         clone = copy.copy(self)
         clone._header = replace(protocol)
+        return clone
+
+    def __copy__(self) -> "BaseMsg":
+        cls = type(self)
+        slots = _copy_slots.get(cls)
+        if slots is None:
+            slots = _copy_slots[cls] = _slots_of(cls)
+        clone = cls.__new__(cls)
+        for name in slots:
+            try:
+                setattr(clone, name, getattr(self, name))
+            except AttributeError:
+                pass  # slot declared but never assigned
+        state = getattr(self, "__dict__", None)
+        if state:
+            clone.__dict__.update(state)
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -74,6 +74,10 @@ class NettyNetwork(ComponentDefinition):
         for transport in self.protocols:
             if not transport.is_wire_protocol:
                 raise TransportError("DATA is a pseudo-protocol; listen on TCP/UDP/UDT")
+        # Send-path constants, resolved once instead of per message.
+        self._protocol_set = frozenset(self.protocols)
+        self._proto_of = {t: t.to_proto() for t in self.protocols}
+        self._self_socket = self_address.as_socket()
         if self_address.ip != host.ip:
             raise TransportError(
                 f"self address {self_address!r} does not match host ip {host.ip}"
@@ -208,11 +212,12 @@ class NettyNetwork(ComponentDefinition):
                 "Transport.DATA reached NettyNetwork: wrap the network in a "
                 "DataNetwork so the interceptor can replace it (paper §IV-A)"
             )
-        if transport not in self.protocols:
+        if transport not in self._protocol_set:
             raise TransportError(f"{transport.value} not enabled on {self.name}")
 
         destination = header.destination
-        if destination.as_socket() == self.self_address.as_socket():
+        remote = destination.as_socket()
+        if remote == self._self_socket:
             # Same middleware instance (vnode traffic): reflect, never
             # serialized — receivers must not expect a copy (§III-B).
             self.counters["reflected"] += 1
@@ -224,8 +229,7 @@ class NettyNetwork(ComponentDefinition):
             return
 
         size = self._wire_size(msg)
-        remote = destination.as_socket()
-        proto = transport.to_proto()
+        proto = self._proto_of[transport]
 
         def on_sent(success: bool) -> None:
             if success:

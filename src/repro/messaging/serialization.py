@@ -15,6 +15,7 @@ import struct
 from abc import ABC, abstractmethod
 from typing import Any, Dict, Optional, Tuple, Type
 
+from repro import fastpath
 from repro.errors import SerializationError
 from repro.messaging.address import Address, BasicAddress, VirtualAddress
 
@@ -47,7 +48,19 @@ class PickleSerializer(Serializer):
 
 
 class SerializerRegistry:
-    """Type-id <-> serializer mapping with mro-based lookup."""
+    """Type-id <-> serializer mapping with mro-based lookup.
+
+    Two memoization layers keep the per-message cost flat (both gated on
+    :data:`repro.fastpath.SERIALIZER_CACHE`):
+
+    * the MRO walk in :meth:`lookup` resolves once per concrete type and
+      is cached (invalidated by :meth:`register`);
+    * when sizing a message requires encoding it (serializers that don't
+      override :meth:`Serializer.wire_size`, e.g. the pickle fallback),
+      the encoded frame from :meth:`wire_size` is kept for the object and
+      reused by the next :meth:`serialize` call on that same object — the
+      send path sizes and encodes exactly once per message.
+    """
 
     def __init__(self, allow_pickle_fallback: bool = True) -> None:
         self._by_type: Dict[Type, Tuple[int, Serializer]] = {}
@@ -55,6 +68,13 @@ class SerializerRegistry:
         self._pickle: Optional[PickleSerializer] = PickleSerializer() if allow_pickle_fallback else None
         if self._pickle is not None:
             self._by_id[PICKLE_TYPE_ID] = self._pickle
+        #: concrete type -> resolved (type_id, serializer)
+        self._lookup_cache: Dict[Type, Tuple[int, Serializer]] = {}
+        #: frame kept from the last size-by-encoding, valid for exactly
+        #: that object and consumed by the next serialize() of it.  The
+        #: contract is the send path's: size, then send, no mutation in
+        #: between.  One entry only, so nothing can accumulate.
+        self._sized_frame: Optional[Tuple[Any, bytes]] = None
 
     def register(self, type_id: int, cls: Type, serializer: Serializer) -> None:
         if type_id == PICKLE_TYPE_ID:
@@ -65,21 +85,37 @@ class SerializerRegistry:
             raise SerializationError(f"{cls.__name__} already has a serializer")
         self._by_type[cls] = (type_id, serializer)
         self._by_id[type_id] = serializer
+        self._lookup_cache.clear()
+        self._sized_frame = None
 
     def lookup(self, obj: Any) -> Tuple[int, Serializer]:
         """Find the serializer for ``obj`` walking its mro."""
-        for cls in type(obj).__mro__:
-            entry = self._by_type.get(cls)
+        cls = obj.__class__
+        if fastpath.SERIALIZER_CACHE:
+            entry = self._lookup_cache.get(cls)
+            if entry is None:
+                entry = self._resolve(cls)
+                self._lookup_cache[cls] = entry
+            return entry
+        return self._resolve(cls)
+
+    def _resolve(self, cls: Type) -> Tuple[int, Serializer]:
+        for base in cls.__mro__:
+            entry = self._by_type.get(base)
             if entry is not None:
                 return entry
         if self._pickle is not None:
             return (PICKLE_TYPE_ID, self._pickle)
-        raise SerializationError(f"no serializer for {type(obj).__name__}")
+        raise SerializationError(f"no serializer for {cls.__name__}")
 
     # ------------------------------------------------------------------
     # framed encode/decode
     # ------------------------------------------------------------------
     def serialize(self, obj: Any) -> bytes:
+        sized = self._sized_frame
+        if sized is not None and sized[0] is obj:
+            self._sized_frame = None
+            return sized[1]
         type_id, serializer = self.lookup(obj)
         body = serializer.to_bytes(obj)
         return FRAME_HEADER.pack(type_id, len(body)) + body
@@ -97,8 +133,22 @@ class SerializerRegistry:
         return serializer.from_bytes(bytes(body))
 
     def wire_size(self, obj: Any) -> int:
-        """Framed size without materialising the body where possible."""
-        _, serializer = self.lookup(obj)
+        """Framed size without materialising the body where possible.
+
+        Serializers that can compute their size do so without encoding;
+        for the rest (notably the pickle fallback, whose ``wire_size``
+        must encode to measure) the frame built here is kept so that an
+        immediately following :meth:`serialize` of the same object reuses
+        it instead of encoding again.
+        """
+        type_id, serializer = self.lookup(obj)
+        if type(serializer).wire_size is Serializer.wire_size:
+            # Sizing requires encoding: build the full frame once.
+            body = serializer.to_bytes(obj)
+            frame = FRAME_HEADER.pack(type_id, len(body)) + body
+            if fastpath.SERIALIZER_CACHE:
+                self._sized_frame = (obj, frame)
+            return len(frame)
         return FRAME_HEADER.size + serializer.wire_size(obj)
 
 

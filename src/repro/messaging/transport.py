@@ -32,12 +32,15 @@ class Transport(enum.Enum):
 
     def to_proto(self) -> Proto:
         """Map to the simulator's wire protocol."""
-        if self is Transport.TCP:
-            return Proto.TCP
-        if self is Transport.UDP:
-            return Proto.UDP
-        if self is Transport.UDT:
-            return Proto.UDT
-        if self is Transport.LEDBAT:
-            return Proto.LEDBAT
-        raise TransportError(f"{self.value} is not a wire protocol")
+        proto = _PROTO_BY_TRANSPORT.get(self)
+        if proto is None:
+            raise TransportError(f"{self.value} is not a wire protocol")
+        return proto
+
+
+_PROTO_BY_TRANSPORT = {
+    Transport.TCP: Proto.TCP,
+    Transport.UDP: Proto.UDP,
+    Transport.UDT: Proto.UDT,
+    Transport.LEDBAT: Proto.LEDBAT,
+}

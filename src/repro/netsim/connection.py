@@ -5,8 +5,9 @@ from __future__ import annotations
 import enum
 import math
 from collections import deque
-from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional, Tuple
 
+from repro import fastpath
 from repro.errors import ConnectionClosedError
 from repro.netsim.congestion import CongestionControl, UdtCc
 from repro.netsim.link import LinkDirection, Proto
@@ -55,6 +56,20 @@ class FlowState:
     the link's max-min allocation.  Completion credits the controller
     (ack-equivalent under self-pacing) and draws loss; reliable protocols
     only slow down on loss, UDP drops the datagram.
+
+    Receive-side delivery train
+    ---------------------------
+    When the congestion window keeps a bulk flow busy, completions come
+    back-to-back and every one schedules its own delivery event one link
+    delay ahead — on a long fat path that's O(bandwidth × delay) heap
+    entries per flow.  The fast path coalesces them into a per-flow
+    *delivery train*: due times are computed exactly as before (same
+    clock reads, same jitter draws, in the same order), appended to a
+    deque, and a single pump event walks the train, so the heap holds at
+    most one receive event per flow.  Entries whose due time would break
+    the train's monotonic order (the link delay dropped mid-flight) fall
+    back to an individually scheduled event, reproducing the reference
+    heap behaviour.  See ``docs/performance.md``.
     """
 
     def __init__(
@@ -79,6 +94,9 @@ class FlowState:
         self.bytes_sent = 0
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: in-flight deliveries as (due time, message), due-monotonic
+        self._train: Deque[Tuple[float, WireMessage]] = deque()
+        self._pump_scheduled = False
 
     @property
     def subject_to_udp_cap(self) -> bool:
@@ -141,7 +159,10 @@ class FlowState:
             delay = self.link_dir.spec.delay
             if not self.cc.ordered and self.link_dir.spec.jitter > 0:
                 delay += self.rng.uniform(0.0, self.link_dir.spec.jitter)
-            self.sim.schedule(delay, lambda m=msg: self.deliver(m), label="flow-rx")
+            if fastpath.RX_TRAIN:
+                self._enqueue_delivery(now + delay, msg)
+            else:
+                self.sim.schedule(delay, lambda m=msg: self.deliver(m), label="flow-rx")
             msg._sent(True)
         else:
             self.messages_dropped += 1
@@ -153,6 +174,39 @@ class FlowState:
         else:
             self.busy = False
             self.link_dir.deactivate(self)
+
+    # ------------------------------------------------------------------
+    # receive-side delivery train
+    # ------------------------------------------------------------------
+    def _enqueue_delivery(self, due: float, msg: WireMessage) -> None:
+        train = self._train
+        if train and due < train[-1][0]:
+            # The link delay shrank while messages were in flight: an
+            # appended entry would pump out of due order.  Match the
+            # reference heap exactly by scheduling this one individually.
+            self.sim.schedule_at(due, lambda m=msg: self.deliver(m), label="flow-rx")
+            return
+        train.append((due, msg))
+        if not self._pump_scheduled:
+            self._pump_scheduled = True
+            self.sim.schedule_at(due, self._pump_rx, label="flow-rx")
+
+    def _pump_rx(self) -> None:
+        """Deliver every train entry that is due; re-arm for the next one.
+
+        Deliveries keep running after an abort or close: those messages
+        were already on the wire, and the receiving connection drops them
+        itself if it is no longer active (same as the reference path).
+        """
+        train = self._train
+        now = self.sim.now
+        deliver = self.deliver
+        while train and train[0][0] <= now:
+            deliver(train.popleft()[1])
+        if train:
+            self.sim.schedule_at(train[0][0], self._pump_rx, label="flow-rx")
+        else:
+            self._pump_scheduled = False
 
     # ------------------------------------------------------------------
     # teardown

@@ -68,6 +68,20 @@ def max_min_allocation(demands: Sequence[float], capacity: float) -> List[float]
     n = len(demands)
     if n == 0:
         return []
+    if n == 1:
+        # Degenerate progressive filling: share = capacity / 1.
+        return [min(demands[0], capacity / 1)]
+    if n == 2:
+        # Two flows, unrolled.  sorted() is stable, so on a demand tie the
+        # lower index settles first — mirrored by the <= below.
+        d0, d1 = demands
+        if d0 <= d1:
+            a0 = min(d0, capacity / 2)
+            a1 = min(d1, capacity - a0)
+        else:
+            a1 = min(d1, capacity / 2)
+            a0 = min(d0, capacity - a1)
+        return [a0, a1]
     alloc = [0.0] * n
     remaining = capacity
     # Sort indices by demand so that under-demanders are settled first.
@@ -159,7 +173,51 @@ class LinkDirection:
           effort semantics of RFC 6817;
         * within each tier, progressive-filling max-min fairness.
         """
-        flows = self._active if flow in self._active else self._active + [flow]
+        active = self._active
+        if len(active) == 1 and active[0] is flow:
+            # Sole active flow (the bulk-transfer steady state): the tiers
+            # collapse to min(demand, caps), bit-identical to the general
+            # path below (max-min of one demand is min(demand, capacity)).
+            demand = flow.demand_rate()
+            if flow.subject_to_udp_cap and self.spec.udp_cap is not None:
+                demand = min(demand, self.spec.udp_cap)
+            return max(min(demand, self.spec.bandwidth), 1.0)
+        if (
+            len(active) == 2
+            and not active[0].scavenger
+            and not active[1].scavenger
+            and (flow is active[0] or flow is active[1])
+        ):
+            # Two foreground flows (adaptive DATA's TCP + UDT mix): the
+            # general path below reduces to capping the UDP-pool members,
+            # then one two-flow max-min — same operations, same order, no
+            # dict/list churn.
+            f0, f1 = active
+            d0 = f0.demand_rate()
+            d1 = f1.demand_rate()
+            cap = self.spec.udp_cap
+            if cap is not None:
+                if f0.subject_to_udp_cap:
+                    if f1.subject_to_udp_cap:
+                        if d0 <= d1:
+                            d0 = min(d0, cap / 2)
+                            d1 = min(d1, cap - d0)
+                        else:
+                            d1 = min(d1, cap / 2)
+                            d0 = min(d0, cap - d1)
+                    else:
+                        d0 = min(d0, cap / 1)
+                elif f1.subject_to_udp_cap:
+                    d1 = min(d1, cap / 1)
+            bw = self.spec.bandwidth
+            if d0 <= d1:
+                a0 = min(d0, bw / 2)
+                a1 = min(d1, bw - a0)
+            else:
+                a1 = min(d1, bw / 2)
+                a0 = min(d0, bw - a1)
+            return max(a0 if flow is f0 else a1, 1.0)
+        flows = active if flow in active else active + [flow]
         demands: Dict["FlowState", float] = {f: f.demand_rate() for f in flows}
 
         if self.spec.udp_cap is not None:

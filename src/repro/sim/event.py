@@ -2,17 +2,21 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 
 class EventHandle:
     """Handle to a scheduled callback; supports cancellation.
 
     Cancellation is lazy: the heap entry stays in place and is skipped when
-    it reaches the front, which keeps :meth:`cancel` O(1).
+    it reaches the front, which keeps :meth:`cancel` O(1).  The owning
+    :class:`~repro.sim.simulator.Simulator` is notified (via ``owner``) so
+    it can account tombstones and compact the heap when they pile up; the
+    kernel clears ``owner`` once the entry leaves the heap, so cancelling
+    an already-fired handle stays a cheap no-op.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "cancelled", "label", "owner")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str = "") -> None:
         self.time = time
@@ -20,11 +24,17 @@ class EventHandle:
         self.callback = callback
         self.cancelled = False
         self.label = label
+        self.owner: Optional[object] = None
 
     def cancel(self) -> None:
         """Prevent the callback from firing; safe to call multiple times."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.callback = _noop
+        owner = self.owner
+        if owner is not None:
+            owner._note_cancelled()  # type: ignore[attr-defined]
 
     def __lt__(self, other: "EventHandle") -> bool:
         # Tie-break equal timestamps by scheduling order for determinism.

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs import get_tracer
 from repro.sim.simulator import Simulator
 
 
@@ -65,6 +66,9 @@ class Process:
         self.sim = sim
         self.name = name or getattr(generator, "__name__", "process")
         self._gen = generator
+        # Event labels only aid tracing/diagnostics; skip the f-string per
+        # schedule when tracing is off, and build it once when it is on.
+        self._label = f"proc:{self.name}" if get_tracer().enabled else ""
         self.finished = False
         self.result: Any = None
         self.error: Optional[BaseException] = None
@@ -74,7 +78,7 @@ class Process:
     # driving
     # ------------------------------------------------------------------
     def _start(self) -> None:
-        self.sim.schedule(0.0, lambda: self._step(None), label=f"proc:{self.name}")
+        self.sim.schedule(0.0, lambda: self._step(None), label=self._label)
 
     def _step(self, value: Any) -> None:
         try:
@@ -89,7 +93,7 @@ class Process:
 
     def _dispatch(self, yielded: Any) -> None:
         if isinstance(yielded, _Sleep):
-            self.sim.schedule(yielded.delay, lambda: self._step(None), label=f"proc:{self.name}")
+            self.sim.schedule(yielded.delay, lambda: self._step(None), label=self._label)
         elif isinstance(yielded, _Wait):
             yielded.signal._add_waiter(lambda v: self._step(v))
         elif isinstance(yielded, Process):

@@ -7,16 +7,35 @@ Design notes
   advances it.
 * ``max_events`` guards against runaway zero-delay loops; hitting it raises
   :class:`~repro.errors.SimulationError` instead of hanging.
+
+Fast path
+---------
+The heap stores ``(time, seq, handle)`` tuples rather than bare
+:class:`EventHandle` objects: ``seq`` is unique, so sift comparisons never
+reach the handle and run entirely in C.  Cancellation stays lazy
+(tombstones are skipped at the head), but the kernel counts live
+tombstones and compacts the heap in place once they dominate it, so
+recurring timers that reschedule cannot grow the heap without bound.
+Pop order is a total order on ``(time, seq)``, so compaction — and any
+heap re-arrangement — cannot change execution order.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import SchedulingError, SimulationError
+from repro.obs import get_registry
 from repro.sim.event import EventHandle
 from repro.util.clock import SimulatedClock
+
+#: Compact only when at least this many tombstones are buried in the heap
+#: (and they outnumber the live entries); keeps small simulations from
+#: paying rebuild costs for a handful of cancelled timers.
+COMPACTION_MIN_TOMBSTONES = 64
+
+_HeapEntry = Tuple[float, int, EventHandle]
 
 
 class Simulator:
@@ -32,11 +51,17 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.clock = SimulatedClock(start_time)
-        self._heap: List[EventHandle] = []
+        self._heap: List[_HeapEntry] = []
         self._seq = 0
         self._running = False
         self._stopped = False
         self.events_executed = 0
+        #: cancelled handles still buried in the heap (lazy tombstones)
+        self._tombstones = 0
+        #: lifetime stats for introspection and the perf harness
+        self.heap_compactions = 0
+        self.tombstones_evicted = 0
+        self._m_cancelled = get_registry().counter("sim.events_cancelled")
 
     # ------------------------------------------------------------------
     # time
@@ -53,27 +78,94 @@ class Simulator:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SchedulingError(f"negative delay {delay!r}")
-        return self.schedule_at(self.now + delay, callback, label)
+        time = self.clock._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, label)
+        handle.owner = self
+        heapq.heappush(self._heap, (time, seq, handle))
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> EventHandle:
         """Schedule ``callback`` to fire at absolute time ``time``."""
-        if time < self.now:
+        if time < self.clock._now:
             raise SchedulingError(f"cannot schedule at {time} < now {self.now}")
-        handle = EventHandle(time, self._seq, callback, label)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, label)
+        handle.owner = self
+        heapq.heappush(self._heap, (time, seq, handle))
         return handle
+
+    def schedule_many(
+        self,
+        delay: float,
+        callbacks: Iterable[Callable[[], None]],
+        label: str = "",
+    ) -> List[EventHandle]:
+        """Schedule a batch of callbacks at the same timestamp.
+
+        Equivalent to calling :meth:`schedule` once per callback — the
+        handles get contiguous sequence numbers, so they fire in iteration
+        order, after anything already queued at that time and before
+        anything scheduled later.  One bounds check and one set of loop
+        bindings instead of N makes this the cheap way to fan out
+        same-time work (e.g. delivering an aggregated train).
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        time = self.clock._now + delay
+        heap = self._heap
+        push = heapq.heappush
+        seq = self._seq
+        handles: List[EventHandle] = []
+        append = handles.append
+        for callback in callbacks:
+            handle = EventHandle(time, seq, callback, label)
+            handle.owner = self
+            push(heap, (time, seq, handle))
+            seq += 1
+            append(handle)
+        self._seq = seq
+        return handles
+
+    # ------------------------------------------------------------------
+    # tombstone accounting (called from EventHandle.cancel)
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._tombstones = count = self._tombstones + 1
+        self._m_cancelled.inc()
+        if count >= COMPACTION_MIN_TOMBSTONES and count * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones, in place.
+
+        In-place (slice assignment) so that a ``heap`` binding held by an
+        in-flight ``_run`` loop stays valid when a callback cancels enough
+        events to trigger compaction mid-run.
+        """
+        heap = self._heap
+        evicted = self._tombstones
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._tombstones = 0
+        self.heap_compactions += 1
+        self.tombstones_evicted += evicted
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending event; return False when none remain."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _seq, handle = heapq.heappop(heap)
+            handle.owner = None
             if handle.cancelled:
+                self._tombstones -= 1
                 continue
-            self.clock._advance_to(handle.time)
+            self.clock._advance_to(time)
             self.events_executed += 1
             handle.callback()
             return True
@@ -90,7 +182,7 @@ class Simulator:
         resumed with further ``run*`` calls.
         """
         self._run(until=until, max_events=max_events)
-        if self.now < until:
+        if self.clock.now() < until:
             self.clock._advance_to(until)
 
     def stop(self) -> None:
@@ -103,16 +195,24 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        clock = self.clock
         try:
-            while self._heap and not self._stopped:
-                head = self._heap[0]
+            while heap and not self._stopped:
+                time, _seq, head = heap[0]
                 if head.cancelled:
-                    heapq.heappop(self._heap)
+                    pop(heap)
+                    head.owner = None
+                    self._tombstones -= 1
                     continue
-                if until is not None and head.time > until:
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
-                self.clock._advance_to(head.time)
+                pop(heap)
+                head.owner = None
+                # Direct write: scheduling validated time >= now and the
+                # heap pops in time order, so monotonicity holds.
+                clock._now = time
                 self.events_executed += 1
                 executed += 1
                 if executed > max_events:
@@ -129,11 +229,20 @@ class Simulator:
     # ------------------------------------------------------------------
     def pending_events(self) -> int:
         """Number of queued (non-cancelled) events."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        return len(self._heap) - self._tombstones
 
     def peek_next_time(self) -> Optional[float]:
-        """Timestamp of the next live event, or None if the queue is empty."""
-        for handle in sorted(self._heap):
-            if not handle.cancelled:
-                return handle.time
+        """Timestamp of the next live event, or None if the queue is empty.
+
+        Pops tombstoned heads on the way, so repeated peeks stay O(1)
+        amortised instead of sorting the heap.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if not head[2].cancelled:
+                return head[0]
+            heapq.heappop(heap)
+            head[2].owner = None
+            self._tombstones -= 1
         return None

@@ -140,6 +140,121 @@ class TestRegistry:
         assert reg.wire_size(p) == len(reg.serialize(p))
 
 
+class CountingSerializer(Serializer):
+    """Pickle-equivalent serializer that counts encode calls."""
+
+    def __init__(self) -> None:
+        self.encodes = 0
+
+    def to_bytes(self, obj) -> bytes:
+        self.encodes += 1
+        return f"{obj.x},{obj.y}".encode()
+
+    def from_bytes(self, data: bytes):
+        x, y = data.decode().split(",")
+        return Point(int(x), int(y))
+
+
+class TestLookupCache:
+    def test_lookup_memoized_per_concrete_type(self):
+        reg = SerializerRegistry()
+        reg.register(10, Point, PointSerializer())
+        first = reg.lookup(Point(0, 0))
+        assert reg.lookup(Point(1, 1)) == first
+        assert Point in reg._lookup_cache
+
+    def test_register_invalidates_lookup_cache(self):
+        class Point3(Point):
+            pass
+
+        reg = SerializerRegistry()
+        reg.register(10, Point, PointSerializer())
+        type_id, _ = reg.lookup(Point3(1, 2))
+        assert type_id == 10  # resolved via the parent, now cached
+        reg.register(11, Point3, PointSerializer())
+        type_id, _ = reg.lookup(Point3(1, 2))
+        assert type_id == 11  # the more specific registration wins
+
+    def test_cache_and_scan_agree(self):
+        from repro import fastpath
+
+        class Point3(Point):
+            pass
+
+        reg = SerializerRegistry()
+        reg.register(10, Point, PointSerializer())
+        for obj in (Point(1, 2), Point3(3, 4), {"plain": "pickle"}):
+            cached = reg.lookup(obj)
+            with fastpath.disabled("SERIALIZER_CACHE"):
+                scanned = reg.lookup(obj)
+            assert cached == scanned
+
+
+class TestSizeThenSerializeOnce:
+    def test_size_then_serialize_encodes_once(self):
+        """The send path's double-serialization fix: size + encode = 1 encode."""
+        counting = CountingSerializer()
+        reg = SerializerRegistry()
+        reg.register(10, Point, counting)
+        p = Point(5, 6)
+        size = reg.wire_size(p)
+        frame = reg.serialize(p)
+        assert size == len(frame)
+        assert counting.encodes == 1
+
+    def test_cached_frame_is_per_object(self):
+        counting = CountingSerializer()
+        reg = SerializerRegistry()
+        reg.register(10, Point, counting)
+        a, b = Point(1, 1), Point(2, 2)
+        reg.wire_size(a)  # caches a's frame
+        frame_b = reg.serialize(b)  # different object: fresh encode
+        assert reg.deserialize(frame_b) == b
+        assert counting.encodes == 2
+        # a's cached frame is still valid for a itself.
+        assert reg.deserialize(reg.serialize(a)) == a
+        assert counting.encodes == 2
+
+    def test_cached_frame_consumed_once(self):
+        counting = CountingSerializer()
+        reg = SerializerRegistry()
+        reg.register(10, Point, counting)
+        p = Point(7, 8)
+        reg.wire_size(p)
+        first = reg.serialize(p)   # consumes the sized frame
+        second = reg.serialize(p)  # re-encodes
+        assert first == second
+        assert counting.encodes == 2
+
+    def test_sizing_serializer_skips_frame_cache(self):
+        """Serializers with a real wire_size never trigger the encode cache."""
+
+        class SizedSerializer(CountingSerializer):
+            def wire_size(self, obj) -> int:
+                return len(f"{obj.x},{obj.y}")
+
+        counting = SizedSerializer()
+        reg = SerializerRegistry()
+        reg.register(10, Point, counting)
+        p = Point(9, 9)
+        assert reg.wire_size(p) == len(reg.serialize(p))
+        assert counting.encodes == 1  # only the serialize() call encoded
+        assert reg._sized_frame is None
+
+    def test_reference_path_still_single_frame(self):
+        from repro import fastpath
+
+        counting = CountingSerializer()
+        reg = SerializerRegistry()
+        reg.register(10, Point, counting)
+        p = Point(3, 3)
+        with fastpath.disabled("SERIALIZER_CACHE"):
+            size = reg.wire_size(p)
+            frame = reg.serialize(p)
+        assert size == len(frame)
+        assert counting.encodes == 2  # sized by encoding, then encoded again
+
+
 class TestCompression:
     def test_zlib_roundtrip(self):
         codec = ZlibCodec()

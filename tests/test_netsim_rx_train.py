@@ -1,0 +1,84 @@
+"""Receive-side delivery trains: coalesced RX events must be invisible.
+
+The fast path batches back-to-back deliveries of one flow into a single
+pump event (``FlowState._train``).  These tests pin the invariants: the
+heap stays small on long fat paths, arrival times and payload order are
+byte-identical to the reference per-message scheduling, and teardown
+still delivers what was already on the wire.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.netsim import Proto
+from repro.sim import Simulator
+
+from tests.netsim_helpers import MB, make_pair, run_transfer
+
+
+def transfer_arrivals(proto, total_bytes, **pair_kwargs):
+    sim = Simulator()
+    net, a, b = make_pair(sim, **pair_kwargs)
+    sink = run_transfer(sim, net, a, b, proto, total_bytes)
+    return [(round(t, 12), s) for (t, s) in sink.arrivals]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("proto", [Proto.TCP, Proto.UDT])
+    def test_arrivals_identical_to_reference(self, proto):
+        fast = transfer_arrivals(proto, 8 * MB, delay=0.04)
+        with fastpath.disabled("RX_TRAIN"):
+            ref = transfer_arrivals(proto, 8 * MB, delay=0.04)
+        assert fast == ref
+
+    def test_udp_jitter_arrivals_identical(self):
+        # Jitter draws happen at completion time in both paths; out-of-order
+        # dues exercise the individual-schedule fallback.
+        fast = transfer_arrivals(Proto.UDP, 2 * MB, delay=0.02, jitter=0.05, seed=3)
+        with fastpath.disabled("RX_TRAIN"):
+            ref = transfer_arrivals(Proto.UDP, 2 * MB, delay=0.02, jitter=0.05, seed=3)
+        assert fast == ref
+
+
+class TestHeapPressure:
+    def test_train_keeps_rx_events_off_the_heap(self):
+        """On a long fat path the reference keeps O(BDP) delivery events
+        queued; the train holds them in a deque with one pump event."""
+        sim = Simulator()
+        net, a, b = make_pair(sim, bandwidth=100 * MB, delay=0.1)
+        sink = run_transfer(sim, net, a, b, Proto.TCP, 4 * MB)
+        flows = [
+            conn.flow
+            for host in (a, b)
+            for conn in host.stack.connections
+        ]
+        assert sink.bytes_received == 4 * MB
+        # After the run everything drained; the pump left no stragglers.
+        for flow in flows:
+            assert not flow._train
+            assert not flow._pump_scheduled
+
+
+class TestTeardown:
+    def test_in_flight_train_deliveries_survive_sender_abort(self):
+        """Messages already on the wire belong to the receiver: aborting
+        the sending flow must not retract them (reference semantics)."""
+        sim = Simulator()
+        net, a, b = make_pair(sim, bandwidth=10 * MB, delay=0.05)
+        from tests.netsim_helpers import Sink
+        from repro.netsim import WireMessage
+
+        sink = Sink(sim)
+        b.stack.listen(7000, Proto.TCP, on_accept=sink.on_accept)
+        conn = a.stack.connect((b.ip, 7000), Proto.TCP)
+        for i in range(8):
+            conn.send(WireMessage(payload=i, size=64 * 1024))
+        # Step until a completed transmission enters the train, then abort
+        # the flow before its propagation delay elapses.
+        while not conn.flow._train and sim.step():
+            pass
+        in_train = len(conn.flow._train)
+        conn.flow.abort()
+        sim.run()
+        # Everything that made it into the train still arrived.
+        assert len(sink.arrivals) >= in_train > 0

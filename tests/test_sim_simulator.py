@@ -144,6 +144,133 @@ class TestGuards:
         assert fired == [1]
 
 
+class TestScheduleMany:
+    def test_matches_individual_schedules(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("before"))
+        sim.schedule_many(1.0, [lambda i=i: fired.append(i) for i in range(5)])
+        sim.schedule(1.0, lambda: fired.append("after"))
+        sim.run()
+        assert fired == ["before", 0, 1, 2, 3, 4, "after"]
+
+    def test_returns_cancellable_handles(self):
+        sim = Simulator()
+        fired = []
+        handles = sim.schedule_many(1.0, [lambda i=i: fired.append(i) for i in range(4)])
+        handles[1].cancel()
+        handles[3].cancel()
+        sim.run()
+        assert fired == [0, 2]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Simulator().schedule_many(-1.0, [lambda: None])
+
+    def test_empty_batch(self):
+        sim = Simulator()
+        assert sim.schedule_many(1.0, []) == []
+        sim.run()
+
+
+class TestCompaction:
+    def test_mass_cancellation_compacts_heap(self):
+        from repro.sim.simulator import COMPACTION_MIN_TOMBSTONES
+
+        sim = Simulator()
+        keep = [sim.schedule(2.0, lambda: None) for _ in range(10)]
+        doomed = [
+            sim.schedule(1.0, lambda: None)
+            for _ in range(COMPACTION_MIN_TOMBSTONES * 3)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        assert sim.heap_compactions >= 1
+        assert sim.tombstones_evicted >= COMPACTION_MIN_TOMBSTONES
+        # The heap physically shrank: tombstones are gone, live events stay.
+        assert len(sim._heap) < len(doomed)
+        assert sim.pending_events() == len(keep)
+        sim.run()
+        assert sim.events_executed == len(keep)
+
+    def test_recurring_cancel_rearm_keeps_heap_bounded(self):
+        """The unbounded-heap regression: cancel+re-arm must not accumulate."""
+        sim = Simulator()
+        state = {"handle": None, "rounds": 0}
+
+        def rearm():
+            if state["handle"] is not None:
+                state["handle"].cancel()
+            state["handle"] = sim.schedule(60.0, lambda: None)
+            state["rounds"] += 1
+            if state["rounds"] < 1000:
+                sim.schedule(0.01, rearm)
+
+        sim.schedule(0.0, rearm)
+        sim.run_until(30.0)
+        # 1000 cancels happened; without compaction the heap would hold
+        # ~1000 tombstones.  With it, it stays within a compaction window.
+        assert sim._heap and len(sim._heap) < 200
+        assert sim.tombstones_evicted > 500
+
+    def test_execution_order_survives_compaction(self):
+        from repro.sim.simulator import COMPACTION_MIN_TOMBSTONES
+
+        sim = Simulator()
+        fired = []
+        for i in range(20):
+            sim.schedule(1.0 + i * 0.1, lambda i=i: fired.append(i))
+        doomed = [
+            sim.schedule(0.5, lambda: fired.append("doomed"))
+            for _ in range(COMPACTION_MIN_TOMBSTONES * 2)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        assert sim.heap_compactions >= 1
+        sim.run()
+        assert fired == list(range(20))
+
+
+class TestCancelledCounter:
+    def test_obs_counter_counts_pending_cancels_only(self):
+        from repro.obs import collecting
+
+        with collecting() as reg:
+            sim = Simulator()
+            h1 = sim.schedule(1.0, lambda: None)
+            h2 = sim.schedule(2.0, lambda: None)
+            h1.cancel()
+            h1.cancel()  # idempotent: must not double-count
+            sim.run()
+            h2.cancel()  # already executed: not a pending cancel
+            assert reg.counter("sim.events_cancelled").value == 1.0
+
+
+class TestIntrospection:
+    def test_peek_next_time_skips_tombstones(self):
+        sim = Simulator()
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.peek_next_time() == 1.0
+        h1.cancel()
+        assert sim.peek_next_time() == 2.0
+
+    def test_peek_next_time_empty(self):
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        assert sim.peek_next_time() is None
+
+    def test_pending_events_is_live_count(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(6)]
+        assert sim.pending_events() == 6
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending_events() == 2
+
+
 class TestPropertyBased:
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
     @settings(max_examples=100, deadline=None)
