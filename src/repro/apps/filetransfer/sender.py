@@ -49,6 +49,7 @@ class FileSender(ComponentDefinition):
         self.finished_at: Optional[float] = None
         self.chunks_sent = 0
         self._next_to_read = 0
+        self._halted = False
 
         self.subscribe(self.net, TransferDone, self._on_done_msg)
 
@@ -68,6 +69,15 @@ class FileSender(ComponentDefinition):
         for _ in range(min(self.read_ahead, self.dataset.total_chunks)):
             self._issue_read()
 
+    def on_kill(self) -> None:
+        self._halted = True
+
+    def on_fault(self, fault) -> None:
+        # Pending disk-read callbacks reference this instance; without the
+        # halt a killed/restarted sender would keep streaming its old
+        # transfer through the component's (still wired) ports.
+        self._halted = True
+
     def _issue_read(self) -> None:
         if self.disk is None:
             return
@@ -79,6 +89,8 @@ class FileSender(ComponentDefinition):
         self.disk.read(length, lambda i=index: self._chunk_ready(i))
 
     def _chunk_ready(self, index: int) -> None:
+        if self._halted:
+            return
         header_cls = DataHeader if self.transport is Transport.DATA else BasicHeader
         msg = DataChunkMsg(
             header_cls(self.self_address, self.destination, self.transport),

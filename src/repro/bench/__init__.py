@@ -10,11 +10,19 @@
   structured rows and printing the table the figure plots.
 * :mod:`repro.bench.faults` — scripted fault campaigns (cut / degrade /
   restore) exercising the channel-recovery layer.
+* :mod:`repro.bench.chaos` — seeded random fault campaigns (handler
+  faults + link cuts) exercising component supervision end to end.
 * :mod:`repro.bench.perf` — perf-regression harness: hot-path
   microbenchmarks, figure-shaped wall-clock suites, a baseline
   regression gate, and the fastpath equivalence gate.
 """
 
+from repro.bench.chaos import (
+    ChaosCampaignResult,
+    ChaosEvent,
+    plan_chaos_timeline,
+    run_chaos_campaign,
+)
 from repro.bench.faults import FAULT_ENV, FaultCampaignResult, run_fault_campaign
 from repro.bench.harness import (
     LatencyResult,
@@ -46,6 +54,10 @@ __all__ = [
     "FAULT_ENV",
     "FaultCampaignResult",
     "run_fault_campaign",
+    "ChaosEvent",
+    "ChaosCampaignResult",
+    "plan_chaos_timeline",
+    "run_chaos_campaign",
     "run_perf",
     "run_equivalence",
     "check_regression",

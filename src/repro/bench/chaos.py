@@ -1,0 +1,253 @@
+"""Full-system chaos campaigns: random faults under a live workload.
+
+Where :mod:`repro.bench.faults` scripts a *known* fault timeline, a chaos
+campaign draws one from a seeded RNG: handler faults injected into live
+components (``system.supervision.inject_fault``) and link cuts driven
+through :class:`~repro.netsim.faults.FaultInjector`, all while a
+fig8-shaped workload (TCP control pings + a bulk file transfer) runs.
+Supervision runs with a global RESTART policy, so the assertion is not
+"nothing broke" but "everything converged": the transfer completes despite
+mid-run sender restarts, and pings are still being answered after the last
+chaos event.
+
+The whole campaign is deterministic in its ``seed``: the timeline is
+precomputed from ``derive_seed(seed, "chaos")`` before the run starts, and
+the simulated testbed is deterministic in ``seed`` as usual — same seed,
+same timeline, same counters.
+
+Run via ``repro chaos`` (instrumented through
+:func:`repro.bench.harness.run_observed`) to get the supervision metrics —
+``kompics.restarts_total``, ``kompics.deadletters_total`` — in the
+snapshot document.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.apps import FileReceiver, FileSender, Pinger, Ponger, SyntheticDataset
+from repro.apps.filetransfer.chunks import PAPER_CHUNK_BYTES as CHUNK
+from repro.bench.faults import FAULT_ENV
+from repro.bench.harness import run_in_steps, wire_endpoint
+from repro.bench.scenario import MB, Setup, TestbedPair
+from repro.kompics import SimTimerComponent, Timer
+from repro.messaging import Transport
+from repro.netsim.faults import FaultInjector
+from repro.obs import get_registry
+from repro.util.rng import derive_seed
+
+#: components a campaign may fault by default.  The pinger is left alone
+#: on purpose: it is the health probe that measures convergence.
+DEFAULT_TARGETS: Tuple[str, ...] = ("sender", "ponger")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One planned chaos action (times are absolute sim seconds)."""
+
+    time: float
+    kind: str  # "component_fault" | "link_cut"
+    target: str  # component label, or "link"
+    duration: float  # link cuts only; 0.0 for faults
+
+
+@dataclass(frozen=True)
+class ChaosCampaignResult:
+    """What one seeded campaign planned, observed and recovered."""
+
+    setup: str
+    seed: int
+    sim_time: float
+    timeline: Tuple[ChaosEvent, ...]
+    faults_injected: int
+    link_cuts: int
+    restarts: int
+    escalations: int
+    destroys: int
+    deadletters: int
+    pings_sent: int
+    pings_answered: int
+    pings_answered_before_tail: int
+    transfer_bytes: int
+    transfer_progress: float
+    transfer_done: bool
+    reconnect_attempts: int
+    reconnect_recovered: int
+
+    @property
+    def pings_answered_in_tail(self) -> int:
+        """Pings answered after the convergence probe point."""
+        return self.pings_answered - self.pings_answered_before_tail
+
+    @property
+    def healthy_at_end(self) -> bool:
+        """Did the system converge back to answering pings after chaos?"""
+        return self.pings_answered_in_tail > 0
+
+
+def plan_chaos_timeline(
+    seed: int,
+    targets: Tuple[str, ...] = DEFAULT_TARGETS,
+    chaos_start: float = 2.0,
+    chaos_end: float = 10.0,
+    events: int = 5,
+    p_component_fault: float = 0.6,
+    cut_range: Tuple[float, float] = (0.3, 1.0),
+) -> Tuple[ChaosEvent, ...]:
+    """Draw a deterministic chaos timeline from ``seed``.
+
+    Each event lands uniformly in ``[chaos_start, chaos_end)`` and is
+    either a handler fault on one of ``targets`` (probability
+    ``p_component_fault``) or a link cut with a duration drawn from
+    ``cut_range``.  The plan is fixed before the run, so the same seed
+    replays the identical campaign.
+    """
+    rng = random.Random(derive_seed(seed, "chaos"))
+    plan = []
+    for _ in range(events):
+        time = rng.uniform(chaos_start, chaos_end)
+        if targets and rng.random() < p_component_fault:
+            plan.append(ChaosEvent(time, "component_fault", rng.choice(targets), 0.0))
+        else:
+            plan.append(ChaosEvent(time, "link_cut", "link", rng.uniform(*cut_range)))
+    plan.sort(key=lambda e: (e.time, e.kind, e.target))
+    return tuple(plan)
+
+
+def run_chaos_campaign(
+    setup: Setup = FAULT_ENV,
+    duration: float = 20.0,
+    chaos_start: float = 2.0,
+    chaos_end: float = 10.0,
+    events: int = 5,
+    targets: Tuple[str, ...] = DEFAULT_TARGETS,
+    tail: float = 3.0,
+    transfer_bytes: int = 4 * MB,
+    transfer_transport: Transport = Transport.TCP,
+    ping_interval: float = 0.25,
+    seed: int = 0,
+    max_restarts: int = 10,
+    restart_window: float = 30.0,
+    p_component_fault: float = 0.6,
+    cut_range: Tuple[float, float] = (0.3, 1.0),
+    reconnect: Optional[Dict[str, object]] = None,
+    connect_timeout: float = 0.4,
+) -> ChaosCampaignResult:
+    """Random faults + link cuts under a fig8-shaped workload.
+
+    Supervision is on with a global RESTART policy (budget
+    ``max_restarts`` per ``restart_window`` seconds); channel recovery is
+    on so cut links re-establish on demand.  ``tail`` seconds at the end
+    of the run are chaos-free: pings answered in that window are the
+    convergence signal (:attr:`ChaosCampaignResult.healthy_at_end`).
+    """
+    if setup.local:
+        raise ValueError("chaos campaigns need a point-to-point setup (a link to cut)")
+    if chaos_end + tail > duration:
+        raise ValueError("duration must cover chaos_end plus the convergence tail")
+    timeline = plan_chaos_timeline(
+        seed, targets, chaos_start, chaos_end, events, p_component_fault, cut_range
+    )
+
+    sys_config: Dict[str, object] = {
+        "kompics.supervision.enabled": True,
+        "kompics.supervision.action": "restart",
+        "kompics.supervision.max_restarts": max_restarts,
+        "kompics.supervision.window": restart_window,
+        "messaging.reconnect.enabled": True,
+        "messaging.reconnect.jitter": 0.0,
+    }
+    for key, value in (reconnect or {}).items():
+        sys_config[f"messaging.reconnect.{key}"] = value
+
+    pair = TestbedPair(setup, seed=seed, sys_config=sys_config)
+    pair.fabric.connect_timeout = connect_timeout
+    snd = wire_endpoint(pair, pair.sender, "snd", data=False)
+    rcv = wire_endpoint(pair, pair.receiver, "rcv", data=False)
+
+    pinger = pair.system.create(
+        Pinger, pair.sender.address, pair.receiver.address,
+        transport=Transport.TCP, interval=ping_interval,
+    )
+    ponger = pair.system.create(Ponger, pair.receiver.address)
+    timer = pair.system.create(SimTimerComponent)
+    pair.system.connect(timer.provided(Timer), pinger.required(Timer))
+    snd.attach(pair.system, pinger)
+    rcv.attach(pair.system, ponger)
+
+    dataset = SyntheticDataset(size=transfer_bytes, chunk_size=CHUNK, seed=seed)
+    sender = pair.system.create(
+        FileSender, pair.sender.address, pair.receiver.address, dataset,
+        transport=transfer_transport, disk=pair.sender.disk,
+    )
+    receiver = pair.system.create(
+        FileReceiver, pair.receiver.address, disk=pair.receiver.disk,
+    )
+    snd.attach(pair.system, sender)
+    rcv.attach(pair.system, receiver)
+
+    components = {
+        "pinger": pinger, "ponger": ponger,
+        "sender": sender, "receiver": receiver,
+        "net-snd": snd.network, "net-rcv": rcv.network,
+    }
+    unknown = {e.target for e in timeline if e.kind == "component_fault"} - set(components)
+    if unknown:
+        raise ValueError(f"unknown chaos targets {sorted(unknown)}")
+
+    injector = FaultInjector(pair.fabric)
+    ip_a, ip_b = pair.sender.host.ip, pair.receiver.host.ip
+    supervision = pair.system.supervision
+    for event in timeline:
+        if event.kind == "component_fault":
+            injector.at(
+                event.time,
+                lambda e=event: supervision.inject_fault(
+                    components[e.target],
+                    RuntimeError(f"chaos: {e.target} at {e.time:.3f}s"),
+                ),
+                label="chaos-fault",
+            )
+        else:
+            injector.at(
+                event.time,
+                lambda e=event: injector.cut_link(ip_a, ip_b, duration=e.duration),
+                label="chaos-cut",
+            )
+
+    # Convergence probe: pings answered before the chaos-free tail starts.
+    probe = {"answered": 0}
+
+    def take_probe() -> None:
+        probe["answered"] = len(pinger.definition.rtts)
+
+    pair.sim.schedule_at(duration - tail, take_probe, label="chaos-probe")
+
+    for component in (timer, ponger, receiver, pinger, sender):
+        pair.system.start(component)
+    run_in_steps(pair, duration, lambda: False, step=0.25)
+
+    metrics = get_registry()
+    transfer_id = sender.definition.transfer_id
+    return ChaosCampaignResult(
+        setup=setup.name,
+        seed=seed,
+        sim_time=pair.sim.now,
+        timeline=timeline,
+        faults_injected=sum(1 for e in timeline if e.kind == "component_fault"),
+        link_cuts=sum(1 for e in timeline if e.kind == "link_cut"),
+        restarts=supervision.restarts_total,
+        escalations=supervision.escalations_total,
+        destroys=supervision.destroys_total,
+        deadletters=pair.system.deadletters_total,
+        pings_sent=pinger.definition._next_seq,
+        pings_answered=len(pinger.definition.rtts),
+        pings_answered_before_tail=probe["answered"],
+        transfer_bytes=transfer_bytes,
+        transfer_progress=receiver.definition.progress(transfer_id),
+        transfer_done=sender.definition.duration is not None,
+        reconnect_attempts=int(metrics.total("messaging.reconnect.attempts_total")),
+        reconnect_recovered=int(metrics.total("messaging.reconnect.recovered_total")),
+    )

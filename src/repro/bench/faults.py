@@ -135,14 +135,9 @@ def run_fault_campaign(
             bandwidth=setup.bandwidth / 4, delay=setup.one_way_delay,
             loss=0.01, udp_cap=setup.udp_cap,
         )
-        restored = LinkSpec(
-            bandwidth=setup.bandwidth, delay=setup.one_way_delay,
-            loss=setup.loss, udp_cap=setup.udp_cap,
-        )
-        injector.at(degrade_at, lambda: injector.degrade_link(ip_a, ip_b, degraded))
         injector.at(
-            degrade_at + degrade_duration,
-            lambda: injector.degrade_link(ip_a, ip_b, restored),
+            degrade_at,
+            lambda: injector.degrade_link(ip_a, ip_b, degraded, duration=degrade_duration),
         )
 
     for component in (timer, ponger, receiver, pinger, sender):

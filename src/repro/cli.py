@@ -7,6 +7,7 @@ Examples::
     python -m repro latency --setup EU2AU --data-transport udt
     python -m repro learn --value-function approx --duration 60
     python -m repro faults --cut-at 3 --cut-duration 2
+    python -m repro chaos --seed 3 --events 5
     python -m repro setups
 """
 
@@ -121,6 +122,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="human summary or the full obs snapshot document")
     faults.add_argument("--output", default=None,
                         help="write the output to this file instead of stdout")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded random fault campaign (handler faults + link cuts) "
+             "under component supervision",
+    )
+    chaos.add_argument("--duration", type=float, default=20.0,
+                       help="simulated seconds to run")
+    chaos.add_argument("--events", type=int, default=5,
+                       help="how many chaos events to draw")
+    chaos.add_argument("--chaos-start", type=float, default=2.0,
+                       help="earliest chaos event (sim seconds)")
+    chaos.add_argument("--chaos-end", type=float, default=10.0,
+                       help="latest chaos event (sim seconds)")
+    chaos.add_argument("--tail", type=float, default=3.0,
+                       help="chaos-free convergence window at the end")
+    chaos.add_argument("--targets", default=None,
+                       help="comma-separated fault targets "
+                            "(pinger,ponger,sender,receiver,net-snd,net-rcv)")
+    chaos.add_argument("--transfer-mb", type=int, default=4,
+                       help="parallel file-transfer size")
+    chaos.add_argument("--transport", type=_transport, default=Transport.TCP,
+                       help="transfer transport (pings always use TCP)")
+    chaos.add_argument("--seed", type=int, default=3)
+    chaos.add_argument("--max-restarts", type=int, default=10,
+                       help="supervision restart budget per window")
+    chaos.add_argument("--format", choices=("summary", "json"), default="summary",
+                       help="human summary or the full obs snapshot document")
+    chaos.add_argument("--output", default=None,
+                       help="write the output to this file instead of stdout")
 
     perf = sub.add_parser(
         "perf",
@@ -337,6 +368,71 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.bench.chaos import DEFAULT_TARGETS, run_chaos_campaign
+    from repro.bench.harness import run_observed
+
+    targets = (
+        DEFAULT_TARGETS if args.targets is None
+        else tuple(t.strip() for t in args.targets.split(",") if t.strip())
+    )
+    result, document = run_observed(
+        run_chaos_campaign,
+        duration=args.duration,
+        chaos_start=args.chaos_start,
+        chaos_end=args.chaos_end,
+        events=args.events,
+        targets=targets,
+        tail=args.tail,
+        transfer_bytes=args.transfer_mb * MB,
+        transfer_transport=args.transport,
+        seed=args.seed,
+        max_restarts=args.max_restarts,
+        meta={"seed": args.seed, "duration": args.duration, "events": args.events},
+    )
+
+    if args.format == "json":
+        from repro.obs.export import _json_default, _sanitize
+
+        document["meta"]["summary"] = dataclasses.asdict(result)
+        text = json.dumps(
+            _sanitize(document), indent=2, sort_keys=True, default=_json_default
+        )
+    else:
+        lines = [
+            f"chaos campaign on {result.setup} (seed {result.seed}): "
+            f"{result.faults_injected} fault(s), {result.link_cuts} link cut(s)",
+        ]
+        for event in result.timeline:
+            detail = f" for {event.duration:.2f}s" if event.kind == "link_cut" else ""
+            lines.append(f"  {event.time:7.3f}s  {event.kind:16s} {event.target}{detail}")
+        lines += [
+            f"  supervision     {result.restarts} restart(s), "
+            f"{result.escalations} escalation(s), {result.destroys} destroy(s)",
+            f"  dead letters    {result.deadletters}",
+            f"  pings           {result.pings_answered}/{result.pings_sent} answered, "
+            f"{result.pings_answered_in_tail} in the convergence tail",
+            f"  transfer        {result.transfer_progress:.1%} of "
+            f"{result.transfer_bytes // MB} MB"
+            + (" (complete)" if result.transfer_done else ""),
+            f"  reconnects      {result.reconnect_attempts} attempt(s), "
+            f"{result.reconnect_recovered} recovered",
+            f"  converged       {'yes' if result.healthy_at_end else 'NO'}",
+        ]
+        text = "\n".join(lines)
+
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.format} output to {args.output}")
+    else:
+        print(text)
+    return 0 if result.healthy_at_end else 1
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     import json
 
@@ -419,6 +515,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "learn": cmd_learn,
         "obs": cmd_obs,
         "faults": cmd_faults,
+        "chaos": cmd_chaos,
         "perf": cmd_perf,
     }
     return handlers[args.command](args)

@@ -19,10 +19,26 @@ lifecycle, timers and hierarchical configuration.
 from repro.kompics.channel import Channel, ChannelSelector
 from repro.kompics.component import Component, ComponentDefinition
 from repro.kompics.config import Config
-from repro.kompics.event import Fault, Kill, KompicsEvent, Start, Started, Stop, Stopped
+from repro.kompics.event import (
+    DeadLetter,
+    Fault,
+    Kill,
+    KompicsEvent,
+    Restarted,
+    Start,
+    Started,
+    Stop,
+    Stopped,
+)
 from repro.kompics.port import Port, PortType
 from repro.kompics.runtime import KompicsSystem
 from repro.kompics.scheduler import Scheduler, SimScheduler, ThreadPoolScheduler
+from repro.kompics.supervision import (
+    FaultAction,
+    SupervisionEvents,
+    SupervisionPolicy,
+    Supervisor,
+)
 from repro.kompics.timer import (
     CancelPeriodicTimeout,
     CancelTimeout,
@@ -41,6 +57,12 @@ __all__ = [
     "Stopped",
     "Kill",
     "Fault",
+    "Restarted",
+    "DeadLetter",
+    "FaultAction",
+    "SupervisionPolicy",
+    "SupervisionEvents",
+    "Supervisor",
     "PortType",
     "Port",
     "Channel",

@@ -73,6 +73,14 @@ class Channel:
             return
         self.negative.deliver(event)
 
+    def other(self, port: Port) -> Port:
+        """The opposite end of the channel from ``port``."""
+        if port is self.positive:
+            return self.negative
+        if port is self.negative:
+            return self.positive
+        raise ChannelError(f"{port!r} is not an endpoint of {self!r}")
+
     def disconnect(self) -> None:
         """Detach from both ports; in-queue events are still handled."""
         if self.connected:

@@ -27,6 +27,7 @@ from repro.kompics.port import Port, PortType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kompics.runtime import KompicsSystem
+    from repro.kompics.supervision import SupervisionPolicy
 
 
 class ComponentState(enum.Enum):
@@ -57,6 +58,9 @@ class ComponentCore:
         self.parent = parent
         self.children: List["ComponentCore"] = []
         self.definition: Optional["ComponentDefinition"] = None
+        #: (definition_cls, args, kwargs) — set by the runtime's create();
+        #: supervision re-runs it on RESTART.
+        self.create_args: Optional[Tuple[Any, ...]] = None
         self.state = ComponentState.PASSIVE
 
         self._ports: Dict[Tuple[Type[PortType], bool], Port] = {}
@@ -109,39 +113,63 @@ class ComponentCore:
     # event intake
     # ------------------------------------------------------------------
     def enqueue(self, port: Port, event: KompicsEvent) -> None:
-        """Queue a delivered event; wake the scheduler if needed."""
+        """Queue a delivered event; wake the scheduler if needed.
+
+        Events to a DESTROYED or FAULTY component are dropped — but no
+        longer silently: they land in the system's dead-letter sink.
+        Events to a STOPPED component stay parked in the queue (delivered
+        if it restarts) and are recorded as non-dropped dead letters.
+        """
         if self._single_threaded:
             state = self.state
             if state is ComponentState.DESTROYED or state is ComponentState.FAULTY:
+                self.system.note_deadletter(self, event, state, dropped=True)
                 return
+            if state is ComponentState.STOPPED:
+                self.system.note_deadletter(self, event, state, dropped=False)
             self._queue.append((port, event))
             # inlined _maybe_schedule_locked: _queue is known non-empty
             if not self._scheduled and (self._control_queue or state is ComponentState.ACTIVE):
                 self._scheduled = True
                 self.system.scheduler.schedule_ready(self)
             return
+        # note_deadletter runs outside the lock: publishing a DeadLetter
+        # can re-enter enqueue on this very component.
+        dead: Optional[bool] = None
         with self._lock:
-            if self.state in (ComponentState.DESTROYED, ComponentState.FAULTY):
-                return
-            self._queue.append((port, event))
-            self._maybe_schedule_locked()
+            state = self.state
+            if state in (ComponentState.DESTROYED, ComponentState.FAULTY):
+                dead = True
+            else:
+                if state is ComponentState.STOPPED:
+                    dead = False
+                self._queue.append((port, event))
+                self._maybe_schedule_locked()
+        if dead is not None:
+            self.system.note_deadletter(self, event, state, dropped=dead)
 
     def enqueue_control(self, event: KompicsEvent) -> None:
         """Queue a lifecycle event; processed ahead of port events."""
         if self._single_threaded:
             state = self.state
             if state is ComponentState.DESTROYED or state is ComponentState.FAULTY:
+                self.system.note_deadletter(self, event, state, dropped=True)
                 return
             self._control_queue.append(event)
             if not self._scheduled:
                 self._scheduled = True
                 self.system.scheduler.schedule_ready(self)
             return
+        dead = False
         with self._lock:
-            if self.state in (ComponentState.DESTROYED, ComponentState.FAULTY):
-                return
-            self._control_queue.append(event)
-            self._maybe_schedule_locked()
+            state = self.state
+            if state in (ComponentState.DESTROYED, ComponentState.FAULTY):
+                dead = True
+            else:
+                self._control_queue.append(event)
+                self._maybe_schedule_locked()
+        if dead:
+            self.system.note_deadletter(self, event, state, dropped=True)
 
     def _has_work_locked(self) -> bool:
         if self._control_queue:
@@ -267,11 +295,35 @@ class ComponentCore:
             self._control_queue.clear()
 
     def _fault(self, event: Optional[KompicsEvent], exc: BaseException) -> None:
+        fault = Fault(self.name, event, exc)
+        supervision = self.system.supervision
+        if supervision.enabled:
+            supervision.handle_fault(self, fault)
+            return
+        self._terminal_fault(fault)
+
+    def _terminal_fault(self, fault: Fault) -> None:
+        """Legacy fault path: mark FAULTY and hand to the system policy.
+
+        Children must not keep running headless under a dead parent, so
+        Kill cascades to them (under the default ``raise`` policy the
+        exception below aborts the run before they process it; under
+        ``store`` they are actually torn down).
+        """
         self.state = ComponentState.FAULTY
+        if self.definition is not None:
+            try:
+                self.definition.on_fault(fault)
+            except Exception:  # noqa: BLE001 - hook must not mask the fault
+                logging.getLogger("repro.kompics").exception(
+                    "on_fault hook of %r failed", self.name
+                )
         with self._lock:
             self._queue.clear()
             self._control_queue.clear()
-        self.system.report_fault(Fault(self.name, event, exc))
+        for child in self.children:
+            child.enqueue_control(Kill())
+        self.system.report_fault(fault)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ComponentCore({self.name!r}, id={self.id}, {self.state.value})"
@@ -355,6 +407,23 @@ class ComponentDefinition:
 
     def on_kill(self) -> None:
         """Called when the component is destroyed."""
+
+    def on_fault(self, fault: Fault) -> None:
+        """Called when one of this component's handlers raised.
+
+        Runs before recovery (restart/destroy) or the legacy FAULTY
+        transition — a place to release external resources (sockets,
+        timers) that ``__init__`` would otherwise re-acquire leaked.
+        """
+
+    def supervision(self) -> Optional[SupervisionPolicy]:
+        """Per-definition supervision policy override (default: none).
+
+        Return a :class:`~repro.kompics.supervision.SupervisionPolicy`
+        to fix how faults of this component are handled regardless of
+        subtree or global configuration.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # context accessors

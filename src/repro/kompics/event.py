@@ -67,3 +67,52 @@ class Fault(KompicsEvent):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Fault({self.component_name!r}, {type(self.event).__name__}, {self.exception!r})"
+
+
+class Restarted(KompicsEvent):
+    """Indication that a supervisor re-instantiated a component.
+
+    ``restarts`` counts restarts inside the current intensity window, so
+    subscribers can tell a first recovery from a flapping component.
+    """
+
+    __slots__ = ("component_name", "component_id", "fault", "restarts")
+
+    def __init__(
+        self,
+        component_name: str,
+        component_id: int,
+        fault: Optional["Fault"],
+        restarts: int,
+    ) -> None:
+        self.component_name = component_name
+        self.component_id = component_id
+        self.fault = fault
+        self.restarts = restarts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Restarted({self.component_name!r}, restarts={self.restarts})"
+
+
+class DeadLetter(KompicsEvent):
+    """An event that reached a component past its useful life.
+
+    ``dropped`` is True when the event was discarded outright (DESTROYED
+    or FAULTY receiver); events to a STOPPED component are parked in its
+    queue — recorded here for visibility, delivered if it restarts.
+    """
+
+    __slots__ = ("component_name", "state", "event", "dropped")
+
+    def __init__(self, component_name: str, state: str, event: KompicsEvent, dropped: bool) -> None:
+        self.component_name = component_name
+        self.state = state
+        self.event = event
+        self.dropped = dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "dropped" if self.dropped else "parked"
+        return (
+            f"DeadLetter({self.component_name!r}, {self.state}, "
+            f"{type(self.event).__name__}, {flag})"
+        )

@@ -140,6 +140,16 @@ class Port:
             ) from None
         self._dispatch_cache.clear()
 
+    def clear_subscriptions(self) -> None:
+        """Drop every subscription (supervision restart path).
+
+        Channels stay attached: a restarting component keeps its port
+        instances so the rest of the system never re-wires, but the new
+        definition's ``__init__`` must start from a clean handler table.
+        """
+        self._subscriptions.clear()
+        self._dispatch_cache.clear()
+
     def matching_handlers(self, event: KompicsEvent) -> Sequence[Handler]:
         """Handlers whose subscribed type matches ``event``, in
         subscription order (the paper's type-hierarchy matching)."""

@@ -9,15 +9,17 @@ wall-clock execution.
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping, Optional, Type
+from collections import deque
+from typing import Any, Deque, List, Mapping, Optional, Type
 
 from repro.errors import ChannelError, ComponentError
 from repro.kompics.channel import Channel, ChannelSelector
 from repro.kompics.component import Component, ComponentCore, ComponentDefinition, _construction
 from repro.kompics.config import Config
-from repro.kompics.event import Fault, Kill, Start, Stop
+from repro.kompics.event import DeadLetter, Fault, Kill, KompicsEvent, Start, Stop
 from repro.kompics.port import Port
 from repro.kompics.scheduler import Scheduler, SimScheduler, ThreadPoolScheduler
+from repro.kompics.supervision import Supervisor
 from repro.obs import get_registry, get_tracer
 from repro.sim import Simulator
 from repro.util.clock import Clock, WallClock
@@ -27,6 +29,14 @@ from repro.util.rng import RngRegistry
 DEFAULT_CONFIG = {
     "kompics.max_events_per_schedule": 32,
     "kompics.fault_policy": "raise",  # or "store"
+    # Supervision (see repro.kompics.supervision); default-off keeps the
+    # fault path byte-identical to the unsupervised runtime.
+    "kompics.supervision.enabled": False,
+    "kompics.supervision.action": "escalate",  # ignore|restart|escalate|destroy
+    "kompics.supervision.max_restarts": 5,
+    "kompics.supervision.window": 30.0,
+    # Dead-letter ring buffer capacity (most recent kept).
+    "kompics.deadletters.keep": 256,
 }
 
 
@@ -61,6 +71,13 @@ class KompicsSystem:
         self._m_components = self.metrics.gauge("kompics.system.components", system=name)
         self._m_components.set_function(lambda: len(self.components))
         self._m_faults = self.metrics.counter("kompics.system.faults_total", system=name)
+        # Supervision + dead-letter sink (both inert until configured on /
+        # subscribed to; see repro.kompics.supervision).
+        self.supervision = Supervisor(self)
+        self.deadletters_total = 0
+        keep = self.config.get_int("kompics.deadletters.keep", 256)
+        self.deadletters: Deque[DeadLetter] = deque(maxlen=keep)
+        self._m_deadletters = self.metrics.counter("kompics.deadletters_total", system=name)
 
     # ------------------------------------------------------------------
     # constructors
@@ -117,6 +134,16 @@ class KompicsSystem:
             idx = self.ids.next(f"name.{definition_cls.__name__}")
             name = f"{definition_cls.__name__}-{idx}"
         core = ComponentCore(self, name=name, parent=parent)
+        # Recorded so supervision can re-instantiate on RESTART.
+        core.create_args = (definition_cls, args, kwargs)
+        self._instantiate(core)
+        component = Component(core)
+        self.components.append(component)
+        return component
+
+    def _instantiate(self, core: ComponentCore) -> None:
+        """Run the recorded definition constructor bound to ``core``."""
+        definition_cls, args, kwargs = core.create_args
         _construction.stack.append(core)
         try:
             definition = definition_cls(*args, **kwargs)
@@ -127,9 +154,14 @@ class KompicsSystem:
                 f"{definition_cls.__name__}.__init__ must call super().__init__() first"
             )
         core.definition = definition
-        component = Component(core)
-        self.components.append(component)
-        return component
+
+    def _reinstantiate(self, core: ComponentCore) -> None:
+        """Supervision restart: fresh definition instance on the same core."""
+        self._instantiate(core)
+
+    def _forget(self, core: ComponentCore) -> None:
+        """Drop the component handle of a destroyed ``core`` (teardown)."""
+        self.components = [c for c in self.components if c.core is not core]
 
     def connect(self, a: Port, b: Port, selector: Optional[ChannelSelector] = None) -> Channel:
         """Connect a provided port to a required port (order-agnostic)."""
@@ -163,6 +195,33 @@ class KompicsSystem:
         self.scheduler.shutdown()
 
     # ------------------------------------------------------------------
+    # dead letters
+    # ------------------------------------------------------------------
+    def note_deadletter(
+        self, core: ComponentCore, event: KompicsEvent, state: Any, dropped: bool
+    ) -> None:
+        """Record an event that reached a STOPPED/DESTROYED/FAULTY component.
+
+        Keeps a bounded ring of recent :class:`DeadLetter` records, counts
+        per receiver state, and republishes on the supervision events port
+        (unless the event itself is a DeadLetter — no cascades).
+        """
+        self.deadletters_total += 1
+        key = state.value
+        letter = DeadLetter(core.name, key, event, dropped)
+        self.deadletters.append(letter)
+        self._m_deadletters.inc()
+        self.tracer.event(
+            "kompics.deadletter",
+            component=core.name,
+            state=key,
+            event=type(event).__name__,
+            dropped=dropped,
+        )
+        if not isinstance(event, DeadLetter):
+            self.supervision.publish(letter)
+
+    # ------------------------------------------------------------------
     # faults
     # ------------------------------------------------------------------
     def report_fault(self, fault: Fault) -> None:
@@ -182,10 +241,25 @@ class KompicsSystem:
             ) from fault.exception
 
     def raise_faults(self) -> None:
-        """Raise the first stored fault, if any (for 'store' policy runs)."""
-        if self.faults:
-            fault = self.faults[0]
-            raise ComponentError(
-                f"component {fault.component_name!r} faulted handling "
-                f"{type(fault.event).__name__} (+{len(self.faults) - 1} more)"
-            ) from fault.exception
+        """Raise a ComponentError aggregating *all* stored faults, if any.
+
+        For ``store`` policy runs: every stored fault appears in the
+        message (component, event and exception), and the first fault's
+        exception is chained as the cause.  ``self.faults`` is left
+        intact — use :meth:`clear_faults` to drain it.
+        """
+        if not self.faults:
+            return
+        lines = "; ".join(
+            f"{f.component_name!r} handling {type(f.event).__name__}: {f.exception!r}"
+            for f in self.faults
+        )
+        raise ComponentError(
+            f"{len(self.faults)} stored component fault(s): {lines}"
+        ) from self.faults[0].exception
+
+    def clear_faults(self) -> List[Fault]:
+        """Drain and return the stored faults (acknowledging them)."""
+        faults = self.faults
+        self.faults = []
+        return faults

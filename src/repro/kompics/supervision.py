@@ -1,0 +1,442 @@
+"""Hierarchical component supervision (restart / escalate / ignore / destroy).
+
+The Kompics component model promises fault *isolation*: a handler that
+throws marks only its own component FAULTY.  The seed runtime stopped
+there — a faulted component stayed dead forever, its children kept
+running headless, and events sent its way vanished silently.  This module
+adds the recovery half, in the style of actor-family middleware (Erlang
+supervisors, Akka/CAF actor supervision):
+
+* every component resolves a :class:`FaultAction` when one of its
+  handlers (or lifecycle hooks) raises;
+* ``IGNORE`` drops the faulting event and resumes processing;
+* ``RESTART`` kills the component's subtree, re-instantiates the
+  definition from the ``create()`` arguments recorded by the runtime,
+  and replays ``Start`` — channels connected to the component's own
+  ports survive, so the rest of the system never re-wires anything;
+* restarts draw from a capped *intensity budget* (at most
+  ``max_restarts`` per rolling ``window`` seconds, measured on the
+  system clock — deterministic under the simulated clock); an exhausted
+  budget escalates;
+* ``ESCALATE`` hands the fault to the parent's supervision logic; at the
+  root it degrades to today's ``kompics.fault_policy`` behaviour
+  (``raise`` by default), so an unsupervised fault looks exactly like it
+  always did;
+* ``DESTROY`` tears the faulted subtree down and lets the rest of the
+  system keep running.
+
+Policies resolve most-specific-first: a runtime-set per-component policy,
+then the definition's :meth:`~repro.kompics.component.ComponentDefinition.
+supervision` override, then the nearest ancestor's *subtree* policy, then
+the global ``kompics.supervision.*`` config keys.
+
+Everything is **default-off**: without ``kompics.supervision.enabled``
+the fault path is byte-for-byte the seed behaviour, no broadcaster
+component exists and no RNG or timer state is created.
+
+Lifecycle visibility
+--------------------
+``Fault``, ``Restarted`` and ``DeadLetter`` events are published on a
+:class:`SupervisionEvents` port provided by a lazily created broadcaster
+component (:meth:`Supervisor.events_port`), so applications — a
+``NettyNetwork`` wanting to drop channels for a dead peer component, a
+health monitor, the chaos harness — can subscribe like to any other
+indication stream.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+from repro.kompics.event import DeadLetter, Fault, KompicsEvent, Restarted, Start
+from repro.kompics.port import Port, PortType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kompics.component import Component, ComponentCore
+    from repro.kompics.runtime import KompicsSystem
+
+logger = logging.getLogger("repro.kompics.supervision")
+
+
+class FaultAction(enum.Enum):
+    """What a supervisor does with a handler fault."""
+
+    IGNORE = "ignore"
+    RESTART = "restart"
+    ESCALATE = "escalate"
+    DESTROY = "destroy"
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """One component's (or subtree's) fault handling policy.
+
+    ``max_restarts`` and ``window`` bound the restart intensity: more
+    than ``max_restarts`` restarts within a rolling ``window`` seconds
+    escalates the fault instead of restarting again.  They only matter
+    for :attr:`FaultAction.RESTART`.
+    """
+
+    action: FaultAction = FaultAction.ESCALATE
+    max_restarts: int = 5
+    window: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 1:
+            raise ValueError("max_restarts must be at least 1")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+
+    # convenience constructors ------------------------------------------------
+    @classmethod
+    def ignore(cls) -> "SupervisionPolicy":
+        return cls(action=FaultAction.IGNORE)
+
+    @classmethod
+    def restart(cls, max_restarts: int = 5, window: float = 30.0) -> "SupervisionPolicy":
+        return cls(action=FaultAction.RESTART, max_restarts=max_restarts, window=window)
+
+    @classmethod
+    def escalate(cls) -> "SupervisionPolicy":
+        return cls(action=FaultAction.ESCALATE)
+
+    @classmethod
+    def destroy(cls) -> "SupervisionPolicy":
+        return cls(action=FaultAction.DESTROY)
+
+    @classmethod
+    def from_config(cls, config) -> "SupervisionPolicy":
+        """The global default policy from ``kompics.supervision.*`` keys."""
+        action = FaultAction(config.get_str("kompics.supervision.action", "escalate"))
+        return cls(
+            action=action,
+            max_restarts=config.get_int("kompics.supervision.max_restarts", 5),
+            window=config.get_float("kompics.supervision.window", 30.0),
+        )
+
+
+class SupervisionEvents(PortType):
+    """Lifecycle indication stream: faults, restarts and dead letters."""
+
+    indications = (Fault, Restarted, DeadLetter)
+
+
+def _broadcaster_cls():
+    # Deferred import: supervision is imported by runtime before
+    # component's definition machinery is needed.
+    from repro.kompics.component import ComponentDefinition
+
+    class _Broadcaster(ComponentDefinition):
+        """Internal component that owns the supervision indication port."""
+
+        def __init__(self) -> None:
+            super().__init__()
+            self.port = self.provides(SupervisionEvents)
+
+    return _Broadcaster
+
+
+@dataclass(frozen=True)
+class SupervisionRecord:
+    """One row of the per-system fault timeline (obs integration)."""
+
+    time: float
+    component: str
+    action: str
+    event: str
+    error: str
+
+
+class Supervisor:
+    """Per-system supervision logic, owned by :class:`KompicsSystem`.
+
+    All decisions and mutations run synchronously in the context that
+    detected the fault (a component batch on the driving thread under
+    ``SimScheduler``), which keeps restart timelines deterministic.
+    Under the thread-pool scheduler restarts are best-effort: a subtree
+    teardown can race with a child executing on another worker.
+    """
+
+    def __init__(self, system: "KompicsSystem") -> None:
+        self.system = system
+        config = system.config
+        self.enabled = config.get_bool("kompics.supervision.enabled", False)
+        self.default_policy = SupervisionPolicy.from_config(config)
+        #: runtime-set per-component / per-subtree policies, by core id
+        self._component_policies: Dict[int, SupervisionPolicy] = {}
+        self._subtree_policies: Dict[int, SupervisionPolicy] = {}
+        #: restart timestamps per core id (intensity budget bookkeeping)
+        self._restart_times: Dict[int, Deque[float]] = {}
+        #: plain counters, valid with or without a metrics registry
+        self.restarts_total = 0
+        self.ignored_total = 0
+        self.escalations_total = 0
+        self.destroys_total = 0
+        self.timeline: List[SupervisionRecord] = []
+        self._broadcaster: Optional[Component] = None
+
+        metrics = system.metrics
+        self.tracer = system.tracer
+        self._m_restarts = metrics.counter("kompics.restarts_total", system=system.name)
+        self._m_ignored = metrics.counter("kompics.faults_ignored_total", system=system.name)
+        self._m_escalations = metrics.counter(
+            "kompics.fault_escalations_total", system=system.name
+        )
+        self._m_destroys = metrics.counter("kompics.fault_destroys_total", system=system.name)
+
+    # ------------------------------------------------------------------
+    # policy management
+    # ------------------------------------------------------------------
+    def set_policy(self, component, policy: SupervisionPolicy, subtree: bool = False) -> None:
+        """Install ``policy`` for one component (or its whole subtree).
+
+        Subtree policies apply to every descendant that has no more
+        specific policy of its own; they are consulted bottom-up, so the
+        nearest ancestor wins.
+        """
+        core = getattr(component, "core", component)
+        if subtree:
+            self._subtree_policies[core.id] = policy
+        else:
+            self._component_policies[core.id] = policy
+
+    def policy_for(self, core: "ComponentCore") -> SupervisionPolicy:
+        """Resolve the effective policy: component > definition override >
+        nearest ancestor subtree > global config default."""
+        policy = self._component_policies.get(core.id)
+        if policy is not None:
+            return policy
+        if core.definition is not None:
+            override = core.definition.supervision()
+            if override is not None:
+                return override
+        node: Optional["ComponentCore"] = core
+        while node is not None:
+            policy = self._subtree_policies.get(node.id)
+            if policy is not None:
+                return policy
+            node = node.parent
+        return self.default_policy
+
+    # ------------------------------------------------------------------
+    # supervision events port
+    # ------------------------------------------------------------------
+    def events_port(self) -> Port:
+        """The provided :class:`SupervisionEvents` port (created lazily).
+
+        Connect a component's ``requires(SupervisionEvents)`` port to it
+        to observe ``Fault`` / ``Restarted`` / ``DeadLetter`` events::
+
+            system.connect(system.supervision.events_port(), watcher.required(SupervisionEvents))
+        """
+        if self._broadcaster is None:
+            self._broadcaster = self.system.create(
+                _broadcaster_cls(), name="supervision-events"
+            )
+        return self._broadcaster.core.port(SupervisionEvents, positive=True)
+
+    def publish(self, event: KompicsEvent) -> None:
+        """Broadcast a lifecycle event to supervision subscribers (if any)."""
+        if self._broadcaster is not None:
+            self._broadcaster.core.port(SupervisionEvents, positive=True).trigger(event)
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def inject_fault(
+        self,
+        component,
+        exception: Optional[BaseException] = None,
+        event: Optional[KompicsEvent] = None,
+    ) -> None:
+        """Fault ``component`` as if one of its handlers raised.
+
+        The chaos harness's entry point; the injected fault goes through
+        exactly the same resolution as a real handler exception (or
+        through the legacy ``kompics.fault_policy`` path when supervision
+        is disabled).
+        """
+        from repro.kompics.component import ComponentState
+
+        core = getattr(component, "core", component)
+        if core.state in (ComponentState.DESTROYED, ComponentState.FAULTY):
+            return
+        core._fault(event, exception or RuntimeError("injected fault"))
+
+    def handle_fault(self, core: "ComponentCore", fault: Fault) -> None:
+        """Resolve and apply a fault action for ``core`` (supervision on)."""
+        target = core
+        while True:
+            policy = self.policy_for(target)
+            action = policy.action
+            if action is FaultAction.RESTART and not self._budget_allows(target, policy):
+                self.tracer.event(
+                    "kompics.supervision.budget_exhausted",
+                    component=target.name,
+                    max_restarts=policy.max_restarts,
+                    window=policy.window,
+                )
+                action = FaultAction.ESCALATE
+            if action is not FaultAction.ESCALATE:
+                break
+            if target.parent is None:
+                # Root escalation: degrade to the legacy fault policy.
+                self.escalations_total += 1
+                self._m_escalations.inc()
+                self._note(core, "escalate-root", fault)
+                self.publish(fault)
+                core._terminal_fault(fault)
+                return
+            self.escalations_total += 1
+            self._m_escalations.inc()
+            self.tracer.event(
+                "kompics.supervision.escalate",
+                component=target.name, parent=target.parent.name,
+            )
+            target = target.parent
+
+        self.publish(fault)
+        if action is FaultAction.IGNORE:
+            self.ignored_total += 1
+            self._m_ignored.inc()
+            self._note(core, "ignore", fault)
+            return
+        if action is FaultAction.DESTROY:
+            self._note(target, "destroy", fault)
+            self.destroy(target)
+            return
+        self._note(target, "restart", fault)
+        self.restart(target, fault)
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def _budget_allows(self, core: "ComponentCore", policy: SupervisionPolicy) -> bool:
+        times = self._restart_times.get(core.id)
+        if not times:
+            return True
+        now = self.system.clock.now()
+        while times and now - times[0] > policy.window:
+            times.popleft()
+        return len(times) < policy.max_restarts
+
+    def restart(self, core: "ComponentCore", fault: Optional[Fault] = None) -> None:
+        """Kill ``core``'s subtree and re-instantiate its definition.
+
+        The component keeps its core — its identity, name and port
+        instances — so channels connected to its own ports stay wired;
+        only subscriptions are re-made by the fresh ``__init__``.
+        Children (and channels attached to *their* ports) are destroyed
+        and re-created by the new definition.
+        """
+        from repro.kompics.component import ComponentState
+
+        now = self.system.clock.now()
+        self._restart_times.setdefault(core.id, deque()).append(now)
+        self.restarts_total += 1
+        self._m_restarts.inc()
+        self.tracer.event("kompics.restart", component=core.name, time=now)
+
+        old = core.definition
+        for child in list(core.children):
+            self._teardown(child)
+        core.children.clear()
+        if old is not None:
+            if core.state is ComponentState.ACTIVE:
+                self._safe_hook(core, old.on_stop)
+            if fault is not None:
+                self._safe_hook(core, lambda: old.on_fault(fault))
+            self._safe_hook(core, old.on_kill)
+        with core._lock:
+            core._queue.clear()
+            core._control_queue.clear()
+        for port in core._ports.values():
+            port.clear_subscriptions()
+        core.state = ComponentState.PASSIVE
+        try:
+            self.system._reinstantiate(core)
+        except Exception as exc:  # noqa: BLE001 - constructor fault boundary
+            logger.exception("restart of %r failed in __init__", core.name)
+            core._terminal_fault(Fault(core.name, None, exc))
+            return
+        restarted = Restarted(
+            core.name, core.id, fault, len(self._restart_times[core.id])
+        )
+        self.publish(restarted)
+        core.enqueue_control(Start())
+
+    def destroy(self, core: "ComponentCore") -> None:
+        """Synchronously destroy ``core`` and its whole subtree."""
+        self.destroys_total += 1
+        self._m_destroys.inc()
+        self.tracer.event("kompics.supervision.destroy", component=core.name)
+        self._teardown(core)
+        if core.parent is not None and core in core.parent.children:
+            core.parent.children.remove(core)
+
+    def _teardown(self, core: "ComponentCore") -> None:
+        """Children-first destruction: hooks, queues, channels, registry."""
+        from repro.kompics.component import ComponentState
+
+        for child in list(core.children):
+            self._teardown(child)
+        core.children.clear()
+        defn = core.definition
+        if defn is not None:
+            if core.state is ComponentState.ACTIVE:
+                self._safe_hook(core, defn.on_stop)
+            if core.state is not ComponentState.DESTROYED:
+                self._safe_hook(core, defn.on_kill)
+        core.state = ComponentState.DESTROYED
+        with core._lock:
+            core._queue.clear()
+            core._control_queue.clear()
+        for port in core._ports.values():
+            for channel in port.channels:
+                peer = channel.other(port)
+                self.tracer.event(
+                    "kompics.supervision.disconnect",
+                    component=core.name, peer=peer.owner.name,
+                )
+                channel.disconnect()
+        self.system._forget(core)
+
+    @staticmethod
+    def _safe_hook(core: "ComponentCore", hook) -> None:
+        """Run a lifecycle hook during teardown; a throwing hook must not
+        abort the recovery action itself."""
+        try:
+            hook()
+        except Exception:  # noqa: BLE001 - teardown must not re-fault
+            logger.exception("lifecycle hook failed during teardown of %r", core.name)
+
+    # ------------------------------------------------------------------
+    # obs integration
+    # ------------------------------------------------------------------
+    def _note(self, core: "ComponentCore", action: str, fault: Fault) -> None:
+        self.timeline.append(
+            SupervisionRecord(
+                time=self.system.clock.now(),
+                component=core.name,
+                action=action,
+                event=type(fault.event).__name__,
+                error=repr(fault.exception),
+            )
+        )
+        self.tracer.event(
+            "kompics.supervision.action",
+            component=core.name, action=action, event=type(fault.event).__name__,
+        )
+
+    def timeline_for(self, component_name: str) -> List[SupervisionRecord]:
+        """The fault/action timeline of one component, in order."""
+        return [r for r in self.timeline if r.component == component_name]
+
+    def restarts_of(self, component) -> int:
+        """How many times ``component`` has been restarted."""
+        core = getattr(component, "core", component)
+        return len(self._restart_times.get(core.id, ()))

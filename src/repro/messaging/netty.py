@@ -191,6 +191,12 @@ class NettyNetwork(ComponentDefinition):
         self._listeners.clear()
         self.pool.close_all()
 
+    def on_fault(self, fault) -> None:
+        # Same cleanup as on_kill (idempotent): a faulted/restarting
+        # network must not leave its host ports bound or channels open —
+        # the fresh instance's on_start re-listens and re-dials.
+        self.on_kill()
+
     # ------------------------------------------------------------------
     # send path
     # ------------------------------------------------------------------

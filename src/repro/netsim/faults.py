@@ -78,6 +78,7 @@ class FaultInjector:
         ip_b: str,
         spec,
         spec_reverse=None,
+        duration: Optional[float] = None,
     ) -> Link:
         """Change a link's characteristics without dropping connections.
 
@@ -87,8 +88,13 @@ class FaultInjector:
         to.  Existing connections keep running; their congestion
         controllers see the new loss/bandwidth immediately and their RTT
         estimates are refreshed to the new propagation delays.
+
+        With ``duration`` the link auto-restores to the specs it had at
+        the moment of the call (mirroring :meth:`cut_link`), counted as a
+        restore.
         """
         link = self.network.link_between(ip_a, ip_b)
+        original_forward, original_backward = link.forward.spec, link.backward.spec
         link.forward.update_spec(spec)
         link.backward.update_spec(spec_reverse if spec_reverse is not None else spec)
         self._m_degrades.inc()
@@ -97,6 +103,17 @@ class FaultInjector:
             bandwidth=spec.bandwidth, delay=spec.delay, loss=spec.loss,
         )
         self.network.refresh_rtts()
+        if duration is not None:
+            def auto_restore() -> None:
+                link.forward.update_spec(original_forward)
+                link.backward.update_spec(original_backward)
+                self._m_restores.inc()
+                self.tracer.event(
+                    "netsim.fault.link_degrade_restore", a=ip_a, b=ip_b, auto=True
+                )
+                self.network.refresh_rtts()
+
+            self.network.sim.schedule(duration, auto_restore, label="degrade-restore")
         return link
 
     # ------------------------------------------------------------------

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import StaticRatio, ProtocolRatio
-from repro.netsim import FaultInjector
+from repro.netsim import FaultInjector, LinkSpec
 from repro.obs import collecting, tracing
 
 from tests.messaging_helpers import MB
@@ -83,6 +83,33 @@ class TestInterceptorUnderFaults:
             assert sum(
                 1 for m in app1.definition.received if m.tag.startswith("post-")
             ) == 10
+
+    def test_degrade_link_auto_restore_restores_original_specs(self):
+        # degrade_link(duration=...) mirrors cut_link: it must restore
+        # the exact specs the link had when the call was made, in both
+        # directions, and account the restore.
+        with collecting() as reg, tracing() as tracer:
+            sim, fabric, system, nodes = make_data_world(
+                prp_factory=lambda: StaticRatio(ProtocolRatio.ALL_TCP),
+                bandwidth=5 * MB,
+                window=8,
+            )
+            (h0, a0, dn0, app0), (h1, a1, dn1, app1) = nodes
+            injector = FaultInjector(fabric)
+            link = fabric.link_between(a0.ip, a1.ip)
+            original = link.forward.spec
+            degraded = LinkSpec(
+                bandwidth=original.bandwidth / 4, delay=original.delay * 2, loss=0.02
+            )
+            injector.degrade_link(a0.ip, a1.ip, degraded, duration=0.5)
+            assert link.forward.spec.bandwidth == original.bandwidth / 4
+            assert link.backward.spec.loss == 0.02
+            sim.run_until(sim.now + 1.0)
+            assert link.forward.spec == original
+            assert link.backward.spec == original
+            assert reg.value("netsim.faults.link_restores_total") == 1
+            restores = tracer.named("netsim.fault.link_degrade_restore")
+            assert restores and restores[0].fields.get("auto") is True
 
     def test_consumer_notify_failure_propagates_through_interceptor(self):
         sim, fabric, system, nodes = make_data_world(

@@ -153,6 +153,60 @@ class TestFaults:
         sim.run()
         assert len(system.faults) == 1  # second ping not handled
 
+    def test_store_policy_kills_children_of_faulted_component(self, sim):
+        class ExplodingParent(ComponentDefinition):
+            def __init__(self) -> None:
+                super().__init__()
+                self.port = self.provides(PingPort)
+                self.subscribe(self.port, PingPort.requests[0], self.boom)
+                self.child = self.create(Client)
+
+            def boom(self, event) -> None:
+                raise RuntimeError("boom")
+
+        system = KompicsSystem.simulated(sim, config={"kompics.fault_policy": "store"})
+        parent = system.create(ExplodingParent)
+        client = system.create(Client)
+        system.connect(parent.provided(PingPort), client.required(PingPort))
+        system.start(parent)
+        system.start(client)
+        sim.run()
+        child = parent.definition.child
+        assert child.state is ComponentState.ACTIVE
+        client.definition.send(1)
+        sim.run()
+        assert parent.state is ComponentState.FAULTY
+        # A dead parent must not leave its subtree running headless.
+        assert child.state is ComponentState.DESTROYED
+
+    def test_raise_faults_aggregates_all_stored_faults(self, sim):
+        system = KompicsSystem.simulated(sim, config={"kompics.fault_policy": "store"})
+        for _ in range(2):
+            self._wire(system)
+        sim.run()
+        for component in list(system.components):
+            if isinstance(component.definition, Client):
+                component.definition.send(1)
+        sim.run()
+        assert len(system.faults) == 2
+        with pytest.raises(ComponentError) as exc_info:
+            system.raise_faults()
+        message = str(exc_info.value)
+        assert "2 stored component fault(s)" in message
+        for fault in system.faults:
+            assert fault.component_name in message
+
+    def test_clear_faults_drains_the_store(self, sim):
+        system = KompicsSystem.simulated(sim, config={"kompics.fault_policy": "store"})
+        exploder, client = self._wire(system)
+        sim.run()
+        client.definition.send(1)
+        sim.run()
+        drained = system.clear_faults()
+        assert len(drained) == 1
+        assert system.faults == []
+        system.raise_faults()  # no stored faults: does not raise
+
 
 class TestBatching:
     def test_large_backlog_fully_processed(self, sim):

@@ -1,0 +1,409 @@
+"""Component supervision: restart policies, escalation, dead letters."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.errors import ComponentError
+from repro.kompics import (
+    ComponentDefinition,
+    DeadLetter,
+    Fault,
+    FaultAction,
+    KompicsSystem,
+    Restarted,
+    SupervisionEvents,
+    SupervisionPolicy,
+)
+from repro.kompics.component import ComponentState
+from repro.sim import Simulator
+
+from tests.kompics_fixtures import Client, Ping, PingPort, Pong
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def supervised(sim, **config):
+    merged = {"kompics.supervision.enabled": True}
+    merged.update(config)
+    return KompicsSystem.simulated(sim, config=merged)
+
+
+class Flaky(ComponentDefinition):
+    """Answers pings; a ping whose seq is in ``bad_seqs`` raises."""
+
+    instances = 0
+
+    def __init__(self, bad_seqs=(2,)) -> None:
+        super().__init__()
+        Flaky.instances += 1
+        self.port = self.provides(PingPort)
+        self.bad_seqs = set(bad_seqs)
+        self.handled: List[int] = []
+        self.faults_seen: List[Fault] = []
+        self.subscribe(self.port, Ping, self.on_ping)
+
+    def on_ping(self, ping: Ping) -> None:
+        if ping.seq in self.bad_seqs:
+            raise RuntimeError(f"boom at {ping.seq}")
+        self.handled.append(ping.seq)
+        self.trigger(Pong(ping.seq), self.port)
+
+    def on_fault(self, fault: Fault) -> None:
+        self.faults_seen.append(fault)
+
+
+@pytest.fixture(autouse=True)
+def _reset_flaky_instances():
+    Flaky.instances = 0
+
+
+def wire(sim, system, server_cls=Flaky, **kwargs):
+    server = system.create(server_cls, **kwargs)
+    client = system.create(Client)
+    system.connect(server.provided(PingPort), client.required(PingPort))
+    system.start(server)
+    system.start(client)
+    sim.run()
+    return server, client
+
+
+def send_and_run(sim, client, *seqs):
+    for seq in seqs:
+        client.definition.send(seq)
+        sim.run_until(sim.clock.now() + 1.0)
+
+
+class TestDisabledDefault:
+    def test_supervision_off_preserves_legacy_raise(self, sim):
+        system = KompicsSystem.simulated(sim)
+        assert not system.supervision.enabled
+        server, client = wire(sim, system)
+        client.definition.send(2)
+        with pytest.raises(ComponentError):
+            sim.run()
+        assert server.state is ComponentState.FAULTY
+        assert Flaky.instances == 1
+
+    def test_policy_defaults_from_config(self, sim):
+        system = supervised(
+            sim,
+            **{
+                "kompics.supervision.action": "restart",
+                "kompics.supervision.max_restarts": 2,
+                "kompics.supervision.window": 5.0,
+            },
+        )
+        policy = system.supervision.default_policy
+        assert policy.action is FaultAction.RESTART
+        assert policy.max_restarts == 2
+        assert policy.window == 5.0
+
+
+class TestRestart:
+    def test_restart_reinstantiates_and_keeps_channels(self, sim):
+        system = supervised(sim)
+        server, client = wire(sim, system)
+        system.supervision.set_policy(server, SupervisionPolicy.restart())
+        send_and_run(sim, client, 1, 2, 3)
+        # seq 2 faulted; the fresh instance answered seq 3 over the old channel
+        assert [p.seq for p in client.definition.pongs] == [1, 3]
+        assert Flaky.instances == 2
+        assert server.state is ComponentState.ACTIVE
+        assert system.supervision.restarts_total == 1
+        assert system.supervision.restarts_of(server) == 1
+        # the new instance starts from a clean slate
+        assert server.definition.handled == [3]
+
+    def test_restart_calls_on_fault_hook_on_old_instance(self, sim):
+        system = supervised(sim)
+        server, client = wire(sim, system)
+        old = server.definition
+        system.supervision.set_policy(server, SupervisionPolicy.restart())
+        send_and_run(sim, client, 2)
+        assert len(old.faults_seen) == 1
+        assert server.definition is not old
+        assert server.definition.faults_seen == []
+
+    def test_restart_destroys_and_recreates_children(self, sim):
+        class Parent(ComponentDefinition):
+            def __init__(self) -> None:
+                super().__init__()
+                self.port = self.provides(PingPort)
+                self.child = self.create(Client)
+                self.subscribe(self.port, Ping, self.on_ping)
+
+            def on_ping(self, ping: Ping) -> None:
+                raise RuntimeError("boom")
+
+        system = supervised(sim)
+        parent = system.create(Parent)
+        client = system.create(Client)
+        system.connect(parent.provided(PingPort), client.required(PingPort))
+        system.supervision.set_policy(parent, SupervisionPolicy.restart())
+        system.start(parent)
+        system.start(client)
+        sim.run()
+        old_child = parent.definition.child
+        send_and_run(sim, client, 1)
+        assert old_child.state is ComponentState.DESTROYED
+        new_child = parent.definition.child
+        assert new_child.core is not old_child.core
+        assert new_child.state is ComponentState.ACTIVE
+
+    def test_budget_exhaustion_escalates(self, sim):
+        system = supervised(sim)
+        server, client = wire(sim, system, bad_seqs=(1, 2, 3))
+        system.supervision.set_policy(
+            server, SupervisionPolicy.restart(max_restarts=2, window=100.0)
+        )
+        send_and_run(sim, client, 1)
+        send_and_run(sim, client, 2)
+        assert system.supervision.restarts_total == 2
+        # third fault exhausts the budget -> escalates to the root policy
+        client.definition.send(3)
+        with pytest.raises(ComponentError):
+            sim.run()
+        assert server.state is ComponentState.FAULTY
+        assert system.supervision.escalations_total == 1
+
+    def test_budget_window_rolls(self, sim):
+        system = supervised(sim)
+        server, client = wire(sim, system, bad_seqs=(1, 2, 3))
+        system.supervision.set_policy(
+            server, SupervisionPolicy.restart(max_restarts=1, window=2.0)
+        )
+        send_and_run(sim, client, 1)  # restart #1
+        sim.run_until(sim.clock.now() + 10.0)  # outlives the window
+        send_and_run(sim, client, 2)  # budget rolled: restart #2, no escalation
+        assert system.supervision.restarts_total == 2
+        assert system.supervision.escalations_total == 0
+
+
+class TestOtherActions:
+    def test_ignore_drops_event_and_resumes(self, sim):
+        system = supervised(sim)
+        server, client = wire(sim, system)
+        system.supervision.set_policy(server, SupervisionPolicy.ignore())
+        send_and_run(sim, client, 1, 2, 3)
+        assert [p.seq for p in client.definition.pongs] == [1, 3]
+        assert Flaky.instances == 1  # same instance throughout
+        assert server.state is ComponentState.ACTIVE
+        assert system.supervision.ignored_total == 1
+
+    def test_destroy_tears_down_and_spares_the_rest(self, sim):
+        system = supervised(sim)
+        server, client = wire(sim, system)
+        system.supervision.set_policy(server, SupervisionPolicy.destroy())
+        send_and_run(sim, client, 2)
+        assert server.state is ComponentState.DESTROYED
+        assert client.state is ComponentState.ACTIVE
+        assert system.supervision.destroys_total == 1
+        assert all(c.core is not server.core for c in system.components)
+
+    def test_escalate_applies_parent_policy(self, sim):
+        class Parent(ComponentDefinition):
+            def __init__(self) -> None:
+                super().__init__()
+                self.child = self.create(Flaky)
+                self.port = self.child.definition.port
+
+        system = supervised(sim)
+        parent = system.create(Parent)
+        client = system.create(Client)
+        system.connect(parent.definition.port, client.required(PingPort))
+        # child escalates (the global default); parent restarts
+        system.supervision.set_policy(parent, SupervisionPolicy.restart())
+        system.start(parent)
+        system.start(client)
+        sim.run()
+        send_and_run(sim, client, 2)
+        # the parent was restarted, taking the faulted child with it
+        assert system.supervision.restarts_total == 1
+        assert parent.state is ComponentState.ACTIVE
+        assert Flaky.instances == 2
+
+    def test_root_escalation_matches_store_policy(self, sim):
+        system = supervised(sim, **{"kompics.fault_policy": "store"})
+        server, client = wire(sim, system)
+        send_and_run(sim, client, 2)
+        assert server.state is ComponentState.FAULTY
+        assert len(system.faults) == 1
+
+
+class TestPolicyResolution:
+    def test_definition_override_beats_global(self, sim):
+        class SelfHealing(Flaky):
+            def supervision(self):
+                return SupervisionPolicy.restart()
+
+        system = supervised(sim)  # global default: escalate -> raise
+        server, client = wire(sim, system, server_cls=SelfHealing)
+        send_and_run(sim, client, 1, 2, 3)
+        assert [p.seq for p in client.definition.pongs] == [1, 3]
+        assert system.supervision.restarts_total == 1
+
+    def test_component_policy_beats_definition_override(self, sim):
+        class SelfHealing(Flaky):
+            def supervision(self):
+                return SupervisionPolicy.restart()
+
+        system = supervised(sim)
+        server, client = wire(sim, system, server_cls=SelfHealing)
+        system.supervision.set_policy(server, SupervisionPolicy.ignore())
+        send_and_run(sim, client, 2)
+        assert system.supervision.restarts_total == 0
+        assert system.supervision.ignored_total == 1
+
+    def test_subtree_policy_applies_to_descendants(self, sim):
+        class Parent(ComponentDefinition):
+            def __init__(self) -> None:
+                super().__init__()
+                self.child = self.create(Flaky)
+                self.port = self.child.definition.port
+
+        system = supervised(sim)
+        parent = system.create(Parent)
+        client = system.create(Client)
+        system.connect(parent.definition.port, client.required(PingPort))
+        system.supervision.set_policy(parent, SupervisionPolicy.ignore(), subtree=True)
+        system.start(parent)
+        system.start(client)
+        sim.run()
+        send_and_run(sim, client, 2)
+        assert system.supervision.ignored_total == 1
+        assert parent.definition.child.state is ComponentState.ACTIVE
+
+    def test_global_action_from_config(self, sim):
+        system = supervised(sim, **{"kompics.supervision.action": "ignore"})
+        server, client = wire(sim, system)
+        send_and_run(sim, client, 1, 2, 3)
+        assert [p.seq for p in client.definition.pongs] == [1, 3]
+
+
+class Watcher(ComponentDefinition):
+    """Collects supervision events for assertions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.port = self.requires(SupervisionEvents)
+        self.events: List[tuple] = []
+        self.subscribe(self.port, Fault, lambda e: self.events.append(("fault", e.component_name)))
+        self.subscribe(
+            self.port, Restarted, lambda e: self.events.append(("restarted", e.component_name))
+        )
+        self.subscribe(
+            self.port, DeadLetter, lambda e: self.events.append(("deadletter", e.component_name))
+        )
+
+
+class TestSupervisionEventsPort:
+    def test_fault_and_restart_observable(self, sim):
+        system = supervised(sim)
+        server, client = wire(sim, system)
+        system.supervision.set_policy(server, SupervisionPolicy.restart())
+        watcher = system.create(Watcher)
+        system.connect(system.supervision.events_port(), watcher.definition.port)
+        system.start(watcher)
+        sim.run()
+        send_and_run(sim, client, 2)
+        assert ("fault", server.name) in watcher.definition.events
+        assert ("restarted", server.name) in watcher.definition.events
+
+    def test_inject_fault_behaves_like_handler_exception(self, sim):
+        system = supervised(sim)
+        server, client = wire(sim, system)
+        system.supervision.set_policy(server, SupervisionPolicy.restart())
+        system.supervision.inject_fault(server, RuntimeError("chaos"))
+        sim.run()
+        assert Flaky.instances == 2
+        assert server.state is ComponentState.ACTIVE
+        assert system.supervision.restarts_total == 1
+
+    def test_timeline_records_actions(self, sim):
+        system = supervised(sim)
+        server, client = wire(sim, system)
+        system.supervision.set_policy(server, SupervisionPolicy.restart())
+        send_and_run(sim, client, 2)
+        records = system.supervision.timeline_for(server.name)
+        assert [r.action for r in records] == ["restart"]
+        assert records[0].event == "Ping"
+
+
+class TestDeadLetters:
+    def test_events_to_faulty_component_are_dead_letters(self, sim):
+        system = KompicsSystem.simulated(sim, config={"kompics.fault_policy": "store"})
+        server, client = wire(sim, system)
+        client.definition.send(2)  # faults the server
+        sim.run()
+        assert server.state is ComponentState.FAULTY
+        before = system.deadletters_total
+        client.definition.send(3)
+        sim.run()
+        assert system.deadletters_total == before + 1
+        letter = system.deadletters[-1]
+        assert letter.component_name == server.name
+        assert letter.state == "faulty"
+        assert letter.dropped
+
+    def test_events_to_destroyed_component_are_dead_letters(self, sim):
+        system = KompicsSystem.simulated(sim)
+        server, client = wire(sim, system)
+        system.kill(server)
+        sim.run()
+        assert server.state is ComponentState.DESTROYED
+        client.definition.send(1)
+        sim.run()
+        assert system.deadletters_total >= 1
+        assert system.deadletters[-1].state == "destroyed"
+        assert system.deadletters[-1].dropped
+
+    def test_events_to_stopped_component_are_parked_not_dropped(self, sim):
+        system = KompicsSystem.simulated(sim)
+        server, client = wire(sim, system)
+        system.stop(server)
+        sim.run()
+        assert server.state is ComponentState.STOPPED
+        client.definition.send(7)
+        sim.run()
+        parked = [l for l in system.deadletters if l.state == "stopped"]
+        assert len(parked) == 1
+        assert not parked[0].dropped
+        # restarting delivers the parked event
+        system.start(server)
+        sim.run()
+        assert [p.seq for p in client.definition.pongs] == [7]
+
+    def test_ring_buffer_is_bounded(self, sim):
+        system = KompicsSystem.simulated(
+            sim, config={"kompics.deadletters.keep": 4, "kompics.fault_policy": "store"}
+        )
+        server, client = wire(sim, system)
+        client.definition.send(2)
+        sim.run()
+        for seq in range(10):
+            client.definition.send(seq + 10)
+        sim.run()
+        assert system.deadletters_total == 10
+        assert len(system.deadletters) == 4  # ring keeps only the newest
+
+    def test_dead_letters_published_on_events_port(self, sim):
+        # Root escalation under "store" leaves the server FAULTY with its
+        # channels attached (a DESTROY would disconnect them), so later
+        # sends reach the dead component and become observable letters.
+        system = supervised(sim, **{"kompics.fault_policy": "store"})
+        server, client = wire(sim, system)
+        watcher = system.create(Watcher)
+        system.connect(system.supervision.events_port(), watcher.definition.port)
+        system.start(watcher)
+        sim.run()
+        send_and_run(sim, client, 2)  # escalates to the root: stored, FAULTY
+        assert server.state is ComponentState.FAULTY
+        client.definition.send(3)
+        sim.run()
+        assert ("deadletter", server.name) in watcher.definition.events
