@@ -1,0 +1,83 @@
+"""Rolling trace digests with periodic checkpoints.
+
+A :class:`RollingDigest` folds a canonical event stream — heap pops, port
+triggers, wire deliveries — into one cumulative BLAKE2 hash.  Every
+``checkpoint_every`` events the current hash state is snapshotted, so two
+runs of the same workload can be compared *positionally*: because the
+hash is cumulative, checkpoint ``i`` matches iff the first ``(i+1) * N``
+events matched, which makes "where did two runs first diverge?" a binary
+search over the checkpoint lists (:mod:`repro.check.bisection`) instead
+of an eyeball diff of two opaque snapshots.
+
+An optional *capture window* records the canonical text of the events in
+one ``(start, end]`` count range — the bisector re-runs a divergent pair
+with the window positioned over the first divergent checkpoint interval
+and compares the captured events one by one to name the exact event.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
+
+#: default events-per-checkpoint; small enough that a re-run capture
+#: window stays readable, large enough that checkpoint lists stay short
+DEFAULT_CHECKPOINT_EVERY = 256
+
+
+class RollingDigest:
+    """Cumulative hash of one canonical event stream."""
+
+    __slots__ = ("name", "every", "count", "checkpoints", "_hash", "_capture", "captured")
+
+    def __init__(
+        self,
+        name: str,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        capture: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        self.name = name
+        self.every = checkpoint_every
+        self.count = 0
+        #: ``(event count, hex hash of the stream so far)`` snapshots
+        self.checkpoints: List[Tuple[int, str]] = []
+        self._hash = hashlib.blake2b(name.encode("utf-8"), digest_size=8)
+        #: half-open count range ``(start, end]`` whose events are kept verbatim
+        self._capture = capture
+        self.captured: List[Tuple[int, str]] = []
+
+    def fold(self, parts: Tuple[Any, ...]) -> None:
+        """Fold one event (a tuple of repr-stable values) into the stream."""
+        text = repr(parts)
+        self.count = count = self.count + 1
+        h = self._hash
+        h.update(text.encode("utf-8"))
+        h.update(b"\x1e")
+        if count % self.every == 0:
+            self.checkpoints.append((count, h.hexdigest()))
+        cap = self._capture
+        if cap is not None and cap[0] < count <= cap[1]:
+            self.captured.append((count, text))
+
+    @property
+    def hexdigest(self) -> str:
+        """Cumulative hash of everything folded so far."""
+        return self._hash.hexdigest()
+
+    def document(self) -> Dict[str, Any]:
+        """JSON-ready summary (checkpoints as lists for serialisation)."""
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "count": self.count,
+            "digest": self.hexdigest,
+            "checkpoint_every": self.every,
+            "checkpoints": [list(cp) for cp in self.checkpoints],
+        }
+        if self.captured:
+            doc["captured"] = [list(ev) for ev in self.captured]
+        return doc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RollingDigest({self.name!r}, n={self.count}, {self.hexdigest})"

@@ -171,6 +171,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run the fastpath-on vs. off snapshot equivalence gate "
                            "instead of the measurement suites")
 
+    check = sub.add_parser(
+        "check",
+        help="runtime invariant checker, trace digests, divergence bisection",
+    )
+    check.add_argument("action", nargs="?", default="run",
+                       choices=("run", "compare", "bisect", "mutate"),
+                       help="run: workload with invariants on; compare: digest "
+                            "fastpath on vs. off; bisect: name the first "
+                            "divergent event; mutate: seeded-violation self-test")
+    check.add_argument("--mutate", action="store_true",
+                       help="alias for the 'mutate' action")
+    check.add_argument("--workload", default="transfer",
+                       help="check workload: fig8, transfer or obs")
+    check.add_argument("--size-mb", type=float, default=4.0,
+                       help="transfer size for fig8/transfer workloads")
+    check.add_argument("--duration", type=float, default=4.0,
+                       help="sim duration for the obs workload")
+    check.add_argument("--seed", type=int, default=3)
+    check.add_argument("--streams", default=None,
+                       help="comma-separated digest streams to compare/bisect "
+                            "(default: every stream except 'sim', whose raw "
+                            "heap pops legitimately differ across fast paths)")
+    check.add_argument("--perturb", type=int, default=None, metavar="N",
+                       help="arm the seeded RX-train swap on the Nth eligible "
+                            "append (fast-path fault for the bisect demo)")
+    check.add_argument("--strict", action="store_true",
+                       help="raise on the first violation instead of collecting")
+    check.add_argument("--checkpoint-every", type=int, default=None,
+                       help="digest checkpoint interval in events")
+    check.add_argument("--output", default=None,
+                       help="write the checker document (JSON) to this file")
+
     return parser
 
 
@@ -482,6 +514,108 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    import json
+    from contextlib import ExitStack
+
+    from repro import fastpath
+    from repro.check import DEFAULT_CHECKPOINT_EVERY, checking
+    from repro.check import perturb as check_perturb
+    from repro.check.bisection import bisect_divergence, compare_documents
+
+    action = "mutate" if args.mutate else args.action
+    every = args.checkpoint_every or DEFAULT_CHECKPOINT_EVERY
+    streams = args.streams.split(",") if args.streams else None
+
+    if action == "mutate":
+        from repro.check.selftest import run_selftest
+
+        results = run_selftest()
+        width = max(len(r.scenario) for r in results)
+        missed = [r for r in results if not r.caught]
+        for r in results:
+            status = "CAUGHT" if r.caught else "MISSED"
+            print(f"{r.scenario:<{width}}  {r.invariant:<18} {status} "
+                  f"({r.violations} violation(s))")
+        if missed:
+            print(f"mutation self-test FAILED: "
+                  f"{', '.join(r.scenario for r in missed)} not caught",
+                  file=sys.stderr)
+            return 1
+        print("mutation self-test passed: every seeded violation was caught")
+        return 0
+
+    from repro.check.workloads import run_workload
+
+    def run_once(capture=None, fast=True, perturbed=False):
+        with ExitStack() as stack:
+            if perturbed and args.perturb is not None:
+                stack.enter_context(check_perturb.rx_swap(at=args.perturb))
+            if not fast:
+                stack.enter_context(fastpath.disabled())
+            chk = stack.enter_context(
+                checking(strict=args.strict, checkpoint_every=every,
+                         capture=capture)
+            )
+            run_workload(args.workload, size_mb=args.size_mb,
+                         duration=args.duration, seed=args.seed)
+        return chk.document()
+
+    if action == "run":
+        doc = run_once(perturbed=True)
+        for name, stream in doc["streams"].items():
+            print(f"stream {name:<8} events={stream['count']:>8} "
+                  f"digest={stream['digest']} "
+                  f"checkpoints={len(stream['checkpoints'])}")
+        if args.output is not None:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote checker document to {args.output}")
+        violations = doc["violations"]
+        if violations:
+            for v in violations:
+                detail = " ".join(f"{k}={val}" for k, val in v["fields"].items())
+                print(f"VIOLATION [{v['invariant']}] {v['message']} ({detail})",
+                      file=sys.stderr)
+            print(f"{len(violations)} invariant violation(s)", file=sys.stderr)
+            return 1
+        print("invariants held: no violations")
+        return 0
+
+    if action == "compare":
+        doc_a = run_once(fast=True, perturbed=True)
+        doc_b = run_once(fast=False)
+        divergences = compare_documents(doc_a, doc_b, streams)
+        names = streams or sorted(
+            (set(doc_a["streams"]) | set(doc_b["streams"])) - {"sim"}
+        )
+        diverged = {d.stream for d in divergences}
+        for name in names:
+            print(f"stream {name:<8} "
+                  f"{'DIVERGED' if name in diverged else 'IDENTICAL'}")
+        for d in divergences:
+            print(f"  '{d.stream}' first diverges in events "
+                  f"{d.window[0] + 1}..{d.window[1]}", file=sys.stderr)
+        if divergences:
+            print("configurations diverge (use 'check bisect' to name the "
+                  "first event)", file=sys.stderr)
+            return 1
+        print("configurations identical on the compared streams")
+        return 0
+
+    # action == "bisect"
+    def run_pair(capture):
+        return (
+            run_once(capture=capture, fast=True, perturbed=True),
+            run_once(capture=capture, fast=False),
+        )
+
+    report = bisect_divergence(run_pair, streams)
+    print(report.format())
+    return 0 if report.identical else 1
+
+
 def _document_lines(metrics: dict) -> List[str]:
     """Flat ``name{labels} value`` lines from a snapshot's metrics section."""
     import math
@@ -517,6 +651,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": cmd_faults,
         "chaos": cmd_chaos,
         "perf": cmd_perf,
+        "check": cmd_check,
     }
     return handlers[args.command](args)
 

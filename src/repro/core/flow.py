@@ -18,6 +18,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional, Tuple
 
+from repro.check import get_checker
 from repro.core.prp import ProtocolRatioPolicy
 from repro.core.psp import ProtocolSelectionPolicy
 from repro.core.ratio import ProtocolRatio
@@ -101,6 +102,10 @@ class DestinationFlow:
         self._obs = metrics.enabled
         self._tracer = get_tracer()
         self._dest = dest
+        checker = get_checker()
+        self._inv = (
+            checker.flow_hook(dest or "?", window_messages) if checker.enabled else None
+        )
         labels = {"dest": dest} if dest is not None else {}
         self._m_selected_tcp = metrics.counter(
             "rl.selection_total", transport="tcp", **labels
@@ -147,6 +152,8 @@ class DestinationFlow:
             self._in_flight[req.notify_id] = _InFlight(
                 item.consumer_notify_id, item.enqueued_at, transport
             )
+            if self._inv is not None:
+                self._inv.on_release(transport.value, len(self._in_flight))
             self._release(req)
 
     # ------------------------------------------------------------------
@@ -174,12 +181,19 @@ class DestinationFlow:
 
     def _apply_transport_hold(self, transport: Transport) -> Transport:
         now = self.clock.now()
-        if self._down_until.get(transport, 0.0) <= now:
+        down = self._down_until
+        # Purge expired holds so one recovery hold cannot tax every later
+        # release: once the map empties, _pump skips this branch entirely.
+        expired = [t for t, until in down.items() if until <= now]
+        for t in expired:
+            del down[t]
+        if transport not in down:
             return transport
         other = Transport.UDT if transport is Transport.TCP else Transport.TCP
-        if self._down_until.get(other, 0.0) > now:
+        if other in down:
             return transport  # both held: nothing better to offer
-        self._m_overrides.inc()
+        if self._obs:
+            self._m_overrides.inc()
         return other
 
     # ------------------------------------------------------------------
@@ -201,6 +215,8 @@ class DestinationFlow:
         else:
             self._messages_failed += 1
         self.total_messages += 1
+        if self._inv is not None:
+            self._inv.on_result(resp.success, len(self._in_flight))
         self._pump()
         if entry.consumer_notify_id is not None:
             return MessageNotify.Resp(entry.consumer_notify_id, resp.success, resp.sent_at, resp.size)

@@ -118,10 +118,23 @@ class ProtocolRatio:
     # discretisation (the learner's ratio grid, §IV-C3)
     # ------------------------------------------------------------------
     def discretize(self, kappa: Fraction = Fraction(1, 5)) -> "ProtocolRatio":
-        """Snap the signed form to the nearest multiple of ``kappa``."""
+        """Snap the signed form to the nearest multiple of ``kappa``.
+
+        Half-step ties round *away from zero*: ``round()`` would apply
+        banker's rounding and snap ties to even grid multiples, making the
+        tie direction depend on the neighbouring step's parity instead of
+        a symmetric rule (discretize(r) == -discretize(-r) per half-step).
+        """
         if kappa <= 0 or kappa > 1:
             raise RatioError(f"kappa must be in (0, 1], got {kappa}")
-        steps = round(Fraction(self.signed) / kappa)
+        q = Fraction(self.signed) / Fraction(kappa)
+        floor_q = q.numerator // q.denominator
+        frac = q - floor_q
+        half = Fraction(1, 2)
+        if frac > half or (frac == half and q > 0):
+            steps = floor_q + 1
+        else:
+            steps = floor_q
         snapped = max(Fraction(-1), min(Fraction(1), steps * Fraction(kappa)))
         return ProtocolRatio.from_signed(snapped)
 

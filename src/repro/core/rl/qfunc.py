@@ -11,6 +11,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, Hashable, Optional, Tuple
 
+from repro.check import get_checker
+
 
 class ActionValueFunction(ABC):
     """Q(s, a) estimate with explicit unknown-ness."""
@@ -39,13 +41,17 @@ class MatrixQ(ActionValueFunction):
 
     def __init__(self) -> None:
         self._q: Dict[Tuple[Hashable, Hashable], float] = {}
+        checker = get_checker()
+        self._inv = checker.rl_hook() if checker.enabled else None
 
     def value(self, state: Hashable, action: Hashable) -> Optional[float]:
         return self._q.get((state, action))
 
     def adjust(self, state: Hashable, action: Hashable, amount: float) -> None:
         key = (state, action)
-        self._q[key] = self._q.get(key, 0.0) + amount
+        self._q[key] = value = self._q.get(key, 0.0) + amount
+        if self._inv is not None:
+            self._inv.check_q(state, action, value)
 
     @property
     def entries_learned(self) -> int:

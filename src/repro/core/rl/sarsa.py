@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, Optional, Sequence
 
+from repro.check import get_checker
 from repro.core.rl.policy import EpsilonGreedy
 from repro.core.rl.qfunc import ActionValueFunction
 from repro.core.rl.traces import EligibilityTraces
@@ -45,6 +46,8 @@ class SarsaLambda:
         self.steps = 0
         #: TD error δ from the most recent step (diagnostics / gauges)
         self.last_delta: Optional[float] = None
+        checker = get_checker()
+        self._inv = checker.rl_hook() if checker.enabled else None
 
     # ------------------------------------------------------------------
     # control
@@ -69,6 +72,8 @@ class SarsaLambda:
 
         delta = reward + self.gamma * self.qfunc.estimate(s_prime, a_prime) - self.qfunc.estimate(s, a)
         self.last_delta = delta
+        if self._inv is not None:
+            self._inv.on_step(reward, delta)
         self.traces.visit(s, a)
         for (es, ea), e in self.traces.items():
             self.qfunc.adjust(es, ea, self.alpha * delta * e)

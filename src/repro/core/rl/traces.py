@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterator, Tuple
 
+from repro.check import get_checker
+
 StateAction = Tuple[Hashable, Hashable]
 
 PRUNE_BELOW = 1e-6
@@ -23,6 +25,8 @@ class EligibilityTraces:
             raise ValueError(f"unknown trace kind {kind!r}")
         self.kind = kind
         self._traces: Dict[StateAction, float] = {}
+        checker = get_checker()
+        self._inv = checker.rl_hook() if checker.enabled else None
 
     def visit(self, state: Hashable, action: Hashable) -> None:
         """Mark (state, action) as just taken."""
@@ -33,6 +37,8 @@ class EligibilityTraces:
             self._traces[(state, action)] = 1.0
         else:
             self._traces[(state, action)] = self._traces.get((state, action), 0.0) + 1.0
+        if self._inv is not None:
+            self._inv.check_traces(self.kind, self._traces)
 
     def decay(self, gamma: float, lam: float) -> None:
         """Scale every trace by γλ, pruning negligible entries."""

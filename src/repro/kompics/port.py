@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Sequence, Tuple, Type
 
 from repro import fastpath
+from repro.check import get_checker
 from repro.errors import PortError
 from repro.kompics.event import KompicsEvent
 
@@ -71,6 +72,7 @@ class Port:
         "_subscriptions",
         "_dispatch_cache",
         "_direction_cache",
+        "_check",
     )
 
     def __init__(self, port_type: Type[PortType], owner: "ComponentCore", positive: bool) -> None:
@@ -84,6 +86,8 @@ class Port:
         #: concrete event type -> outbound direction check result (the
         #: PortType declaration is immutable, so this never invalidates)
         self._direction_cache: Dict[Type[KompicsEvent], bool] = {}
+        checker = get_checker()
+        self._check = checker.digest("port") if checker.enabled else None
 
     # ------------------------------------------------------------------
     # wiring
@@ -181,6 +185,11 @@ class Port:
         event's concrete type, so its result is memoized per type.
         """
         cls = event.__class__
+        if self._check is not None:
+            self._check.fold(
+                (self.owner.name, self.port_type.__name__, cls.__name__,
+                 "+" if self.positive else "-")
+            )
         allowed = self._direction_cache.get(cls)
         if allowed is None:
             if self.positive:

@@ -138,6 +138,8 @@ class ChannelPool:
         ref = self.channels.get(key)
         if ref is not None and ref.usable:
             return ref
+        if ref is not None:
+            self._discard_stale(ref)
         conn = self.stack.connect(
             remote,
             proto,
@@ -156,12 +158,27 @@ class ChannelPool:
         )
         return ref
 
+    def _discard_stale(self, ref: ChannelRef) -> None:
+        """Disarm and close a dead-but-unreaped ref before replacing it.
+
+        Its connection's ``on_closed``/``on_failed`` are still armed with
+        ``_on_gone`` for the same key: left in place, a late firing could
+        evict the *replacement* from the pool or start a spurious recovery
+        campaign that then parks healthy traffic.
+        """
+        ref.conn.on_closed = None
+        ref.conn.on_failed = None
+        ref.conn.close()
+
     # ------------------------------------------------------------------
     # recovery plumbing
     # ------------------------------------------------------------------
     def _redial(self, key: ChannelKey) -> None:
         """One recovery attempt: dial and report the outcome to recovery."""
         remote, proto = key
+        stale = self.channels.get(key)
+        if stale is not None and not stale.usable:
+            self._discard_stale(stale)
         conn = self.stack.connect(
             remote,
             proto,

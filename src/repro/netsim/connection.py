@@ -8,6 +8,8 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional, Tuple
 
 from repro import fastpath
+from repro.check import get_checker
+from repro.check import perturb as check_perturb
 from repro.errors import ConnectionClosedError
 from repro.netsim.congestion import CongestionControl, UdtCc
 from repro.netsim.link import LinkDirection, Proto
@@ -27,7 +29,7 @@ class WireMessage:
     the signal behind the middleware's ``MessageNotify`` feature.
     """
 
-    __slots__ = ("payload", "size", "on_sent")
+    __slots__ = ("payload", "size", "on_sent", "check_seq")
 
     def __init__(self, payload: Any, size: int, on_sent: Optional[Callable[[bool], None]] = None) -> None:
         if size <= 0:
@@ -35,6 +37,9 @@ class WireMessage:
         self.payload = payload
         self.size = size
         self.on_sent = on_sent
+        #: (stream id, sequence number) stamped by the sending flow only
+        #: when an invariant checker is installed (FIFO/exactly-once check)
+        self.check_seq: Optional[Tuple[int, int]] = None
 
     def _sent(self, success: bool) -> None:
         if self.on_sent is not None:
@@ -97,6 +102,15 @@ class FlowState:
         #: in-flight deliveries as (due time, message), due-monotonic
         self._train: Deque[Tuple[float, WireMessage]] = deque()
         self._pump_scheduled = False
+        # Ordered flows stamp a (stream, seq) pair on each wire message so
+        # the receiving connection can assert FIFO delivery.  UDP flows are
+        # exempt: jitter legitimately reorders them.
+        checker = get_checker()
+        if checker.enabled and cc.ordered:
+            self._wire_stream: Optional[int] = checker.register_wire_stream()
+        else:
+            self._wire_stream = None
+        self._wire_seq = 0
 
     @property
     def subject_to_udp_cap(self) -> bool:
@@ -122,6 +136,9 @@ class FlowState:
             self.link_dir.note_drop()
             msg._sent(False)
             return
+        if self._wire_stream is not None:
+            msg.check_seq = (self._wire_stream, self._wire_seq)
+            self._wire_seq += 1
         self.queue.append(msg)
         self.queued_bytes += msg.size
         self.link_dir.activate(self)
@@ -187,6 +204,10 @@ class FlowState:
             self.sim.schedule_at(due, lambda m=msg: self.deliver(m), label="flow-rx")
             return
         train.append((due, msg))
+        if self._wire_stream is not None and check_perturb.rx_swap_due() and len(train) >= 2:
+            # Seeded fast-path fault for the bisection demo/self-test:
+            # swap the train tail so two deliveries come out reordered.
+            train[-1], train[-2] = train[-2], train[-1]
         if not self._pump_scheduled:
             self._pump_scheduled = True
             self.sim.schedule_at(due, self._pump_rx, label="flow-rx")
@@ -261,6 +282,8 @@ class Connection:
         self.on_connected: Optional[Callable[[ "Connection"], None]] = None
         self.on_failed: Optional[Callable[["Connection", str], None]] = None
         self.on_closed: Optional[Callable[["Connection"], None]] = None
+        checker = get_checker()
+        self._check = checker if checker.enabled else None
 
     # ------------------------------------------------------------------
     # state transitions (driven by the owning stack)
@@ -297,6 +320,8 @@ class Connection:
         """Called by the peer's flow at delivery time."""
         if self.state is not ConnectionState.ACTIVE:
             return  # connection dropped while the message was in flight
+        if self._check is not None and msg.check_seq is not None:
+            self._check.on_wire_delivery(*msg.check_seq)
         if self.on_message is not None:
             self.on_message(msg.payload, msg.size, self)
 

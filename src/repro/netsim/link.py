@@ -7,6 +7,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.check import get_checker
 from repro.obs import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -116,6 +117,8 @@ class LinkDirection:
             metrics.gauge("netsim.link.active_flows", link=name).set_function(
                 lambda: len(self._active)
             )
+        checker = get_checker()
+        self._check = checker.link_hook(name) if checker.enabled else None
 
     # ------------------------------------------------------------------
     # wire accounting (called by FlowState on the transmit path)
@@ -174,6 +177,13 @@ class LinkDirection:
         * within each tier, progressive-filling max-min fairness.
         """
         active = self._active
+        if self._check is not None:
+            # Checked runs always take the general path: it computes the
+            # full demand/allocation maps the feasibility invariant needs,
+            # and it makes the same demand_rate() calls in the same order
+            # as the unrolled cases (controllers mutate state when queried,
+            # so the hook must not re-query them).
+            return self._allocate_general(flow)
         if len(active) == 1 and active[0] is flow:
             # Sole active flow (the bulk-transfer steady state): the tiers
             # collapse to min(demand, caps), bit-identical to the general
@@ -217,6 +227,10 @@ class LinkDirection:
                 a1 = min(d1, bw / 2)
                 a0 = min(d0, bw - a1)
             return max(a0 if flow is f0 else a1, 1.0)
+        return self._allocate_general(flow)
+
+    def _allocate_general(self, flow: "FlowState") -> float:
+        active = self._active
         flows = active if flow in active else active + [flow]
         demands: Dict["FlowState", float] = {f: f.demand_rate() for f in flows}
 
@@ -235,6 +249,12 @@ class LinkDirection:
             leftover = max(self.spec.bandwidth - sum(fg_alloc), 0.0)
             bg_alloc = max_min_allocation([demands[f] for f in background], leftover)
             allocation.update(zip(background, bg_alloc))
+
+        if self._check is not None:
+            self._check.on_allocation(
+                demands, allocation, self.spec.bandwidth,
+                {f: f.scavenger for f in flows},
+            )
 
         # Never return a zero rate for a flow with work: progress floor.
         return max(allocation[flow], 1.0)

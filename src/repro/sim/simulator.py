@@ -25,6 +25,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Iterable, List, Optional, Tuple
 
+from repro.check import get_checker
 from repro.errors import SchedulingError, SimulationError
 from repro.obs import get_registry
 from repro.sim.event import EventHandle
@@ -62,6 +63,8 @@ class Simulator:
         self.heap_compactions = 0
         self.tombstones_evicted = 0
         self._m_cancelled = get_registry().counter("sim.events_cancelled")
+        checker = get_checker()
+        self._check = checker.sim_hook() if checker.enabled else None
 
     # ------------------------------------------------------------------
     # time
@@ -167,6 +170,8 @@ class Simulator:
                 continue
             self.clock._advance_to(time)
             self.events_executed += 1
+            if self._check is not None:
+                self._check.on_execute(time, handle.label)
             handle.callback()
             return True
         return False
@@ -188,6 +193,8 @@ class Simulator:
     def stop(self) -> None:
         """Stop the current ``run*`` call after the in-flight event."""
         self._stopped = True
+        if self._check is not None:
+            self._check.on_stop()
 
     def _run(self, until: Optional[float], max_events: int) -> None:
         if self._running:
@@ -198,6 +205,9 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         clock = self.clock
+        inv = self._check
+        if inv is not None:
+            inv.on_run_begin()
         try:
             while heap and not self._stopped:
                 time, _seq, head = heap[0]
@@ -220,9 +230,13 @@ class Simulator:
                         f"exceeded max_events={max_events} at t={self.now}; "
                         f"likely a zero-delay event loop (last label={head.label!r})"
                     )
+                if inv is not None:
+                    inv.on_execute(time, head.label)
                 head.callback()
         finally:
             self._running = False
+            if inv is not None:
+                inv.on_run_end()
 
     # ------------------------------------------------------------------
     # introspection

@@ -6,6 +6,7 @@ from repro.core import DestinationFlow, PatternSelection, ProtocolRatio, StaticR
 from repro.core.td_learner import TDRatioLearner
 from repro.errors import PolicyError
 from repro.messaging import BasicAddress, DataHeader, MessageNotify, Transport
+from repro.obs import collecting
 from repro.util.clock import SimulatedClock
 
 from tests.messaging_helpers import Blob
@@ -80,6 +81,45 @@ class TestStamping:
         for i in range(5):
             h.flow.enqueue(data_blob(f"m{i}"))
         assert {r.msg.header.protocol for r in h.released} == {Transport.TCP}
+
+
+class TestTransportHold:
+    def test_hold_steers_releases_to_other_transport(self):
+        h = Harness(window=100)
+        h.flow.mark_transport_down(Transport.UDT, until=10.0)
+        for i in range(4):
+            h.flow.enqueue(data_blob(f"m{i}"))
+        assert {r.msg.header.protocol for r in h.released} == {Transport.TCP}
+        assert Transport.UDT in h.flow._down_until
+
+    def test_expired_hold_is_purged_on_next_release(self):
+        # Regression: expired entries used to linger in _down_until forever,
+        # sending every later release through the hold branch.
+        h = Harness(window=100)
+        h.flow.mark_transport_down(Transport.UDT, until=1.0)
+        h.clock._advance_to(2.0)
+        for i in range(4):
+            h.flow.enqueue(data_blob(f"m{i}"))
+        assert h.flow._down_until == {}
+        protocols = [r.msg.header.protocol for r in h.released]
+        assert protocols == [Transport.TCP, Transport.UDT] * 2
+
+    def test_override_metric_counts_only_live_holds(self):
+        with collecting() as reg:
+            h = Harness(window=100)
+            h.flow.mark_transport_down(Transport.UDT, until=10.0)
+            for i in range(4):
+                h.flow.enqueue(data_blob(f"m{i}"))
+            # fifty-fifty: two of the four releases were steered off UDT
+            assert reg.total("rl.flow.fallback_overrides_total") == 2
+
+        with collecting() as reg:
+            h = Harness(window=100)
+            h.flow.mark_transport_down(Transport.UDT, until=1.0)
+            h.clock._advance_to(2.0)
+            for i in range(4):
+                h.flow.enqueue(data_blob(f"m{i}"))
+            assert reg.total("rl.flow.fallback_overrides_total") == 0
 
 
 class TestNotifyPlumbing:

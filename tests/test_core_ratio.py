@@ -121,6 +121,23 @@ class TestDiscretize:
         with pytest.raises(RatioError):
             ProtocolRatio.FIFTY_FIFTY.discretize(Fraction(0))
 
+    def test_half_step_ties_round_away_from_zero(self):
+        # Regression: round() banker's-rounded exact half steps toward the
+        # even grid index, so +1/10 snapped to 0 but +3/10 snapped to 2/5.
+        kappa = Fraction(1, 5)
+        assert ProtocolRatio.from_signed(Fraction(1, 10)).discretize(kappa).signed == Fraction(1, 5)
+        assert ProtocolRatio.from_signed(Fraction(3, 10)).discretize(kappa).signed == Fraction(2, 5)
+        assert ProtocolRatio.from_signed(Fraction(-1, 10)).discretize(kappa).signed == Fraction(-1, 5)
+
+    def test_grid_symmetry(self):
+        # discretize(r) == -discretize(-r) everywhere, including exact ties
+        kappa = Fraction(1, 5)
+        probes = [Fraction(n, 20) for n in range(0, 21)]  # hits every half step
+        for r in probes:
+            pos = ProtocolRatio.from_signed(r).discretize(kappa).signed
+            neg = ProtocolRatio.from_signed(-r).discretize(kappa).signed
+            assert pos == -neg, f"asymmetric at r={r}: {pos} vs {neg}"
+
 
 class TestObservedRatio:
     def test_counts(self):

@@ -77,6 +77,23 @@ class TestReconnect:
             assert [r.success for r in a.app_def.notifies] == [False]
             assert not any(m.tag == "lost" for m in b.app_def.received)
 
+    def test_failed_redials_count_each_attempt_exactly_once(self):
+        # Every scheduled attempt dials, fails, and is counted once — no
+        # double-counting between the dial callback and the campaign timer.
+        with collecting() as reg:
+            world = recovery_world({"messaging.reconnect.max_attempts": 3})
+            a, b = world.nodes
+            a.app_def.send(b.address, "warm")
+            world.sim.run()
+
+            FaultInjector(world.fabric).cut_link(a.host.ip, b.host.ip)  # permanent
+            a.app_def.send(b.address, "lost", notify=True)
+            world.sim.run()
+
+            assert reg.total("messaging.reconnect.attempts_total") == 3
+            assert reg.total("messaging.reconnect.giveups_total") == 1
+            assert reg.total("messaging.reconnect.recovered_total") == 0
+
     def test_queue_limit_fails_sends_beyond_bound(self):
         with collecting() as reg:
             world = recovery_world({"messaging.reconnect.queue_limit": 2})
@@ -307,6 +324,38 @@ class TestChannelPoolRegressions:
             ref for ref in b.net_def.pool.channels.values() if not ref.outbound
         ]
         assert inbound and all(ref.last_used > 0.0 for ref in inbound)
+
+    def test_get_or_connect_disarms_stale_conn_before_replacing(self):
+        # Regression: a dead-but-unreaped ref was silently overwritten with
+        # its on_closed/on_failed still armed for the same key — a late
+        # firing could evict the *replacement* or start a spurious recovery
+        # campaign that parked healthy traffic.
+        world = make_world()
+        a, b = world.nodes
+        a.app_def.send(b.address, "warm")
+        world.sim.run()
+
+        key = (b.address.as_socket(), Transport.TCP.to_proto())
+        pool = a.net_def.pool
+        stale = pool.channels[key]
+        old_conn = stale.conn
+        assert old_conn.on_closed is not None
+        # Simulate a connection that died without its callbacks firing.
+        old_conn.state = ConnectionState.FAILED
+
+        replacement = pool.get_or_connect(b.address.as_socket(), Transport.TCP.to_proto())
+        assert replacement.conn is not old_conn
+        assert pool.channels[key] is replacement
+        # The stale conn is fully disarmed: a late close/fail can no longer
+        # reach _on_gone for this key.
+        assert old_conn.on_closed is None
+        assert old_conn.on_failed is None
+
+        world.sim.run()
+        assert pool.channels.get(key) is replacement  # replacement survived
+        a.app_def.send(b.address, "after")
+        world.sim.run()
+        assert any(m.tag == "after" for m in b.app_def.received)
 
     def test_reap_idle_evicts_dead_channels(self):
         # Regression: non-usable refs were skipped by the sweep and leaked

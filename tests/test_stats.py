@@ -69,6 +69,25 @@ class TestOnlineStats:
         assert merged.variance == pytest.approx(sc.variance, rel=1e-6, abs=1e-6)
 
 
+    def test_merge_empty_with_empty(self):
+        merged = OnlineStats().merge(OnlineStats())
+        assert merged.count == 0
+        assert merged.mean == 0.0
+        assert merged.variance == 0.0
+
+    def test_merge_empty_with_nonempty_keeps_extrema(self):
+        empty = OnlineStats()
+        full = OnlineStats()
+        for v in [3.0, -1.0, 7.0]:
+            full.add(v)
+        for merged in (empty.merge(full), full.merge(empty)):
+            assert merged.count == 3
+            assert merged.min == -1.0
+            assert merged.max == 7.0
+            assert merged.mean == pytest.approx(3.0)
+            assert merged.variance == pytest.approx(full.variance)
+
+
 class TestEwma:
     def test_first_value_initialises(self):
         e = Ewma(0.5)
