@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Assertions the CI campaign matrix runs against campaign artifacts.
+
+Moved out of inline workflow YAML so the checks are testable, diffable
+and shared between CI and local runs:
+
+    python scripts/ci_checks.py faults faults-a.json
+    python scripts/ci_checks.py chaos chaos-a.json
+    python scripts/ci_checks.py fleet fleet-a.json fleet-b.json \
+        --baseline BENCH_FLEET.json
+
+Each subcommand exits non-zero with a reason on the first failed
+assertion and prints a one-line OK summary otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict
+
+
+def _load(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _metric_total(doc: Dict[str, Any], name: str) -> float:
+    return sum(entry["value"] for entry in doc["metrics"][name])
+
+
+def check_faults(args: argparse.Namespace) -> int:
+    """The fault campaign must actually have exercised recovery."""
+    doc = _load(args.snapshot)
+    summary = doc["meta"]["summary"]
+    assert summary["reconnect_attempts"] > 0, "no reconnect attempts"
+    assert summary["reconnect_recovered"] > 0, "channel never recovered"
+    for name in ("messaging.reconnect.attempts_total",
+                 "messaging.reconnect.recovered_total"):
+        assert _metric_total(doc, name) > 0, f"{name} is zero"
+    print(f"recovery OK: {summary['reconnect_attempts']} attempts, "
+          f"{summary['reconnect_recovered']} recovered, "
+          f"backoff {summary['backoff_delays']}")
+    return 0
+
+
+def check_chaos(args: argparse.Namespace) -> int:
+    """The chaos campaign must have restarted, converged and balanced."""
+    doc = _load(args.snapshot)
+    summary = doc["meta"]["summary"]
+    assert summary["restarts"] > 0, "supervision never restarted anything"
+    assert summary["transfer_done"], "transfer did not complete after restarts"
+    assert summary["pings_answered"] > summary["pings_answered_before_tail"], \
+        "no pings answered after the last chaos event"
+    restarts = _metric_total(doc, "kompics.restarts_total")
+    assert restarts == summary["restarts"], "restart counter mismatch"
+    deadletters = _metric_total(doc, "kompics.deadletters_total")
+    assert deadletters == summary["deadletters"], \
+        "dead-letter leak: counter mismatch"
+    print(f"chaos OK: {summary['restarts']} restarts, "
+          f"{summary['deadletters']} dead letters, converged")
+    return 0
+
+
+def check_fleet(args: argparse.Namespace) -> int:
+    """Fleet campaign artifacts: valid schema, deterministic, no failures.
+
+    Compares two artifacts from independent invocations (different
+    ``PYTHONHASHSEED``) byte for byte, validates the document against
+    its own units, requires every unit ok, and — when a committed
+    baseline exists — pins the merged digest to it so a silent
+    determinism break shows up as a diff against history.  A missing
+    baseline is tolerated with a note (the artifact lands in the same
+    PR that introduces the gate).
+    """
+    from repro.bench.fleet import validate_campaign_document
+
+    with open(args.run_a, "rb") as fh:
+        bytes_a = fh.read()
+    with open(args.run_b, "rb") as fh:
+        bytes_b = fh.read()
+    assert bytes_a == bytes_b, \
+        f"{args.run_a} and {args.run_b} differ: campaign is not deterministic"
+
+    doc = json.loads(bytes_a)
+    problems = validate_campaign_document(doc)
+    assert not problems, "invalid campaign document: " + "; ".join(problems)
+    totals = doc["merged"]["totals"]
+    assert totals["failed"] == 0, f"{totals['failed']} campaign unit(s) failed"
+
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = _load(args.baseline)
+        base_units = {
+            (u["scenario"], u["seed"]): u.get("digest")
+            for u in baseline.get("units", [])
+        }
+        matched = mismatched = 0
+        for unit in doc["units"]:
+            expected = base_units.get((unit["scenario"], unit["seed"]))
+            if expected is None:
+                continue
+            if unit.get("digest") == expected:
+                matched += 1
+            else:
+                mismatched += 1
+                print(f"unit digest drift: {unit['scenario']} seed "
+                      f"{unit['seed']}: {unit.get('digest')} != {expected}",
+                      file=sys.stderr)
+        assert mismatched == 0, \
+            f"{mismatched} unit digest(s) drifted from {args.baseline}"
+        note = f", {matched} unit digest(s) match {args.baseline}"
+    else:
+        note = f", baseline {args.baseline!r} not present (tolerated)"
+    print(f"fleet OK: {totals['ok']}/{totals['units']} units, "
+          f"merged digest {doc['merged']['digest']}{note}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_faults = sub.add_parser("faults", help="fault-campaign snapshot checks")
+    p_faults.add_argument("snapshot")
+    p_faults.set_defaults(func=check_faults)
+
+    p_chaos = sub.add_parser("chaos", help="chaos-campaign snapshot checks")
+    p_chaos.add_argument("snapshot")
+    p_chaos.set_defaults(func=check_chaos)
+
+    p_fleet = sub.add_parser("fleet", help="fleet campaign artifact checks")
+    p_fleet.add_argument("run_a")
+    p_fleet.add_argument("run_b")
+    p_fleet.add_argument("--baseline", default="BENCH_FLEET.json",
+                         help="committed campaign artifact to pin digests "
+                              "against (missing file tolerated)")
+    p_fleet.set_defaults(func=check_fleet)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except AssertionError as exc:
+        print(f"{args.command} check FAILED: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,15 @@
 * :mod:`repro.bench.perf` — perf-regression harness: hot-path
   microbenchmarks, figure-shaped wall-clock suites, a baseline
   regression gate, and the fastpath equivalence gate.
+* :mod:`repro.bench.topology` — deterministic fleet-scale topology
+  generation (star / fat-tree / wan-mesh) with per-link WAN specs.
+* :mod:`repro.bench.fleet` — fleet workloads (thousands of churning
+  flows over a generated topology) and the parallel seeds x scenarios
+  campaign runner with mergeable, digest-gated results.
+
+Named workloads live in the shared scenario registry
+(:data:`repro.bench.scenario.SCENARIOS`); the check, faults, chaos, perf
+and fleet layers all resolve scenarios there by name.
 """
 
 from repro.bench.chaos import (
@@ -34,8 +43,39 @@ from repro.bench.harness import (
     run_transfer_once,
     run_transfer_repeated,
 )
-from repro.bench.perf import check_regression, run_equivalence, run_perf
-from repro.bench.scenario import AWS_SETUPS, Setup, TestbedPair, aws_testbed, setup_by_name
+from repro.bench.fleet import (
+    CampaignUnit,
+    FleetUnitResult,
+    FlowPlan,
+    campaign_json,
+    plan_campaign,
+    plan_flows,
+    run_campaign,
+    run_fleet_workload,
+    validate_campaign_document,
+)
+from repro.bench.perf import (
+    check_regression,
+    regression_report,
+    run_equivalence,
+    run_perf,
+)
+from repro.bench.scenario import (
+    AWS_SETUPS,
+    DuplicateScenarioError,
+    SCENARIOS,
+    Scenario,
+    Setup,
+    TestbedPair,
+    UnknownScenarioError,
+    aws_testbed,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+    setup_by_name,
+)
+from repro.bench.topology import LinkPlan, Topology, generate_topology
 
 __all__ = [
     "Setup",
@@ -61,4 +101,25 @@ __all__ = [
     "run_perf",
     "run_equivalence",
     "check_regression",
+    "regression_report",
+    "Scenario",
+    "SCENARIOS",
+    "UnknownScenarioError",
+    "DuplicateScenarioError",
+    "register_scenario",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
+    "Topology",
+    "LinkPlan",
+    "generate_topology",
+    "FlowPlan",
+    "FleetUnitResult",
+    "CampaignUnit",
+    "plan_flows",
+    "plan_campaign",
+    "run_fleet_workload",
+    "run_campaign",
+    "campaign_json",
+    "validate_campaign_document",
 ]

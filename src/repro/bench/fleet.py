@@ -1,0 +1,627 @@
+"""Fleet-scale campaigns: many hosts x many flows x many seeded runs.
+
+The paper's benches are host pairs; the fleet layer is the "millions of
+users" story in simulation — three pieces:
+
+* **Flow plans** (:func:`plan_flows`) — thousands of concurrent flows
+  over a generated :class:`~repro.bench.topology.Topology`, with
+  arrival/departure churn and hostile traffic patterns (``uniform``
+  any-to-any, ``incast`` fan-in to one sink, ``churn`` mice/elephants
+  with mid-life aborts).  Fully determined by ``(topology, flows, seed)``.
+* **Unit runs** (:func:`run_fleet_workload`) — one seeded simulation of
+  one plan, driven straight on the netsim connection API (no Kompics
+  middleware per host, so hundreds of hosts stay cheap).  Produces
+  mergeable :class:`~repro.stats.OnlineStats`, additive counters and a
+  BLAKE2 digest over per-flow outcomes — the determinism fingerprint.
+* **Campaigns** (:func:`run_campaign`) — ``seeds x scenarios`` fanned out
+  over a ``concurrent.futures`` process pool.  Every unit is seed-
+  deterministic and ``PYTHONHASHSEED``-independent, workers resolve
+  scenarios by name from the shared registry
+  (:data:`repro.bench.scenario.SCENARIOS`), one crashed unit is recorded
+  as a failure instead of sinking the campaign, and results merge in a
+  fixed order so two identical invocations produce byte-identical JSON
+  artifacts (see ``docs/fleet.md`` for the schema).
+
+Campaigns compose *any* registered scenario — the fault and chaos
+campaigns sweep next to fleet workloads with no extra glue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import random
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.scenario import register_scenario, run_scenario
+from repro.bench.topology import Topology, generate_topology
+from repro.netsim import Proto, SimNetwork, WireMessage
+from repro.sim import Simulator
+from repro.stats import OnlineStats
+from repro.util.rng import derive_seed
+
+MB = 1024 * 1024
+
+#: campaign artifact schema identifier (bump on breaking layout changes)
+CAMPAIGN_SCHEMA = "repro.bench.fleet/1"
+
+FLOW_PORT = 34000
+
+FLOW_PATTERNS = ("uniform", "incast", "churn")
+
+
+# ----------------------------------------------------------------------
+# flow planning
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FlowPlan:
+    """One planned flow: endpoints, transport, arrival and volume."""
+
+    index: int
+    src: str
+    dst: str
+    proto: str  # "tcp" | "udt"
+    start: float
+    size: int
+    abort_after: Optional[float] = None  # churn: close mid-life
+
+
+def plan_flows(
+    topology: Topology,
+    flows: int,
+    seed: int = 0,
+    pattern: str = "uniform",
+    arrival_window: float = 6.0,
+    mean_flow_bytes: int = 1 * MB,
+    msg_size: int = 64 * 1024,
+    udt_fraction: float = 0.25,
+) -> Tuple[FlowPlan, ...]:
+    """Draw a deterministic flow plan from ``(topology, flows, seed)``.
+
+    Patterns:
+
+    * ``uniform`` — independent random (src, dst) pairs, exponential
+      sizes, arrivals uniform over ``arrival_window``.
+    * ``incast`` — every flow targets one sink endpoint and arrivals
+      cluster in the first quarter of the window (the fan-in burst the
+      paper never tested).
+    * ``churn`` — 80/20 mice/elephants arriving as a Poisson process;
+      one flow in eight aborts mid-life (connection closed with data
+      still queued), exercising departure churn beyond natural
+      completions.
+    """
+    if pattern not in FLOW_PATTERNS:
+        raise ValueError(
+            f"unknown flow pattern {pattern!r}; choose from {FLOW_PATTERNS}"
+        )
+    if flows < 1:
+        raise ValueError("need at least one flow")
+    endpoints = topology.endpoints
+    if len(endpoints) < 2:
+        raise ValueError("topology needs at least two endpoints for flows")
+    rng = random.Random(derive_seed(seed, f"fleet.flows.{pattern}"))
+
+    plans: List[FlowPlan] = []
+    poisson_clock = 0.0
+    for i in range(flows):
+        if pattern == "incast":
+            dst = endpoints[0]
+            src = endpoints[1 + rng.randrange(len(endpoints) - 1)]
+            start = rng.uniform(0.0, arrival_window / 4.0)
+            size = max(1, int(rng.expovariate(1.0 / mean_flow_bytes)))
+            abort_after = None
+        elif pattern == "churn":
+            src, dst = rng.sample(endpoints, 2)
+            poisson_clock += rng.expovariate(flows / arrival_window)
+            start = poisson_clock
+            mean = mean_flow_bytes * (8.0 if rng.random() < 0.2 else 0.25)
+            size = max(1, int(rng.expovariate(1.0 / mean)))
+            abort_after = rng.uniform(0.05, 2.0) if rng.random() < 0.125 else None
+        else:  # uniform
+            src, dst = rng.sample(endpoints, 2)
+            start = rng.uniform(0.0, arrival_window)
+            size = max(1, int(rng.expovariate(1.0 / mean_flow_bytes)))
+            abort_after = None
+        proto = "udt" if rng.random() < udt_fraction else "tcp"
+        plans.append(FlowPlan(i, src, dst, proto, start, size, abort_after))
+    return tuple(plans)
+
+
+# ----------------------------------------------------------------------
+# one seeded fleet unit
+# ----------------------------------------------------------------------
+
+@dataclass
+class FleetUnitResult:
+    """Outcome of one seeded fleet simulation (mergeable pieces only)."""
+
+    topology_kind: str
+    topology_digest: str
+    sim_time: float
+    stats: Dict[str, OnlineStats]
+    counters: Dict[str, float]
+    digest: str
+
+
+class _FlowTracker:
+    """Receiver-side accounting for one planned flow."""
+
+    __slots__ = ("plan", "received", "completed_at", "sent_ok", "sent_failed",
+                 "connection", "aborted")
+
+    def __init__(self, plan: FlowPlan) -> None:
+        self.plan = plan
+        self.received = 0
+        self.completed_at: Optional[float] = None
+        self.sent_ok = 0
+        self.sent_failed = 0
+        self.connection = None
+        self.aborted = False
+
+
+def run_fleet_workload(
+    topology: str = "star",
+    hosts: int = 32,
+    flows: int = 200,
+    pattern: str = "uniform",
+    seed: int = 0,
+    arrival_window: float = 6.0,
+    mean_flow_mb: float = 1.0,
+    msg_size: int = 64 * 1024,
+    udt_fraction: float = 0.25,
+    horizon: float = 120.0,
+) -> FleetUnitResult:
+    """Simulate one seeded fleet: generate, wire, run, summarize.
+
+    Deterministic in its arguments: the topology, the flow plan, netsim's
+    loss draws and the event order all derive from ``seed``.  The run
+    ends when every flow has finished or ``horizon`` simulated seconds
+    elapse, whichever comes first (truncated flows are counted, not
+    errors — incast is *supposed* to leave stragglers).
+    """
+    topo = generate_topology(topology, hosts, seed=seed)
+    plans = plan_flows(
+        topo, flows, seed=seed, pattern=pattern,
+        arrival_window=arrival_window,
+        mean_flow_bytes=max(1, int(mean_flow_mb * MB)),
+        msg_size=msg_size, udt_fraction=udt_fraction,
+    )
+
+    sim = Simulator()
+    net = SimNetwork(sim, seed=derive_seed(seed, "fleet.net"))
+    net.apply_topology(topo)
+
+    trackers = [_FlowTracker(plan) for plan in plans]
+
+    def on_message(payload: Any, size: int, conn: Any) -> None:
+        tracker = trackers[payload]
+        tracker.received += size
+        if tracker.received >= tracker.plan.size and tracker.completed_at is None:
+            tracker.completed_at = sim.now
+
+    def on_accept(conn: Any) -> None:
+        conn.on_message = on_message
+
+    listening = {plan.dst for plan in plans}
+    for ip in sorted(listening):
+        stack = net.stack_for(ip)
+        stack.listen(FLOW_PORT, Proto.TCP, on_accept=on_accept)
+        stack.listen(FLOW_PORT, Proto.UDT, on_accept=on_accept)
+
+    def launch(tracker: _FlowTracker) -> None:
+        plan = tracker.plan
+        conn = net.stack_for(plan.src).connect(
+            (plan.dst, FLOW_PORT), Proto(plan.proto)
+        )
+        tracker.connection = conn
+
+        def sent(ok: bool) -> None:
+            if ok:
+                tracker.sent_ok += 1
+            else:
+                tracker.sent_failed += 1
+
+        remaining = plan.size
+        while remaining > 0:
+            chunk = min(remaining, msg_size)
+            conn.send(WireMessage(plan.index, chunk, on_sent=sent))
+            remaining -= chunk
+        if plan.abort_after is not None:
+            def abort() -> None:
+                if tracker.completed_at is None:
+                    tracker.aborted = True
+                    conn.close()
+
+            sim.schedule(plan.abort_after, abort, label="fleet-abort")
+
+    for tracker in trackers:
+        sim.schedule_at(tracker.plan.start, lambda t=tracker: launch(t),
+                        label="fleet-launch")
+
+    sim.run_until(horizon)
+
+    duration = OnlineStats()
+    goodput = OnlineStats()
+    flow_bytes = OnlineStats()
+    completed = aborted = 0
+    messages_sent = messages_failed = 0
+    bytes_offered = bytes_delivered = 0
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"{topo.digest()} {pattern} {seed}\n".encode())
+    for tracker in trackers:
+        plan = tracker.plan
+        flow_bytes.add(float(plan.size))
+        bytes_offered += plan.size
+        bytes_delivered += tracker.received
+        messages_sent += tracker.sent_ok
+        messages_failed += tracker.sent_failed
+        if tracker.aborted:
+            aborted += 1
+        if tracker.completed_at is not None:
+            completed += 1
+            elapsed = tracker.completed_at - plan.start
+            duration.add(elapsed)
+            if elapsed > 0:
+                goodput.add(plan.size / elapsed)
+        end = -1.0 if tracker.completed_at is None else tracker.completed_at
+        digest.update(
+            f"{plan.index} {plan.src}>{plan.dst} {plan.proto} {plan.size} "
+            f"{plan.start!r} {tracker.received} {end!r} "
+            f"{tracker.sent_ok} {tracker.sent_failed}\n".encode()
+        )
+
+    return FleetUnitResult(
+        topology_kind=topo.kind,
+        topology_digest=topo.digest(),
+        sim_time=sim.now,
+        stats={
+            "flow_duration_s": duration,
+            "flow_goodput_bytes_s": goodput,
+            "flow_bytes": flow_bytes,
+        },
+        counters={
+            "hosts": float(topo.host_count),
+            "links": float(topo.link_count),
+            "flows": float(len(plans)),
+            "flows_completed": float(completed),
+            "flows_aborted": float(aborted),
+            "flows_unfinished": float(len(plans) - completed - aborted),
+            "messages_sent": float(messages_sent),
+            "messages_failed": float(messages_failed),
+            "bytes_offered": float(bytes_offered),
+            "bytes_delivered": float(bytes_delivered),
+            "events_executed": float(sim.events_executed),
+        },
+        digest=digest.hexdigest(),
+    )
+
+
+# ----------------------------------------------------------------------
+# campaign planning and the process-pool runner
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One (scenario, seed) cell of a campaign."""
+
+    scenario: str
+    seed: int
+    params: Tuple[Tuple[str, Any], ...] = ()  # sorted kwarg pairs
+
+    @staticmethod
+    def make(scenario: str, seed: int, params: Optional[Dict[str, Any]] = None) -> "CampaignUnit":
+        return CampaignUnit(scenario, seed, tuple(sorted((params or {}).items())))
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.scenario, self.seed)
+
+
+def plan_campaign(
+    scenarios: Sequence[Any],
+    seeds: Sequence[int],
+) -> List[CampaignUnit]:
+    """The ``seeds x scenarios`` unit grid, in deterministic order.
+
+    ``scenarios`` entries are names or ``(name, params)`` pairs.
+    """
+    units: List[CampaignUnit] = []
+    for entry in scenarios:
+        name, params = entry if isinstance(entry, tuple) else (entry, None)
+        for seed in seeds:
+            units.append(CampaignUnit.make(name, int(seed), params))
+    return units
+
+
+def _numeric_items(value: Any, prefix: str = "") -> List[Tuple[str, float]]:
+    """Flatten a result object into dotted numeric leaves (sorted keys)."""
+    items: List[Tuple[str, float]] = []
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        value = dataclasses.asdict(value)
+    if isinstance(value, dict):
+        for key in sorted(value):
+            items.extend(_numeric_items(value[key], f"{prefix}{key}."))
+    elif isinstance(value, (list, tuple)):
+        scalars = [v for v in value if isinstance(v, (int, float)) and not isinstance(v, bool)]
+        if scalars:
+            items.append((f"{prefix}count", float(len(scalars))))
+            for v in scalars:
+                items.append((f"{prefix}values", float(v)))
+    elif isinstance(value, bool):
+        items.append((prefix.rstrip("."), 1.0 if value else 0.0))
+    elif isinstance(value, (int, float)):
+        v = float(value)
+        if math.isfinite(v):
+            items.append((prefix.rstrip("."), v))
+    return items
+
+
+def _unit_payload(result: Any) -> Dict[str, Any]:
+    """The mergeable slice of a scenario result (fleet or generic)."""
+    if isinstance(result, FleetUnitResult):
+        return {
+            "stats": {k: v.state_dict() for k, v in sorted(result.stats.items())},
+            "counters": dict(sorted(result.counters.items())),
+            "digest": result.digest,
+            "info": {
+                "topology": result.topology_kind,
+                "topology_digest": result.topology_digest,
+                "sim_time": result.sim_time,
+            },
+        }
+    stats: Dict[str, OnlineStats] = {}
+    digest = hashlib.blake2b(digest_size=16)
+    for key, value in _numeric_items(result):
+        stats.setdefault(key, OnlineStats()).add(value)
+        digest.update(f"{key}={value!r}\n".encode())
+    return {
+        "stats": {k: v.state_dict() for k, v in sorted(stats.items())},
+        "counters": {},
+        "digest": digest.hexdigest(),
+        "info": {"result": type(result).__name__},
+    }
+
+
+def _run_unit(scenario: str, seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool worker: run one unit, never raise.
+
+    Each worker collects into a private metrics registry so scenarios
+    whose summaries read ``repro.obs`` counters (faults, chaos) report
+    real numbers, and sibling units never share mutable state.
+    """
+    from repro.obs import MetricsRegistry, collecting
+
+    try:
+        with collecting(MetricsRegistry("fleet-worker")):
+            result = run_scenario(scenario, seed=seed, **params)
+        payload = _unit_payload(result)
+        payload.update({"scenario": scenario, "seed": seed, "ok": True})
+        return payload
+    except Exception as exc:  # one bad unit must not sink the campaign
+        return {
+            "scenario": scenario, "seed": seed, "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
+def _merge_units(units: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fixed-order merge: per-scenario stats/counters plus a fleet digest.
+
+    Units arrive sorted by (scenario, seed); OnlineStats merge in that
+    order, so the merged floats are bit-identical across invocations
+    (parallel Welford is associative mathematically, not in floats).
+    """
+    scenarios: Dict[str, Dict[str, Any]] = {}
+    digest = hashlib.blake2b(digest_size=16)
+    ok = failed = 0
+    for unit in units:
+        bucket = scenarios.setdefault(unit["scenario"], {
+            "stats": {}, "counters": {}, "units_ok": 0, "units_failed": 0,
+        })
+        if not unit["ok"]:
+            failed += 1
+            bucket["units_failed"] += 1
+            digest.update(f"{unit['scenario']} {unit['seed']} FAILED\n".encode())
+            continue
+        ok += 1
+        bucket["units_ok"] += 1
+        digest.update(f"{unit['scenario']} {unit['seed']} {unit['digest']}\n".encode())
+        for name, state in unit["stats"].items():
+            incoming = OnlineStats.from_state(state)
+            existing = bucket["stats"].get(name)
+            bucket["stats"][name] = (
+                incoming if existing is None else existing.merge(incoming)
+            )
+        for name, value in unit["counters"].items():
+            bucket["counters"][name] = bucket["counters"].get(name, 0.0) + value
+
+    def render_stats(stats: Dict[str, OnlineStats]) -> Dict[str, Any]:
+        return {
+            name: {
+                **s.state_dict(),
+                "stddev": s.stddev,
+            }
+            for name, s in sorted(stats.items())
+        }
+
+    return {
+        "digest": digest.hexdigest(),
+        "scenarios": {
+            name: {
+                "stats": render_stats(bucket["stats"]),
+                "counters": dict(sorted(bucket["counters"].items())),
+                "units_ok": bucket["units_ok"],
+                "units_failed": bucket["units_failed"],
+            }
+            for name, bucket in sorted(scenarios.items())
+        },
+        "totals": {"units": len(units), "ok": ok, "failed": failed},
+    }
+
+
+def run_campaign(
+    units: Sequence[CampaignUnit],
+    workers: int = 1,
+) -> Dict[str, Any]:
+    """Run every unit (process pool when ``workers > 1``) and merge.
+
+    Returns the machine-readable campaign document.  Unit failures —
+    scenario exceptions, or a worker process dying hard enough to break
+    the pool — are recorded per-unit; the surviving units still merge.
+    After a broken pool the remaining units run inline in this process.
+    """
+    if not units:
+        raise ValueError("a campaign needs at least one unit")
+    results: Dict[Tuple[str, int, int], Dict[str, Any]] = {}
+
+    def record(index: int, unit: CampaignUnit, payload: Dict[str, Any]) -> None:
+        results[(unit.scenario, unit.seed, index)] = payload
+
+    if workers <= 1:
+        for i, unit in enumerate(units):
+            record(i, unit, _run_unit(unit.scenario, unit.seed, unit.kwargs))
+    else:
+        pending = list(enumerate(units))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_unit, unit.scenario, unit.seed, unit.kwargs):
+                    (i, unit)
+                    for i, unit in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        i, unit = futures[fut]
+                        try:
+                            payload = fut.result()
+                        except BrokenProcessPool:
+                            raise  # retry everything unfinished inline
+                        except Exception as exc:
+                            payload = {
+                                "scenario": unit.scenario, "seed": unit.seed,
+                                "ok": False,
+                                "error": f"{type(exc).__name__}: {exc}",
+                            }
+                        record(i, unit, payload)
+        except BrokenProcessPool:
+            for i, unit in pending:
+                if (unit.scenario, unit.seed, i) not in results:
+                    record(i, unit, _run_unit(unit.scenario, unit.seed, unit.kwargs))
+
+    ordered = [results[key] for key in sorted(results)]
+    merged = _merge_units(ordered)
+    scenario_meta: List[Dict[str, Any]] = []
+    seen = set()
+    for unit in units:
+        if unit.scenario not in seen:
+            seen.add(unit.scenario)
+            scenario_meta.append(
+                {"name": unit.scenario, "params": unit.kwargs}
+            )
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "meta": {
+            "harness": "repro.bench.fleet",
+            "scenarios": scenario_meta,
+            "seeds": sorted({u.seed for u in units}),
+            "workers": workers,
+            "units_planned": len(units),
+        },
+        "units": ordered,
+        "merged": merged,
+    }
+
+
+def campaign_json(document: Dict[str, Any]) -> str:
+    """Canonical byte-stable rendering of a campaign document."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def validate_campaign_document(document: Dict[str, Any]) -> List[str]:
+    """Schema/self-consistency problems in a campaign artifact (empty = ok).
+
+    Recomputes the merged section from the units, so a hand-edited or
+    truncated artifact fails loudly.
+    """
+    problems: List[str] = []
+    if document.get("schema") != CAMPAIGN_SCHEMA:
+        problems.append(
+            f"schema is {document.get('schema')!r}, expected {CAMPAIGN_SCHEMA!r}"
+        )
+        return problems
+    units = document.get("units")
+    if not isinstance(units, list) or not units:
+        problems.append("units section missing or empty")
+        return problems
+    for i, unit in enumerate(units):
+        for key in ("scenario", "seed", "ok"):
+            if key not in unit:
+                problems.append(f"unit {i} lacks {key!r}")
+        if unit.get("ok") and "digest" not in unit:
+            problems.append(f"unit {i} is ok but has no digest")
+    keys = [(u.get("scenario"), u.get("seed")) for u in units]
+    if keys != sorted(keys):
+        problems.append("units are not sorted by (scenario, seed)")
+    recomputed = _merge_units(units)
+    merged = document.get("merged", {})
+    if merged.get("digest") != recomputed["digest"]:
+        problems.append(
+            f"merged digest {merged.get('digest')!r} does not match "
+            f"units ({recomputed['digest']!r})"
+        )
+    if merged.get("totals") != recomputed["totals"]:
+        problems.append("merged totals do not match units")
+    if json.dumps(merged.get("scenarios"), sort_keys=True) != json.dumps(
+        recomputed["scenarios"], sort_keys=True
+    ):
+        problems.append("merged per-scenario section does not match units")
+    if document.get("meta", {}).get("units_planned") != len(units):
+        problems.append("units_planned does not match the units section")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# registry entries: fleet workloads as composable scenarios
+# ----------------------------------------------------------------------
+
+register_scenario(
+    "fleet", run_fleet_workload, kind="fleet",
+    description="generic fleet workload (choose topology/pattern via params)",
+)
+register_scenario(
+    "fleet-star", run_fleet_workload, kind="fleet",
+    defaults={"topology": "star", "pattern": "uniform"},
+    description="uniform any-to-any flows through one hub",
+)
+register_scenario(
+    "fleet-fat-tree", run_fleet_workload, kind="fleet",
+    defaults={"topology": "fat-tree", "pattern": "uniform"},
+    description="uniform flows across a three-tier datacenter tree",
+)
+register_scenario(
+    "fleet-wan-mesh", run_fleet_workload, kind="fleet",
+    defaults={"topology": "wan-mesh", "pattern": "uniform"},
+    description="uniform flows between WAN sites (ring + chords)",
+)
+register_scenario(
+    "fleet-incast", run_fleet_workload, kind="fleet",
+    defaults={"topology": "star", "pattern": "incast"},
+    description="fan-in burst onto a single sink behind the hub",
+)
+register_scenario(
+    "fleet-churn", run_fleet_workload, kind="fleet",
+    defaults={"topology": "fat-tree", "pattern": "churn"},
+    description="mice/elephant mix with Poisson arrivals and mid-life aborts",
+)

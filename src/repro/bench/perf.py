@@ -326,6 +326,40 @@ def check_regression(
     return failures
 
 
+def regression_report(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.30,
+) -> str:
+    """Markdown measured-vs-baseline table for every gated metric.
+
+    Suitable for ``$GITHUB_STEP_SUMMARY``: one row per gated metric with
+    the delta against baseline and a pass/fail verdict at the configured
+    tolerance.  Metrics absent from either document show as skipped.
+    """
+    lines = [
+        f"### Perf regression gate (tolerance {max_regression:.0%})",
+        "",
+        "| metric | measured | baseline | delta | verdict |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    cur_suites = current.get("suites", {})
+    base_suites = baseline.get("suites", {})
+    for suite, metric in GATED_METRICS:
+        name = f"{suite}.{metric}"
+        base = base_suites.get(suite, {}).get(metric)
+        cur = cur_suites.get(suite, {}).get(metric)
+        if base is None or cur is None or base <= 0:
+            lines.append(f"| {name} | — | — | — | skipped (not measured) |")
+            continue
+        delta = cur / base - 1.0
+        verdict = "✅ pass" if cur >= base * (1.0 - max_regression) else "❌ FAIL"
+        lines.append(
+            f"| {name} | {cur:,.0f} | {base:,.0f} | {delta:+.1%} | {verdict} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
 # ----------------------------------------------------------------------
 # equivalence gate
 # ----------------------------------------------------------------------
@@ -335,19 +369,19 @@ def equivalence_workloads(quick: bool = True) -> List[Tuple[str, Callable[[], An
 
     Each callable returns ``(result, snapshot_document)`` via
     :func:`repro.bench.harness.run_observed`; the gate only looks at the
-    document.
+    document.  The figure-shaped entries resolve through the shared
+    scenario registry (the same ``transfer``/``fig8``/``obs`` scenarios
+    the checker and fleet campaigns run); ``meta`` pins the snapshot's
+    ``driver`` name to the underlying driver so documents stay comparable
+    across harnesses.
     """
     from repro.bench.harness import (
-        run_latency_experiment,
         run_learner_trace,
-        run_observability_demo,
         run_observed,
         run_selection_skew,
-        run_transfer_once,
     )
-    from repro.bench.scenario import setup_by_name
+    from repro.bench.scenario import run_scenario
     from repro.core import TDRatioLearner
-    from repro.messaging import Transport
 
     tcp_mb = 8 if quick else 32
     data_mb = 8 if quick else 16
@@ -366,20 +400,24 @@ def equivalence_workloads(quick: bool = True) -> List[Tuple[str, Callable[[], An
 
     return [
         ("fig9-tcp", lambda: run_observed(
-            run_transfer_once, setup_by_name("EU2US"), Transport.TCP,
-            tcp_mb * MB, seed=7)),
+            run_scenario, "transfer", setup="EU2US", transport="tcp",
+            size_mb=float(tcp_mb), seed=7,
+            meta={"driver": "run_transfer_once"})),
         ("fig9-data", lambda: run_observed(
-            run_transfer_once, setup_by_name("EU2AU"), Transport.DATA,
-            data_mb * MB, seed=11)),
+            run_scenario, "transfer", setup="EU2AU", transport="data",
+            size_mb=float(data_mb), seed=11,
+            meta={"driver": "run_transfer_once"})),
         ("fig8", lambda: run_observed(
-            run_latency_experiment, setup_by_name("EU-VPC"), Transport.TCP,
-            Transport.TCP, seed=3, transfer_bytes=lat_mb * MB)),
+            run_scenario, "fig8", setup="EU-VPC", size_mb=float(lat_mb),
+            seed=3, warmup=1.0, ping_interval=0.25,
+            meta={"driver": "run_latency_experiment"})),
         ("fig2", lambda: run_observed(learner)),
         ("fig1", lambda: run_observed(
             run_selection_skew, [(0, 1), (3, 100)],
             n_messages=20_000, seed=1)),
         ("obs-demo", lambda: run_observed(
-            run_observability_demo, duration=6.0, seed=2)),
+            run_scenario, "obs", duration=6.0, seed=2,
+            meta={"driver": "run_observability_demo"})),
     ]
 
 

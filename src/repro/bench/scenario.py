@@ -17,8 +17,9 @@ bandwidth-delay product.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+import difflib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.kompics import KompicsSystem
 from repro.messaging import BasicAddress
@@ -131,3 +132,217 @@ class TestbedPair:
             self.receiver = EndpointHandle(
                 h_recv, BasicAddress(h_recv.ip, MIDDLEWARE_PORT), h_recv.disk
             )
+
+
+# ----------------------------------------------------------------------
+# scenario registry
+# ----------------------------------------------------------------------
+
+class UnknownScenarioError(KeyError):
+    """Raised on a lookup of a name no scenario was registered under."""
+
+    def __str__(self) -> str:  # KeyError wraps its message in repr()
+        return self.args[0] if self.args else ""
+
+
+class DuplicateScenarioError(ValueError):
+    """Raised when a second builder is registered under an existing name."""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, seeded workload every campaign layer can run.
+
+    ``builder`` is a keyword-only callable; every builder accepts ``seed``
+    and whatever workload knobs it documents.  ``kind`` groups scenarios
+    for listings ("workload" for pair-scale drivers, "campaign" for
+    fault/chaos campaigns, "fleet" for topology-scale runs); ``tags``
+    mark which consumers may use it (e.g. ``check`` for the invariant
+    checker's workloads).
+    """
+
+    name: str
+    builder: Callable[..., Any]
+    description: str = ""
+    kind: str = "workload"
+    tags: Tuple[str, ...] = ()
+    defaults: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self, **kwargs: Any) -> Any:
+        merged = dict(self.defaults)
+        merged.update(kwargs)
+        return self.builder(**merged)
+
+
+class ScenarioRegistry:
+    """Name -> :class:`Scenario`, with strict registration semantics.
+
+    Unlike the ad-hoc dicts this replaces, registering the same name twice
+    raises instead of silently shadowing the earlier entry, and unknown
+    lookups fail with a did-you-mean suggestion.
+    """
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def register(
+        self,
+        name: str,
+        builder: Callable[..., Any],
+        *,
+        description: str = "",
+        kind: str = "workload",
+        tags: Tuple[str, ...] = (),
+        defaults: Optional[Dict[str, Any]] = None,
+    ) -> Scenario:
+        if name in self._scenarios:
+            raise DuplicateScenarioError(
+                f"scenario {name!r} is already registered "
+                f"(by {self._scenarios[name].builder!r}); "
+                f"pick a distinct name or remove() the old entry first"
+            )
+        scenario = Scenario(
+            name=name, builder=builder, description=description,
+            kind=kind, tags=tuple(tags), defaults=dict(defaults or {}),
+        )
+        self._scenarios[name] = scenario
+        return scenario
+
+    def remove(self, name: str) -> None:
+        """Drop a registration (test hygiene; unknown names are a no-op)."""
+        self._scenarios.pop(name, None)
+
+    def get(self, name: str) -> Scenario:
+        scenario = self._scenarios.get(name)
+        if scenario is None:
+            close = difflib.get_close_matches(name, sorted(self._scenarios), n=3)
+            hint = (
+                f"; did you mean {' or '.join(repr(c) for c in close)}?"
+                if close else ""
+            )
+            raise UnknownScenarioError(
+                f"unknown scenario {name!r}{hint} "
+                f"(registered: {', '.join(sorted(self._scenarios))})"
+            )
+        return scenario
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def names(self, kind: Optional[str] = None, tag: Optional[str] = None) -> List[str]:
+        return sorted(
+            name for name, s in self._scenarios.items()
+            if (kind is None or s.kind == kind) and (tag is None or tag in s.tags)
+        )
+
+    def all(self) -> List[Scenario]:
+        return [self._scenarios[name] for name in sorted(self._scenarios)]
+
+
+#: the process-wide registry; campaign layers (check, faults, chaos, perf,
+#: fleet) resolve their workloads here instead of keeping private dicts
+SCENARIOS = ScenarioRegistry()
+
+
+def register_scenario(name: str, builder: Callable[..., Any], **kwargs: Any) -> Scenario:
+    return SCENARIOS.register(name, builder, **kwargs)
+
+
+def get_scenario(name: str) -> Scenario:
+    return SCENARIOS.get(name)
+
+
+def run_scenario(name: str, **kwargs: Any) -> Any:
+    """Resolve ``name`` and run its builder with ``kwargs``."""
+    return SCENARIOS.get(name).run(**kwargs)
+
+
+def scenario_names(kind: Optional[str] = None, tag: Optional[str] = None) -> List[str]:
+    return SCENARIOS.names(kind=kind, tag=tag)
+
+
+# ----------------------------------------------------------------------
+# built-in scenarios (builders import lazily: the drivers live in modules
+# that themselves import this one)
+# ----------------------------------------------------------------------
+
+def _transfer_scenario(
+    setup: str = "EU2US",
+    transport: str = "data",
+    size_mb: float = 4.0,
+    duration: float = 4.0,  # unused; uniform check-workload signature
+    seed: int = 3,
+) -> Any:
+    """One disk-to-disk transfer (Figure 9 shape)."""
+    from repro.bench.harness import run_transfer_once
+    from repro.messaging.transport import Transport
+
+    return run_transfer_once(
+        setup_by_name(setup), Transport(transport), int(size_mb * MB), seed=seed,
+    )
+
+
+def _fig8_scenario(
+    setup: str = "EU-VPC",
+    size_mb: float = 4.0,
+    duration: float = 4.0,  # unused; uniform check-workload signature
+    seed: int = 3,
+    warmup: float = 0.1,
+    ping_interval: float = 0.05,
+) -> Any:
+    """Latency-under-load (Figure 8): pings racing a bulk TCP transfer."""
+    from repro.bench.harness import run_latency_experiment
+    from repro.messaging.transport import Transport
+
+    return run_latency_experiment(
+        setup_by_name(setup), Transport.TCP, Transport.TCP,
+        seed=seed, transfer_bytes=int(size_mb * MB),
+        warmup=warmup, ping_interval=ping_interval,
+    )
+
+
+def _obs_scenario(
+    size_mb: float = 4.0,  # unused; uniform check-workload signature
+    duration: float = 4.0,
+    seed: int = 3,
+) -> Any:
+    """The observability demo: pings + learner + vnode traffic."""
+    from repro.bench.harness import run_observability_demo
+
+    return run_observability_demo(duration=duration, seed=seed)
+
+
+def _faults_scenario(**kwargs: Any) -> Any:
+    """Scripted cut/degrade/restore campaign (``repro faults``)."""
+    from repro.bench.faults import run_fault_campaign
+
+    return run_fault_campaign(**kwargs)
+
+
+def _chaos_scenario(**kwargs: Any) -> Any:
+    """Seeded random fault campaign under supervision (``repro chaos``)."""
+    from repro.bench.chaos import run_chaos_campaign
+
+    return run_chaos_campaign(**kwargs)
+
+
+register_scenario(
+    "transfer", _transfer_scenario, kind="workload", tags=("check", "equivalence"),
+    description="one disk-to-disk transfer on a testbed pair (fig9 shape)",
+)
+register_scenario(
+    "fig8", _fig8_scenario, kind="workload", tags=("check", "equivalence"),
+    description="ping RTTs while a bulk transfer shares the link (fig8 shape)",
+)
+register_scenario(
+    "obs", _obs_scenario, kind="workload", tags=("check", "equivalence"),
+    description="instrumented ping-pong + adaptive DATA stream (obs demo)",
+)
+register_scenario(
+    "faults", _faults_scenario, kind="campaign",
+    description="scripted link cut/degrade/restore with recovery metrics",
+)
+register_scenario(
+    "chaos", _chaos_scenario, kind="campaign",
+    description="seeded random handler faults + link cuts under supervision",
+)

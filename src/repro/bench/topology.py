@@ -1,0 +1,246 @@
+"""Deterministic fleet-scale topology generation.
+
+The paper evaluates on four fixed EC2 host pairs (Figure 7); fleet
+campaigns need *many* hosts behind realistic link mixes.  This module
+grows three families of topologies, each fully determined by
+``(kind, hosts, seed)``:
+
+* **star** — one switch hub, every host on its own access link whose
+  RTT/bandwidth/loss are drawn per-leaf from the paper's WAN envelope
+  (EC2-style ``udp_cap`` policing included).  The shape of a regional
+  broker: every flow crosses the hub.
+* **fat-tree** — a three-tier host/edge/aggregation/core tree with fast,
+  short links, the classic datacenter fabric.  Cross-rack flows climb
+  the tree, so core links become the shared bottleneck.
+* **wan-mesh** — sites of hosts behind routers; routers joined in a ring
+  plus seeded chord links with WAN RTTs and distance-proportional loss
+  (the EU2US/EU2AU regime of Figure 7 at fleet scale).
+
+Switch/router nodes are ordinary :class:`~repro.netsim.SimHost` entries —
+multi-hop routing over them is netsim's delay-shortest composite path —
+but only *leaf* hosts appear in :attr:`Topology.endpoints`, the pool flow
+planners draw from.
+
+Everything is reproducible: same inputs, identical plan, identical
+:meth:`Topology.digest` — the determinism gate fleet campaigns assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.netsim import LinkSpec
+from repro.util.rng import derive_seed
+
+MB = 1024 * 1024
+
+#: EC2-style UDP policing applied to every WAN-ish generated link (§V-B)
+UDP_CAP = 10 * MB
+
+
+@dataclass(frozen=True)
+class LinkPlan:
+    """One planned duplex link, endpoints addressed by IP."""
+
+    a: str
+    b: str
+    spec: LinkSpec
+    spec_reverse: Optional[LinkSpec] = None
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A generated host/link plan plus the flow-endpoint pool."""
+
+    kind: str
+    seed: int
+    hosts: Tuple[Tuple[str, str], ...]  # (name, ip) in creation order
+    links: Tuple[LinkPlan, ...]
+    endpoints: Tuple[str, ...]  # ips eligible as flow sources/sinks
+
+    @property
+    def host_count(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def link_count(self) -> int:
+        return len(self.links)
+
+    def digest(self) -> str:
+        """Stable fingerprint of adjacency + link specs (hash-seed free)."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(f"{self.kind}:{self.seed}\n".encode())
+        for name, ip in self.hosts:
+            h.update(f"H {name} {ip}\n".encode())
+        for plan in self.links:
+            for tag, spec in (("F", plan.spec), ("R", plan.spec_reverse)):
+                if spec is None:
+                    continue
+                h.update(
+                    f"L{tag} {plan.a} {plan.b} {spec.bandwidth!r} {spec.delay!r} "
+                    f"{spec.loss!r} {spec.udp_cap!r} {spec.jitter!r}\n".encode()
+                )
+        for ip in self.endpoints:
+            h.update(f"E {ip}\n".encode())
+        return h.hexdigest()
+
+
+def _ip(index: int) -> str:
+    """Deterministic unique address for the index-th node (1-based)."""
+    return f"10.{(index >> 16) & 255}.{(index >> 8) & 255}.{index & 255}"
+
+
+def _wan_spec(rng: random.Random) -> LinkSpec:
+    """One WAN-ish access link drawn from the paper's Figure 7 envelope."""
+    rtt = rng.uniform(0.002, 0.200)
+    bandwidth = rng.choice((25 * MB, 50 * MB, 100 * MB))
+    # Loss grows roughly linearly with distance (EU2US/EU2AU calibration).
+    loss = 1.6e-4 * rtt
+    return LinkSpec(bandwidth=bandwidth, delay=rtt / 2.0, loss=loss, udp_cap=UDP_CAP)
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+
+def star(hosts: int, seed: int = 0) -> Topology:
+    """One hub switch, ``hosts`` leaves on per-leaf random access links."""
+    if hosts < 2:
+        raise ValueError("a star needs at least 2 leaf hosts")
+    rng = random.Random(derive_seed(seed, "topology.star"))
+    nodes = [("hub", _ip(1))]
+    links = []
+    endpoints = []
+    for i in range(hosts):
+        ip = _ip(2 + i)
+        nodes.append((f"leaf-{i}", ip))
+        endpoints.append(ip)
+        links.append(LinkPlan(nodes[0][1], ip, _wan_spec(rng)))
+    return Topology("star", seed, tuple(nodes), tuple(links), tuple(endpoints))
+
+
+def fat_tree(hosts: int, seed: int = 0, hosts_per_edge: int = 8,
+             edges_per_agg: int = 4, aggs_per_core: int = 2) -> Topology:
+    """Three-tier datacenter tree: hosts / edge / aggregation / core.
+
+    The tree is strict (one uplink per node; cores joined in a chain), so
+    every pair of hosts has a unique path — routing stays deterministic
+    without equal-cost tie-breaking.  Link speed rises and delay falls
+    toward the core, the usual oversubscribed fabric.
+    """
+    if hosts < 2:
+        raise ValueError("a fat-tree needs at least 2 hosts")
+    n_edge = math.ceil(hosts / hosts_per_edge)
+    n_agg = math.ceil(n_edge / edges_per_agg)
+    n_core = max(1, math.ceil(n_agg / aggs_per_core))
+
+    host_link = LinkSpec(bandwidth=100 * MB, delay=50e-6)
+    edge_link = LinkSpec(bandwidth=200 * MB, delay=100e-6)
+    core_link = LinkSpec(bandwidth=400 * MB, delay=200e-6)
+
+    nodes = []
+    links = []
+    next_index = 1
+
+    def add(name: str) -> str:
+        nonlocal next_index
+        ip = _ip(next_index)
+        next_index += 1
+        nodes.append((name, ip))
+        return ip
+
+    cores = [add(f"core-{i}") for i in range(n_core)]
+    for a, b in zip(cores, cores[1:]):
+        links.append(LinkPlan(a, b, core_link))
+    aggs = [add(f"agg-{i}") for i in range(n_agg)]
+    for i, agg in enumerate(aggs):
+        links.append(LinkPlan(agg, cores[i // aggs_per_core], core_link))
+    edges = [add(f"edge-{i}") for i in range(n_edge)]
+    for i, edge in enumerate(edges):
+        links.append(LinkPlan(edge, aggs[i // edges_per_agg], edge_link))
+    endpoints = []
+    for i in range(hosts):
+        ip = add(f"host-{i}")
+        endpoints.append(ip)
+        links.append(LinkPlan(ip, edges[i // hosts_per_edge], host_link))
+    return Topology("fat-tree", seed, tuple(nodes), tuple(links), tuple(endpoints))
+
+
+def wan_mesh(hosts: int, seed: int = 0, sites: Optional[int] = None,
+             chord_fraction: float = 0.5) -> Topology:
+    """Sites of hosts behind routers; routers in a ring plus seeded chords.
+
+    WAN links draw their RTT uniformly from [20 ms, 320 ms] with
+    distance-proportional loss and the EC2 UDP cap — Figure 7's
+    EU2US/EU2AU regime generalised to an arbitrary site graph.  Chord
+    delays are continuous draws, so delay-shortest routing has no
+    equal-cost ties and stays deterministic.
+    """
+    if hosts < 2:
+        raise ValueError("a wan-mesh needs at least 2 hosts")
+    if sites is None:
+        sites = max(3, round(math.sqrt(hosts)))
+    sites = min(sites, hosts)
+    rng = random.Random(derive_seed(seed, "topology.wan-mesh"))
+
+    nodes = []
+    links = []
+    next_index = 1
+
+    def add(name: str) -> str:
+        nonlocal next_index
+        ip = _ip(next_index)
+        next_index += 1
+        nodes.append((name, ip))
+        return ip
+
+    def wan_link(a: str, b: str) -> LinkPlan:
+        rtt = rng.uniform(0.020, 0.320)
+        return LinkPlan(a, b, LinkSpec(
+            bandwidth=60 * MB, delay=rtt / 2.0, loss=1.6e-4 * rtt, udp_cap=UDP_CAP,
+        ))
+
+    routers = [add(f"router-{i}") for i in range(sites)]
+    for i, router in enumerate(routers):
+        links.append(wan_link(router, routers[(i + 1) % sites]))
+    # Seeded chords shortcut the ring (drawn even for 3-site meshes where
+    # every pair is already adjacent, to keep the rng stream stable).
+    existing = {(min(i, (i + 1) % sites), max(i, (i + 1) % sites)) for i in range(sites)}
+    chords = round(sites * chord_fraction)
+    for _ in range(chords):
+        i = rng.randrange(sites)
+        j = rng.randrange(sites)
+        key = (min(i, j), max(i, j))
+        if i == j or key in existing:
+            continue
+        existing.add(key)
+        links.append(wan_link(routers[i], routers[j]))
+
+    lan_link = LinkSpec(bandwidth=100 * MB, delay=250e-6)
+    endpoints = []
+    for i in range(hosts):
+        ip = add(f"site{i % sites}-host-{i // sites}")
+        endpoints.append(ip)
+        links.append(LinkPlan(ip, routers[i % sites], lan_link))
+    return Topology("wan-mesh", seed, tuple(nodes), tuple(links), tuple(endpoints))
+
+
+GENERATORS: Dict[str, Callable[..., Topology]] = {
+    "star": star,
+    "fat-tree": fat_tree,
+    "wan-mesh": wan_mesh,
+}
+
+
+def generate_topology(kind: str, hosts: int, seed: int = 0, **kwargs) -> Topology:
+    """Generate a topology by family name (star / fat-tree / wan-mesh)."""
+    generator = GENERATORS.get(kind)
+    if generator is None:
+        raise ValueError(
+            f"unknown topology kind {kind!r}; choose from {sorted(GENERATORS)}"
+        )
+    return generator(hosts, seed=seed, **kwargs)

@@ -4,61 +4,38 @@ Imported lazily by the CLI and self-test: this module pulls in the bench
 harness (and through it the whole messaging/netsim stack), which
 :mod:`repro.check` itself must stay free of.
 
-Each workload is a callable taking the shared knob set; the checker in
-effect while it runs decides whether invariants/digests are collected.
+Workloads are the ``check``-tagged entries of the shared scenario
+registry (:data:`repro.bench.scenario.SCENARIOS`): the same scenario
+objects the fault, chaos, perf and fleet campaigns compose.  The checker
+in effect while one runs decides whether invariants/digests are
+collected.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, List
 
 MB = 1024 * 1024
 
 
-def _fig8(size_mb: float, duration: float, seed: int) -> Any:
-    """Latency-under-load (Figure 8): pings racing a bulk TCP transfer."""
-    from repro.bench.harness import run_latency_experiment
-    from repro.bench.scenario import setup_by_name
-    from repro.messaging.transport import Transport
+def workload_names() -> List[str]:
+    """The registry scenarios usable as ``repro check`` workloads."""
+    from repro.bench.scenario import scenario_names
 
-    return run_latency_experiment(
-        setup_by_name("EU-VPC"), Transport.TCP, Transport.TCP,
-        seed=seed, transfer_bytes=int(size_mb * MB),
-        warmup=0.1, ping_interval=0.05,
-    )
-
-
-def _transfer(size_mb: float, duration: float, seed: int) -> Any:
-    """One adaptive DATA transfer (Figure 9 shape, small)."""
-    from repro.bench.harness import run_transfer_once
-    from repro.bench.scenario import setup_by_name
-    from repro.messaging.transport import Transport
-
-    return run_transfer_once(
-        setup_by_name("EU2US"), Transport.DATA, int(size_mb * MB), seed=seed,
-    )
-
-
-def _obs(size_mb: float, duration: float, seed: int) -> Any:
-    """The observability demo: pings + learner + vnode traffic."""
-    from repro.bench.harness import run_observability_demo
-
-    return run_observability_demo(duration=duration, seed=seed)
-
-
-WORKLOADS: Dict[str, Callable[[float, float, int], Any]] = {
-    "fig8": _fig8,
-    "transfer": _transfer,
-    "obs": _obs,
-}
+    return scenario_names(tag="check")
 
 
 def run_workload(name: str, size_mb: float = 4.0, duration: float = 4.0,
                  seed: int = 3) -> Any:
+    from repro.bench.scenario import UnknownScenarioError, get_scenario
+
     try:
-        fn = WORKLOADS[name]
-    except KeyError:
+        scenario = get_scenario(name)
+    except UnknownScenarioError as exc:
+        raise ValueError(str(exc)) from None
+    if "check" not in scenario.tags:
         raise ValueError(
-            f"unknown check workload {name!r}; choose from {sorted(WORKLOADS)}"
-        ) from None
-    return fn(size_mb, duration, seed)
+            f"scenario {name!r} is not a check workload; "
+            f"choose from {workload_names()}"
+        )
+    return scenario.run(size_mb=size_mb, duration=duration, seed=seed)

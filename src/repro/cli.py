@@ -170,6 +170,59 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--equivalence", action="store_true",
                       help="run the fastpath-on vs. off snapshot equivalence gate "
                            "instead of the measurement suites")
+    perf.add_argument("--summary", default=None, metavar="PATH",
+                      help="append a markdown measured-vs-baseline table to this "
+                           "file (e.g. $GITHUB_STEP_SUMMARY); needs --baseline")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet-scale topologies and parallel seeds x scenarios campaigns",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_action", required=True)
+
+    fleet_sub.add_parser("list", help="list registered scenarios by kind")
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="run one fleet workload campaign across seeds",
+    )
+    fleet_run.add_argument("--topology", default="star",
+                           choices=("star", "fat-tree", "wan-mesh"),
+                           help="generated topology family")
+    fleet_run.add_argument("--hosts", type=int, default=32,
+                           help="leaf host count (switches/routers are extra)")
+    fleet_run.add_argument("--flows", type=int, default=200,
+                           help="concurrent flows per seeded run")
+    fleet_run.add_argument("--pattern", default="uniform",
+                           choices=("uniform", "incast", "churn"),
+                           help="traffic pattern (arrival/departure shape)")
+    fleet_run.add_argument("--horizon", type=float, default=120.0,
+                           help="simulated-seconds cap per run")
+    fleet_run.add_argument("--seeds", type=int, default=4,
+                           help="how many seeded runs to fan out")
+    fleet_run.add_argument("--seed-base", type=int, default=0,
+                           help="first seed; runs use seed-base..seed-base+seeds-1")
+    fleet_run.add_argument("--workers", type=int, default=1,
+                           help="process-pool width (1 = run inline)")
+    fleet_run.add_argument("--out", default=None,
+                           help="write the campaign document (JSON) to this file")
+    fleet_run.add_argument("--format", choices=("summary", "json"),
+                           default="summary",
+                           help="stdout format: human summary or the document")
+
+    fleet_sweep = fleet_sub.add_parser(
+        "sweep", help="run any registered scenarios x seeds as one campaign",
+    )
+    fleet_sweep.add_argument("--scenario", action="append", required=True,
+                             metavar="NAME",
+                             help="scenario to include (repeatable); see "
+                                  "'fleet list'")
+    fleet_sweep.add_argument("--seeds", type=int, default=4)
+    fleet_sweep.add_argument("--seed-base", type=int, default=0)
+    fleet_sweep.add_argument("--workers", type=int, default=1)
+    fleet_sweep.add_argument("--out", default=None,
+                             help="write the campaign document (JSON) to this file")
+    fleet_sweep.add_argument("--format", choices=("summary", "json"),
+                             default="summary")
 
     check = sub.add_parser(
         "check",
@@ -346,12 +399,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
     import dataclasses
     import json
 
-    from repro.bench.faults import run_fault_campaign
     from repro.bench.harness import run_observed
+    from repro.bench.scenario import run_scenario
 
     reconnect = {} if args.jitter is None else {"jitter": args.jitter}
     result, document = run_observed(
-        run_fault_campaign,
+        run_scenario,
+        "faults",
         duration=args.duration,
         cut_at=args.cut_at,
         cut_duration=args.cut_duration,
@@ -362,7 +416,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         recovery=not args.no_recovery,
         fallback=args.fallback,
         reconnect=reconnect,
-        meta={"seed": args.seed, "duration": args.duration},
+        meta={"driver": "run_fault_campaign",
+              "seed": args.seed, "duration": args.duration},
     )
 
     if args.format == "json":
@@ -404,15 +459,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     import dataclasses
     import json
 
-    from repro.bench.chaos import DEFAULT_TARGETS, run_chaos_campaign
+    from repro.bench.chaos import DEFAULT_TARGETS
     from repro.bench.harness import run_observed
+    from repro.bench.scenario import run_scenario
 
     targets = (
         DEFAULT_TARGETS if args.targets is None
         else tuple(t.strip() for t in args.targets.split(",") if t.strip())
     )
     result, document = run_observed(
-        run_chaos_campaign,
+        run_scenario,
+        "chaos",
         duration=args.duration,
         chaos_start=args.chaos_start,
         chaos_end=args.chaos_end,
@@ -423,7 +480,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         transfer_transport=args.transport,
         seed=args.seed,
         max_restarts=args.max_restarts,
-        meta={"seed": args.seed, "duration": args.duration, "events": args.events},
+        meta={"driver": "run_chaos_campaign",
+              "seed": args.seed, "duration": args.duration, "events": args.events},
     )
 
     if args.format == "json":
@@ -502,9 +560,14 @@ def cmd_perf(args: argparse.Namespace) -> int:
         print(f"wrote perf document to {args.out}")
 
     if args.baseline is not None:
+        from repro.bench.perf import regression_report
+
         with open(args.baseline, "r", encoding="utf-8") as fh:
             baseline = json.load(fh)
         failures = check_regression(document, baseline, args.max_regression)
+        if args.summary is not None:
+            with open(args.summary, "a", encoding="utf-8") as fh:
+                fh.write(regression_report(document, baseline, args.max_regression))
         if failures:
             for line in failures:
                 print(f"REGRESSION {line}", file=sys.stderr)
@@ -512,6 +575,79 @@ def cmd_perf(args: argparse.Namespace) -> int:
         print(f"regression gate passed (threshold {args.max_regression:.0%} "
               f"vs {args.baseline})")
     return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.fleet import (
+        campaign_json,
+        plan_campaign,
+        run_campaign,
+        validate_campaign_document,
+    )
+    from repro.bench.scenario import SCENARIOS, UnknownScenarioError, get_scenario
+
+    if args.fleet_action == "list":
+        scenarios = SCENARIOS.all()
+        width = max(len(s.name) for s in scenarios)
+        for scenario in scenarios:
+            print(f"{scenario.name:<{width}}  [{scenario.kind}] "
+                  f"{scenario.description}")
+        return 0
+
+    if args.fleet_action == "run":
+        entries = [("fleet", {
+            "topology": args.topology,
+            "hosts": args.hosts,
+            "flows": args.flows,
+            "pattern": args.pattern,
+            "horizon": args.horizon,
+        })]
+    else:  # sweep
+        try:
+            for name in args.scenario:
+                get_scenario(name)
+        except UnknownScenarioError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        entries = [(name, None) for name in args.scenario]
+
+    seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+    units = plan_campaign(entries, seeds)
+    document = run_campaign(units, workers=args.workers)
+    problems = validate_campaign_document(document)
+    if problems:  # internal invariant, should never fire
+        for problem in problems:
+            print(f"INVALID CAMPAIGN DOCUMENT: {problem}", file=sys.stderr)
+        return 1
+
+    text = campaign_json(document)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote campaign document to {args.out}")
+
+    merged = document["merged"]
+    if args.format == "json":
+        print(text, end="")
+    else:
+        totals = merged["totals"]
+        print(f"campaign: {totals['ok']}/{totals['units']} unit(s) ok, "
+              f"{totals['failed']} failed, workers={args.workers}")
+        print(f"merged digest: {merged['digest']}")
+        for name, bucket in merged["scenarios"].items():
+            print(f"  {name}: ok={bucket['units_ok']} "
+                  f"failed={bucket['units_failed']}")
+            for counter, value in bucket["counters"].items():
+                print(f"    {counter:<20} {value:,.0f}")
+            for stat, state in bucket["stats"].items():
+                if not state["count"]:
+                    continue
+                mean = state["mean"]
+                print(f"    {stat:<20} n={state['count']} mean={mean:,.4g} "
+                      f"min={state['min']:,.4g} max={state['max']:,.4g}")
+    return 0 if merged["totals"]["failed"] == 0 else 1
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -651,6 +787,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": cmd_faults,
         "chaos": cmd_chaos,
         "perf": cmd_perf,
+        "fleet": cmd_fleet,
         "check": cmd_check,
     }
     return handlers[args.command](args)

@@ -3,7 +3,14 @@
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - structural typing only
+    from typing import Protocol
+
+    class TopologyLike(Protocol):
+        hosts: Tuple[Tuple[str, str], ...]
+        links: Tuple[Any, ...]
 
 import networkx as nx
 
@@ -88,6 +95,41 @@ class SimNetwork:
         self._graph.add_edge(a.ip, b.ip, delay=spec.delay, link=link)
         self._route_cache.clear()
         return link
+
+    # ------------------------------------------------------------------
+    # fleet-scale wiring helpers
+    # ------------------------------------------------------------------
+    def host(self, ip: str) -> SimHost:
+        """Look a host up by IP (the key topology plans carry)."""
+        host = self.hosts.get(ip)
+        if host is None:
+            raise AddressError(f"unknown host {ip}")
+        return host
+
+    def add_hosts(self, named: Iterable[Tuple[str, str]]) -> List[SimHost]:
+        """Create many hosts from ``(name, ip)`` pairs, in order."""
+        return [self.add_host(name, ip) for name, ip in named]
+
+    def connect_ips(
+        self, ip_a: str, ip_b: str, spec: LinkSpec, spec_reverse: Optional[LinkSpec] = None
+    ) -> Link:
+        """Like :meth:`connect_hosts`, addressing endpoints by IP."""
+        return self.connect_hosts(self.host(ip_a), self.host(ip_b), spec, spec_reverse)
+
+    def apply_topology(self, topology: "TopologyLike") -> List[SimHost]:
+        """Instantiate a generated topology plan onto this fabric.
+
+        ``topology`` is duck-typed (netsim stays independent of the bench
+        layer): it needs ``hosts`` as ``(name, ip)`` pairs and ``links``
+        as objects with ``a``/``b`` IPs and a ``spec`` (optionally
+        ``spec_reverse``).  Returns the created hosts in plan order.
+        """
+        hosts = self.add_hosts(topology.hosts)
+        for plan in topology.links:
+            self.connect_ips(
+                plan.a, plan.b, plan.spec, getattr(plan, "spec_reverse", None)
+            )
+        return hosts
 
     # ------------------------------------------------------------------
     # routing

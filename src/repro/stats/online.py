@@ -60,6 +60,33 @@ class OnlineStats:
         merged.max = max(self.max, other.max)
         return merged
 
+    def state_dict(self) -> dict:
+        """JSON-safe exact state for cross-process aggregation.
+
+        ``min``/``max`` become ``None`` while empty (their infinities are
+        not valid strict JSON); :meth:`from_state` restores them.  The
+        round trip is exact, so merging shipped states in a parent
+        process equals merging the live objects.
+        """
+        return {
+            "count": self.count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineStats":
+        """Rebuild a summary from :meth:`state_dict` output."""
+        stats = cls()
+        stats.count = int(state["count"])
+        stats._mean = float(state["mean"])
+        stats._m2 = float(state["m2"])
+        stats.min = math.inf if state["min"] is None else float(state["min"])
+        stats.max = -math.inf if state["max"] is None else float(state["max"])
+        return stats
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"OnlineStats(n={self.count}, mean={self.mean:.6g}, sd={self.stddev:.6g})"
 

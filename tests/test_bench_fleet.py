@@ -1,0 +1,293 @@
+"""Fleet layer: topology determinism, campaign merge, registry semantics."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.bench.fleet import (
+    CampaignUnit,
+    campaign_json,
+    plan_campaign,
+    plan_flows,
+    run_campaign,
+    run_fleet_workload,
+    validate_campaign_document,
+)
+from repro.bench.scenario import (
+    SCENARIOS,
+    DuplicateScenarioError,
+    UnknownScenarioError,
+    register_scenario,
+)
+from repro.bench.topology import GENERATORS, generate_topology
+from repro.cli import main as cli_main
+from repro.stats import OnlineStats
+
+
+# ----------------------------------------------------------------------
+# topology generation
+# ----------------------------------------------------------------------
+
+class TestTopology:
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_same_seed_identical_plan(self, kind):
+        a = generate_topology(kind, 24, seed=7)
+        b = generate_topology(kind, 24, seed=7)
+        assert a.hosts == b.hosts
+        assert a.links == b.links
+        assert a.endpoints == b.endpoints
+        assert a.digest() == b.digest()
+
+    def test_different_seed_different_digest(self):
+        a = generate_topology("star", 24, seed=1)
+        b = generate_topology("star", 24, seed=2)
+        assert a.digest() != b.digest()
+
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_plans_are_wirable_and_connected(self, kind):
+        """Every generated plan wires onto a fabric with full reachability."""
+        from repro.netsim import SimNetwork
+        from repro.sim import Simulator
+
+        topo = generate_topology(kind, 18, seed=3)
+        net = SimNetwork(Simulator(), seed=0)
+        net.apply_topology(topo)
+        assert len(net.hosts) == topo.host_count
+        assert len(topo.endpoints) == 18
+        src = topo.endpoints[0]
+        for dst in topo.endpoints[1:]:
+            assert net.path(src, dst) is not None
+
+    def test_endpoints_exclude_infrastructure(self):
+        topo = generate_topology("fat-tree", 20, seed=0)
+        endpoint_names = {
+            name for name, ip in topo.hosts if ip in set(topo.endpoints)
+        }
+        assert all(name.startswith("host-") for name in endpoint_names)
+
+    def test_hundreds_of_hosts(self):
+        topo = generate_topology("wan-mesh", 300, seed=5)
+        assert topo.host_count > 300  # hosts plus routers
+        assert len(topo.endpoints) == 300
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology kind"):
+            generate_topology("torus", 8)
+
+
+class TestFlowPlans:
+    def test_deterministic(self):
+        topo = generate_topology("star", 16, seed=0)
+        a = plan_flows(topo, 200, seed=9, pattern="churn")
+        b = plan_flows(topo, 200, seed=9, pattern="churn")
+        assert a == b
+
+    def test_incast_targets_single_sink(self):
+        topo = generate_topology("star", 16, seed=0)
+        plans = plan_flows(topo, 50, seed=1, pattern="incast")
+        assert {p.dst for p in plans} == {topo.endpoints[0]}
+        assert all(p.src != p.dst for p in plans)
+
+    def test_churn_includes_aborts(self):
+        topo = generate_topology("star", 16, seed=0)
+        plans = plan_flows(topo, 400, seed=2, pattern="churn")
+        assert any(p.abort_after is not None for p in plans)
+        assert any(p.abort_after is None for p in plans)
+
+    def test_unknown_pattern_rejected(self):
+        topo = generate_topology("star", 4, seed=0)
+        with pytest.raises(ValueError, match="unknown flow pattern"):
+            plan_flows(topo, 10, pattern="blast")
+
+
+# ----------------------------------------------------------------------
+# OnlineStats cross-process pieces
+# ----------------------------------------------------------------------
+
+class TestStatsMerge:
+    def _sample(self, seed, n):
+        rng = random.Random(seed)
+        stats = OnlineStats()
+        for _ in range(n):
+            stats.add(rng.expovariate(0.5))
+        return stats
+
+    def test_merge_associative(self):
+        a, b, c = (self._sample(s, 40 + s) for s in (1, 2, 3))
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.count == right.count
+        assert left.mean == pytest.approx(right.mean, rel=1e-12)
+        assert left.variance == pytest.approx(right.variance, rel=1e-9)
+        assert left.min == right.min
+        assert left.max == right.max
+
+    def test_state_round_trip_exact(self):
+        stats = self._sample(4, 100)
+        clone = OnlineStats.from_state(stats.state_dict())
+        assert clone.state_dict() == stats.state_dict()
+        assert clone.merge(stats).count == 200
+
+    def test_state_round_trip_empty(self):
+        state = OnlineStats().state_dict()
+        assert state["min"] is None and state["max"] is None
+        json.dumps(state)  # strict-JSON safe
+        clone = OnlineStats.from_state(state)
+        assert clone.count == 0
+        assert clone.min == math.inf and clone.max == -math.inf
+        clone.add(5.0)
+        assert clone.min == clone.max == 5.0
+
+    def test_shipped_state_merge_equals_live_merge(self):
+        a, b = self._sample(1, 30), self._sample(2, 50)
+        shipped = OnlineStats.from_state(a.state_dict()).merge(
+            OnlineStats.from_state(b.state_dict())
+        )
+        live = a.merge(b)
+        assert shipped.state_dict() == live.state_dict()
+
+
+# ----------------------------------------------------------------------
+# scenario registry semantics
+# ----------------------------------------------------------------------
+
+class TestScenarioRegistry:
+    def test_duplicate_registration_rejected(self):
+        register_scenario("tmp-dup", lambda **kw: None)
+        try:
+            with pytest.raises(DuplicateScenarioError, match="already registered"):
+                register_scenario("tmp-dup", lambda **kw: None)
+        finally:
+            SCENARIOS.remove("tmp-dup")
+
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(UnknownScenarioError, match="did you mean 'fleet-star'"):
+            SCENARIOS.get("fleet-stra")
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(UnknownScenarioError, match="registered:"):
+            SCENARIOS.get("no-such-scenario-at-all")
+
+    def test_defaults_merge_under_call_kwargs(self):
+        seen = {}
+        register_scenario(
+            "tmp-defaults", lambda **kw: seen.update(kw),
+            defaults={"a": 1, "b": 2},
+        )
+        try:
+            SCENARIOS.get("tmp-defaults").run(b=3)
+            assert seen == {"a": 1, "b": 3}
+        finally:
+            SCENARIOS.remove("tmp-defaults")
+
+    def test_builtins_present(self):
+        for name in ("transfer", "fig8", "obs", "faults", "chaos", "fleet"):
+            assert name in SCENARIOS
+        assert "transfer" in SCENARIOS.names(tag="check")
+        assert "fleet-star" in SCENARIOS.names(kind="fleet")
+
+
+# ----------------------------------------------------------------------
+# fleet workloads and campaigns
+# ----------------------------------------------------------------------
+
+FAST_FLEET = {"hosts": 6, "flows": 12, "horizon": 20.0}
+
+
+def _crashing_scenario(seed=0, **kwargs):
+    raise RuntimeError(f"boom on seed {seed}")
+
+
+class TestFleetCampaign:
+    def test_unit_deterministic(self):
+        a = run_fleet_workload(topology="star", seed=5, **FAST_FLEET)
+        b = run_fleet_workload(topology="star", seed=5, **FAST_FLEET)
+        assert a.digest == b.digest
+        assert a.counters == b.counters
+        assert a.stats["flow_duration_s"].state_dict() == \
+            b.stats["flow_duration_s"].state_dict()
+
+    def test_different_seed_different_digest(self):
+        a = run_fleet_workload(topology="star", seed=1, **FAST_FLEET)
+        b = run_fleet_workload(topology="star", seed=2, **FAST_FLEET)
+        assert a.digest != b.digest
+
+    def test_flows_actually_complete(self):
+        result = run_fleet_workload(topology="star", seed=0, **FAST_FLEET)
+        assert result.counters["flows_completed"] > 0
+        assert result.counters["bytes_delivered"] > 0
+        assert result.stats["flow_duration_s"].count > 0
+
+    def test_pool_matches_inline(self):
+        units = plan_campaign([("fleet", FAST_FLEET)], [0, 1])
+        pooled = run_campaign(units, workers=2)
+        inline = run_campaign(units, workers=1)
+        assert pooled["merged"]["digest"] == inline["merged"]["digest"]
+        assert pooled["merged"]["scenarios"] == inline["merged"]["scenarios"]
+
+    def test_campaign_json_byte_stable(self):
+        units = plan_campaign([("fleet", FAST_FLEET)], [0, 1])
+        assert campaign_json(run_campaign(units, workers=1)) == \
+            campaign_json(run_campaign(units, workers=1))
+
+    def test_campaign_over_generic_scenarios(self):
+        """Non-fleet scenarios (numeric-dataclass results) merge too."""
+        units = plan_campaign(
+            [("faults", {"duration": 8.0, "transfer_bytes": 1 << 20})], [3]
+        )
+        doc = run_campaign(units, workers=1)
+        assert doc["merged"]["totals"] == {"units": 1, "ok": 1, "failed": 0}
+        stats = doc["merged"]["scenarios"]["faults"]["stats"]
+        assert stats["pings_sent"]["count"] == 1
+
+    def test_crashed_unit_does_not_sink_campaign(self):
+        register_scenario("tmp-crash", _crashing_scenario)
+        try:
+            units = plan_campaign(["tmp-crash", ("fleet", FAST_FLEET)], [0])
+            doc = run_campaign(units, workers=2)
+        finally:
+            SCENARIOS.remove("tmp-crash")
+        assert doc["merged"]["totals"] == {"units": 2, "ok": 1, "failed": 1}
+        failed = [u for u in doc["units"] if not u["ok"]]
+        assert failed[0]["scenario"] == "tmp-crash"
+        assert "boom on seed 0" in failed[0]["error"]
+        assert doc["merged"]["scenarios"]["fleet"]["units_ok"] == 1
+
+    def test_validate_catches_tampering(self):
+        units = plan_campaign([("fleet", FAST_FLEET)], [0])
+        doc = run_campaign(units, workers=1)
+        assert validate_campaign_document(doc) == []
+        doc["units"][0]["digest"] = "0" * 32
+        assert any("digest" in p for p in validate_campaign_document(doc))
+
+    def test_validate_rejects_wrong_schema(self):
+        assert validate_campaign_document({"schema": "bogus"})
+
+    def test_campaign_unit_params_hashable_and_recoverable(self):
+        unit = CampaignUnit.make("fleet", 3, {"hosts": 4, "flows": 8})
+        assert unit.kwargs == {"hosts": 4, "flows": 8}
+        assert hash(unit) == hash(CampaignUnit.make("fleet", 3, {"flows": 8, "hosts": 4}))
+
+
+class TestFleetCli:
+    def test_run_and_rerun_byte_identical(self, tmp_path, capsys):
+        out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+        argv = ["fleet", "run", "--topology", "star", "--hosts", "6",
+                "--flows", "12", "--horizon", "20", "--seeds", "2"]
+        assert cli_main(argv + ["--out", str(out_a)]) == 0
+        assert cli_main(argv + ["--out", str(out_b)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+        doc = json.loads(out_a.read_text())
+        assert validate_campaign_document(doc) == []
+        assert "merged digest" in capsys.readouterr().out
+
+    def test_list_shows_scenarios(self, capsys):
+        assert cli_main(["fleet", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet-star" in out and "[campaign]" in out
+
+    def test_sweep_unknown_scenario_errors(self, capsys):
+        assert cli_main(["fleet", "sweep", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
