@@ -64,6 +64,42 @@ def check_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def check_loopback(args: argparse.Namespace) -> int:
+    """The real-socket loopback run must be loss-free and leak-free.
+
+    Every transport's run has to deliver all chunks, resolve every
+    MessageNotify (success), and leak nothing; the DATA run must have
+    actually exercised the adaptive selector (only wire protocols on the
+    received messages, never the DATA pseudo-protocol).
+    """
+    doc = _load(args.artifact)
+    assert doc.get("kind") == "loopback-comparison", \
+        f"not a loopback artifact: kind={doc.get('kind')!r}"
+    runs = doc["runs"]
+    assert runs, "loopback artifact contains no runs"
+    for run in runs:
+        t = run["transport"]
+        assert run["delivered"] == run["chunks"], \
+            f"{t}: delivered {run['delivered']}/{run['chunks']} chunks"
+        assert run["notifies_ok"] == run["chunks"], \
+            f"{t}: only {run['notifies_ok']}/{run['chunks']} notifies succeeded"
+        assert run["notifies_failed"] == 0, \
+            f"{t}: {run['notifies_failed']} failed notifies"
+        assert run["leaked_notifies"] == 0, \
+            f"{t}: {run['leaked_notifies']} notifies never resolved (leak)"
+        assert run["throughput"] > 0, f"{t}: zero throughput"
+        if t == "data":
+            assert "data" not in run["protocols"], \
+                "DATA pseudo-protocol reached the wire unstamped"
+            assert run["protocols"], "data run recorded no wire protocols"
+    summary = ", ".join(
+        f"{run['transport']} {run['throughput'] / (1024 * 1024):.1f} MB/s"
+        for run in runs
+    )
+    print(f"loopback OK: {len(runs)} run(s) complete, zero leaks ({summary})")
+    return 0
+
+
 def check_fleet(args: argparse.Namespace) -> int:
     """Fleet campaign artifacts: valid schema, deterministic, no failures.
 
@@ -129,6 +165,12 @@ def main(argv=None) -> int:
     p_chaos = sub.add_parser("chaos", help="chaos-campaign snapshot checks")
     p_chaos.add_argument("snapshot")
     p_chaos.set_defaults(func=check_chaos)
+
+    p_loopback = sub.add_parser(
+        "loopback", help="real-socket loopback artifact checks"
+    )
+    p_loopback.add_argument("artifact")
+    p_loopback.set_defaults(func=check_loopback)
 
     p_fleet = sub.add_parser("fleet", help="fleet campaign artifact checks")
     p_fleet.add_argument("run_a")

@@ -3,18 +3,35 @@
 The simulation substrate reproduces the paper's experiments; this package
 makes the same middleware usable on actual sockets:
 
-* :mod:`repro.aio.tcp` — length-framed TCP via asyncio streams.
+* :mod:`repro.aio.tcp` — length-framed TCP via asyncio streams, with
+  vectored batch writes.
 * :mod:`repro.aio.udp` — plain datagrams (one frame per datagram).
 * :mod:`repro.aio.udt` — **UDT-lite**: a from-scratch reliable-UDP
-  transport with sequence numbers, cumulative ACKs, NAK-triggered
-  retransmission and UDT-style DAIMD rate pacing.  Python has no
-  maintained UDT binding, so the library ships its own wire protocol with
-  the same guarantees (reliable, ordered) and behaviour class (rate-based,
-  RTT-insensitive congestion control).
+  transport with sequence numbers, batched cumulative + selective ACKs,
+  NAK-triggered retransmission, 0-RTT handshake resume and UDT-style
+  DAIMD rate pacing.  Python has no maintained UDT binding, so the
+  library ships its own wire protocol with the same guarantees (reliable,
+  ordered) and behaviour class (rate-based, RTT-insensitive congestion
+  control).
+* :mod:`repro.aio.adaptors` — fault-injecting socket adaptors
+  (drop/dup/delay/truncate) for deterministic loss testing.
 * :mod:`repro.aio.network` — ``AioNetwork``, a drop-in sibling of
-  ``NettyNetwork`` for thread-pool Kompics systems.
+  ``NettyNetwork`` for thread-pool Kompics systems, with frame batching
+  and TransportStatus-based channel recovery.
+* :mod:`repro.aio.data_network` — ``AioDataNetwork``, the full adaptive
+  bundle (interceptor + Sarsa(lambda) selection) over real sockets.
 """
 
+from repro.aio.adaptors import (
+    ChainAdaptor,
+    DelayAdaptor,
+    DropAdaptor,
+    DupAdaptor,
+    RecordingAdaptor,
+    SocketAdaptor,
+    TruncateAdaptor,
+)
+from repro.aio.data_network import AioDataNetwork
 from repro.aio.network import AioNetwork
 from repro.aio.tcp import TcpTransport
 from repro.aio.transport import AioConnection, AioTransport
@@ -28,4 +45,12 @@ __all__ = [
     "UdpTransport",
     "UdtLiteTransport",
     "AioNetwork",
+    "AioDataNetwork",
+    "SocketAdaptor",
+    "DropAdaptor",
+    "DupAdaptor",
+    "DelayAdaptor",
+    "TruncateAdaptor",
+    "ChainAdaptor",
+    "RecordingAdaptor",
 ]

@@ -5,28 +5,53 @@ transport choice, lazy channel establishment with reuse via the handshake
 hello, MessageNotify on sent, same-instance reflection — but executes on
 an asyncio event loop running in a dedicated thread, for use with
 ``KompicsSystem.threaded()``.
+
+Production behaviours layered on top of the raw transports:
+
+* **Frame batching**: the component thread serializes and enqueues;
+  a per-(remote, transport) drainer task on the loop thread coalesces
+  whatever has accumulated into one vectored ``send_frames`` call
+  (one writer hand-off + drain per batch on TCP, one pacing-loop wakeup
+  on UDT-lite).
+* **Send-path safety**: an oversized frame or a disabled transport fails
+  the message — ``MessageNotify.Resp(success=False)`` plus a
+  ``send_failures`` bump — instead of faulting the component and leaking
+  the pending notify.
+* **Channel recovery**: a failed send drops the channel and retries the
+  dial (``messaging.aio.redial_attempts``); after
+  ``messaging.aio.down_after`` consecutive batch failures the component
+  publishes ``TransportStatus.Down`` so the adaptive selector steers
+  away, and ``TransportStatus.Up`` once traffic flows again.
+* **Observability**: the same ``messaging.*`` counter families as
+  NettyNetwork, so ``repro.obs`` snapshots read identically across the
+  simulated and real backends.
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, Optional, Set, Tuple
 
 from repro.aio.tcp import TcpTransport
 from repro.aio.transport import AioConnection, AioListener, Endpoint
 from repro.aio.udp import UdpEndpoint
 from repro.aio.udt import UdtLiteTransport
-from repro.errors import SerializationError, TransportError
+from repro.errors import TransportError
 from repro.kompics.component import ComponentDefinition
 from repro.messaging.address import Address
 from repro.messaging.compression import CompressionCodec, NoCompression
 from repro.messaging.message import Msg
-from repro.messaging.network_port import MessageNotify, Network
+from repro.messaging.network_port import MessageNotify, Network, TransportStatus
 from repro.messaging.serialization import SerializerRegistry, pack_address, unpack_address
 from repro.messaging.transport import Transport
+from repro.obs import get_registry, get_tracer
 
 DEFAULT_PROTOCOLS = (Transport.TCP, Transport.UDP, Transport.UDT)
+
+#: (frame bytes, optional report callback) queued towards one channel
+_QueuedSend = Tuple[bytes, Optional[Callable[[bool, int], None]]]
 
 
 class AioNetwork(ComponentDefinition):
@@ -40,6 +65,8 @@ class AioNetwork(ComponentDefinition):
         compression: Optional[CompressionCodec] = None,
         bind_ip: Optional[str] = None,
         udt_loss_fn: Optional[Callable[[int], bool]] = None,
+        udt_adaptor: Optional[object] = None,
+        udp_adaptor: Optional[object] = None,
     ) -> None:
         super().__init__()
         self.net = self.provides(Network)
@@ -57,19 +84,60 @@ class AioNetwork(ComponentDefinition):
         # (and dials) port + offset.  The simulated stack keys listeners by
         # (port, protocol) and does not need this.
         self.udt_port_offset = self.config.get_int("messaging.aio.udt_port_offset", 1)
+        #: extra dial attempts after a channel-establishment failure
+        self.redial_attempts = self.config.get_int("messaging.aio.redial_attempts", 1)
+        #: consecutive failed batches before TransportStatus.Down is published
+        self.down_after = self.config.get_int("messaging.aio.down_after", 3)
         self._hello = pack_address(self_address)
 
         self._tcp = TcpTransport()
-        self._udt = UdtLiteTransport(loss_fn=udt_loss_fn)
+        self._udt = UdtLiteTransport(loss_fn=udt_loss_fn, adaptor=udt_adaptor)
         self._udp: Optional[UdpEndpoint] = None
+        self._udp_adaptor = udp_adaptor
 
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._listeners: list[AioListener] = []
         #: (remote socket, transport) -> future resolving to AioConnection
         self._channels: Dict[Tuple[Endpoint, Transport], "asyncio.Future[AioConnection]"] = {}
+        #: loop-thread outbound queues, drained in batches per channel
+        self._sendq: Dict[Tuple[Endpoint, Transport], Deque[_QueuedSend]] = {}
+        self._drainers: Dict[Tuple[Endpoint, Transport], "asyncio.Task"] = {}
+        #: consecutive failed batches per channel (recovery bookkeeping)
+        self._fail_streak: Dict[Tuple[Endpoint, Transport], int] = {}
+        self._down: Set[Tuple[Endpoint, Transport]] = set()
+        self._closing = False
         self._ready = threading.Event()
-        self.counters = {"sent": 0, "received": 0, "reflected": 0, "send_failures": 0}
+        self.counters = {
+            "sent": 0, "received": 0, "reflected": 0, "send_failures": 0,
+            "batches": 0,
+        }
+
+        metrics = get_registry()
+        self._obs = metrics.enabled
+        self.tracer = get_tracer()
+        instance = f"{self_address.ip}:{self_address.port}"
+        self._m_sent = {
+            t: metrics.counter("messaging.sent_total", transport=t.value)
+            for t in self.protocols
+        }
+        self._m_send_failures = {
+            t: metrics.counter("messaging.send_failures_total", transport=t.value)
+            for t in self.protocols
+        }
+        self._m_received = metrics.counter("messaging.received_total", instance=instance)
+        self._m_reflected = metrics.counter("messaging.reflected_total", instance=instance)
+        self._m_wire_bytes = metrics.histogram(
+            "messaging.serialization.wire_bytes",
+            buckets=(64, 256, 1024, 4096, 16384, 65536),
+        )
+        self._m_batch_frames = metrics.histogram(
+            "messaging.aio.batch_frames", buckets=(1, 2, 4, 8, 16, 32, 64)
+        )
+        if metrics.enabled:
+            metrics.gauge("messaging.channels.open", instance=instance).set_function(
+                lambda: len(self._channels)
+            )
 
         self.subscribe(self.net, MessageNotify.Req, self._on_notify_request)
         self.subscribe(self.net, Msg, self._on_msg_request)
@@ -84,6 +152,15 @@ class AioNetwork(ComponentDefinition):
         future = asyncio.run_coroutine_threadsafe(self._setup(), self._loop)
         future.result(timeout=10.0)
         self._ready.set()
+
+    def wait_ready(self, timeout: float = 10.0) -> bool:
+        """Block until the listeners are bound (threaded-system helper).
+
+        ``KompicsSystem.threaded`` delivers Start events asynchronously,
+        so a peer may dial before this instance's listeners exist; test
+        and bench harnesses wait on this instead of sleeping.
+        """
+        return self._ready.wait(timeout)
 
     def _run_loop(self) -> None:
         assert self._loop is not None
@@ -101,7 +178,7 @@ class AioNetwork(ComponentDefinition):
                 )
             )
         if Transport.UDP in self.protocols:
-            self._udp = UdpEndpoint()
+            self._udp = UdpEndpoint(adaptor=self._udp_adaptor)
             await self._udp.open(self.bind_ip, port, self._on_datagram)
 
     def on_kill(self) -> None:
@@ -109,6 +186,18 @@ class AioNetwork(ComponentDefinition):
             return
 
         async def teardown() -> None:
+            self._closing = True
+            drainers = list(self._drainers.values())
+            for task in drainers:
+                task.cancel()
+            await asyncio.gather(*drainers, return_exceptions=True)
+            self._drainers.clear()
+            # Pending sends must not leak their notifies: fail them.
+            for queue in self._sendq.values():
+                while queue:
+                    frame, report = queue.popleft()
+                    self._record_failure(None, report, len(frame))
+            self._sendq.clear()
             for listener in self._listeners:
                 await listener.close()
             for future in list(self._channels.values()):
@@ -116,6 +205,9 @@ class AioNetwork(ComponentDefinition):
                     await future.result().close()
             if self._udp is not None:
                 await self._udp.close()
+            # One loop cycle so cancelled tasks (drainers, UDT pacing
+            # loops) actually unwind before the loop stops.
+            await asyncio.sleep(0)
 
         try:
             asyncio.run_coroutine_threadsafe(teardown(), self._loop).result(timeout=5.0)
@@ -139,49 +231,195 @@ class AioNetwork(ComponentDefinition):
     def _send(self, msg: Msg, report: Optional[Callable[[bool, int], None]]) -> None:
         transport = msg.header.protocol
         if not transport.is_wire_protocol:
+            # A DATA message reaching the network component is a wiring
+            # error (the interceptor must stamp a concrete transport), not
+            # a runtime condition — keep it loud, like NettyNetwork.
             raise TransportError("Transport.DATA requires a DataNetwork interceptor")
-        if transport not in self.protocols:
-            raise TransportError(f"{transport.value} not enabled on {self.name}")
         destination = msg.header.destination
         if destination.as_socket() == self.self_address.as_socket():
             self.counters["reflected"] += 1
+            if self._obs:
+                self._m_reflected.inc()
             self.trigger(msg, self.net)
             if report is not None:
                 report(True, 0)
             return
 
+        # Anything from here on fails the *message*, never the component:
+        # a bad send must resolve its pending notify (the interceptor's
+        # flow window leaks otherwise) and leave the network healthy.
+        if transport not in self.protocols:
+            self._record_failure(transport, report, 0)
+            self.logger.debug(
+                "%s: dropping %s send to %s (transport not enabled)",
+                self.name, transport.value, destination,
+            )
+            return
         frame = self.compression.compress(self.serializers.serialize(msg))
         if len(frame) > self.buffer_size:
-            raise SerializationError(
-                f"message of {len(frame)} bytes exceeds the {self.buffer_size} byte buffer"
+            self._record_failure(transport, report, len(frame))
+            self.logger.debug(
+                "%s: dropping %d byte frame to %s (exceeds %d byte buffer)",
+                self.name, len(frame), destination, self.buffer_size,
             )
+            return
+        if self._obs:
+            self._m_wire_bytes.observe(len(frame))
         assert self._loop is not None, "component not started"
-        asyncio.run_coroutine_threadsafe(
-            self._async_send(destination.as_socket(), transport, frame, report), self._loop
-        )
+        key = (destination.as_socket(), transport)
+        self._loop.call_soon_threadsafe(self._enqueue_send, key, frame, report)
 
-    async def _async_send(
+    # ------------------------------------------------------------------
+    # batching drainers (loop thread)
+    # ------------------------------------------------------------------
+    def _enqueue_send(
         self,
-        remote: Endpoint,
-        transport: Transport,
+        key: Tuple[Endpoint, Transport],
         frame: bytes,
         report: Optional[Callable[[bool, int], None]],
     ) -> None:
+        if self._closing:
+            self._record_failure(key[1], report, len(frame))
+            return
+        queue = self._sendq.get(key)
+        if queue is None:
+            queue = self._sendq[key] = deque()
+        queue.append((frame, report))
+        if key not in self._drainers:
+            self._drainers[key] = asyncio.ensure_future(self._drain(key))
+
+    async def _drain(self, key: Tuple[Endpoint, Transport]) -> None:
+        """Drain ``key``'s queue until empty, one coalesced batch at a time.
+
+        Everything that accumulated while the previous batch was on the
+        wire goes out as a single vectored send — under load the batch
+        size grows naturally, amortising the per-send overhead exactly
+        like the netsim backend's RX trains.
+        """
+        remote, transport = key
         try:
-            if transport is Transport.UDP:
-                assert self._udp is not None
+            while True:
+                queue = self._sendq.get(key)
+                if not queue:
+                    break
+                batch = list(queue)
+                queue.clear()
+                self.counters["batches"] += 1
+                if self._obs:
+                    self._m_batch_frames.observe(len(batch))
+                if transport is Transport.UDP:
+                    self._send_datagrams(key, batch)
+                else:
+                    try:
+                        await self._send_batch(key, batch)
+                    except asyncio.CancelledError:
+                        # Killed mid-batch (teardown): the batch was already
+                        # popped from the queue, so fail its notifies here —
+                        # nothing else will ever resolve them.
+                        self._fail_batch(key, batch)
+                        raise
+        finally:
+            self._drainers.pop(key, None)
+            # A send may have raced in between the emptiness check and the
+            # task teardown: re-arm rather than strand it (unless the
+            # component is closing — teardown flushes the queues itself).
+            if not self._closing and self._sendq.get(key):
+                self._drainers[key] = asyncio.ensure_future(self._drain(key))
+
+    def _send_datagrams(self, key: Tuple[Endpoint, Transport], batch: list) -> None:
+        remote, _ = key
+        assert self._udp is not None
+        for frame, report in batch:
+            try:
                 self._udp.send(frame, remote)
+            except OSError:
+                self._record_failure(Transport.UDP, report, len(frame), key=key)
             else:
+                self._record_success(Transport.UDP, report, len(frame), key=key)
+
+    async def _send_batch(self, key: Tuple[Endpoint, Transport], batch: list) -> None:
+        remote, transport = key
+        frames = [frame for frame, _ in batch]
+        conn: Optional[AioConnection] = None
+        for attempt in range(self.redial_attempts + 1):
+            try:
                 conn = await self._channel(remote, transport)
-                await conn.send_frame(frame)
-            self.counters["sent"] += 1
-            if report is not None:
-                report(True, len(frame))
+                break
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                self._channels.pop(key, None)
+                conn = None
+        if conn is None:
+            self._fail_batch(key, batch)
+            return
+        try:
+            await conn.send_frames(frames)
         except (ConnectionError, OSError, asyncio.TimeoutError):
-            self.counters["send_failures"] += 1
-            self._channels.pop((remote, transport), None)
-            if report is not None:
-                report(False, len(frame))
+            # The batch may be partially on the wire: at-most-once
+            # semantics forbid re-sending, so fail it and drop the channel.
+            self._channels.pop(key, None)
+            self._fail_batch(key, batch)
+            return
+        for frame, report in batch:
+            self._record_success(transport, report, len(frame), key=key)
+
+    def _fail_batch(self, key: Tuple[Endpoint, Transport], batch: list) -> None:
+        _, transport = key
+        for frame, report in batch:
+            self._record_failure(transport, report, len(frame), key=key)
+
+    # ------------------------------------------------------------------
+    # recovery bookkeeping (TransportStatus Down/Up)
+    # ------------------------------------------------------------------
+    def _record_success(
+        self,
+        transport: Transport,
+        report: Optional[Callable[[bool, int], None]],
+        size: int,
+        key: Optional[Tuple[Endpoint, Transport]] = None,
+    ) -> None:
+        self.counters["sent"] += 1
+        if self._obs:
+            self._m_sent[transport].inc()
+        if key is not None:
+            self._fail_streak.pop(key, None)
+            if key in self._down:
+                self._down.discard(key)
+                remote, _ = key
+                self.trigger(TransportStatus.Up(remote, transport), self.net)
+                self.tracer.event(
+                    "messaging.transport_up",
+                    remote=f"{remote[0]}:{remote[1]}", proto=transport.value,
+                )
+        if report is not None:
+            report(True, size)
+
+    def _record_failure(
+        self,
+        transport: Optional[Transport],
+        report: Optional[Callable[[bool, int], None]],
+        size: int,
+        key: Optional[Tuple[Endpoint, Transport]] = None,
+    ) -> None:
+        self.counters["send_failures"] += 1
+        if self._obs and transport is not None and transport in self._m_send_failures:
+            self._m_send_failures[transport].inc()
+        if key is not None:
+            streak = self._fail_streak.get(key, 0) + 1
+            self._fail_streak[key] = streak
+            if streak >= self.down_after and key not in self._down:
+                self._down.add(key)
+                remote, _ = key
+                assert transport is not None
+                self.trigger(
+                    TransportStatus.Down(remote, transport, "send failures"), self.net
+                )
+                self.tracer.event(
+                    "messaging.transport_down",
+                    remote=f"{remote[0]}:{remote[1]}", proto=transport.value,
+                    streak=streak,
+                )
+        if report is not None:
+            report(False, size)
 
     async def _channel(self, remote: Endpoint, transport: Transport) -> AioConnection:
         key = (remote, transport)
@@ -246,6 +484,8 @@ class AioNetwork(ComponentDefinition):
     def _on_frame(self, frame: bytes) -> None:
         msg = self.serializers.deserialize(self.compression.decompress(frame))
         self.counters["received"] += 1
+        if self._obs:
+            self._m_received.inc()
         self.trigger(msg, self.net)
 
     def _on_datagram(self, frame: bytes, src: Endpoint) -> None:

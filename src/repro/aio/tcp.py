@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import asyncio
 import struct
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.aio.transport import (
     AioConnection,
@@ -58,6 +58,16 @@ class TcpConnection(AioConnection):
 
     async def send_frame(self, data: bytes) -> None:
         self._writer.write(LENGTH.pack(len(data)) + data)
+        await self._writer.drain()
+
+    async def send_frames(self, frames: Sequence[bytes]) -> None:
+        # Vectored write: one buffer hand-off and one drain for the whole
+        # batch, instead of a write+drain (and likely a syscall) per frame.
+        buffers = []
+        for data in frames:
+            buffers.append(LENGTH.pack(len(data)))
+            buffers.append(data)
+        self._writer.writelines(buffers)
         await self._writer.drain()
 
     async def drain(self) -> None:

@@ -10,7 +10,7 @@ replies (exactly like the simulated stack's handshake hello).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 Endpoint = Tuple[str, int]
 FrameHandler = Callable[[bytes], None]
@@ -30,6 +30,15 @@ class AioConnection(ABC):
     @abstractmethod
     async def send_frame(self, data: bytes) -> None:
         """Queue one frame for ordered, reliable delivery."""
+
+    async def send_frames(self, frames: Sequence[bytes]) -> None:
+        """Queue a batch of frames.
+
+        The default just loops; transports override it with a vectored
+        fast path (one syscall/drain per batch instead of per frame).
+        """
+        for frame in frames:
+            await self.send_frame(frame)
 
     @abstractmethod
     async def drain(self) -> None:

@@ -27,11 +27,16 @@ class _Protocol(asyncio.DatagramProtocol):
 
 
 class UdpEndpoint:
-    """A bound UDP socket usable for both sending and receiving frames."""
+    """A bound UDP socket usable for both sending and receiving frames.
 
-    def __init__(self) -> None:
+    ``adaptor`` optionally interposes a fault-injecting
+    :class:`repro.aio.adaptors.SocketAdaptor` on the outgoing path.
+    """
+
+    def __init__(self, adaptor: Optional[object] = None) -> None:
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._protocol: Optional[_Protocol] = None
+        self.adaptor = adaptor
 
     async def open(self, host: str, port: int, on_datagram: Optional[DatagramHandler] = None) -> Endpoint:
         loop = asyncio.get_running_loop()
@@ -44,7 +49,14 @@ class UdpEndpoint:
     def send(self, frame: bytes, remote: Endpoint) -> None:
         if self._transport is None:
             raise RuntimeError("endpoint not open")
-        self._transport.sendto(frame, remote)
+        if self.adaptor is not None:
+            self.adaptor.sendto(frame, remote, self._transmit)
+        else:
+            self._transport.sendto(frame, remote)
+
+    def _transmit(self, frame: bytes, remote: Endpoint) -> None:
+        if self._transport is not None:
+            self._transport.sendto(frame, remote)
 
     async def close(self) -> None:
         if self._transport is not None:

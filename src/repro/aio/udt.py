@@ -5,17 +5,27 @@ Computer Networks 2007) sufficient for the middleware:
 
 * DATA packets carry a u32 sequence number and <= MSS payload bytes;
   frames are length-prefixed and split across packets.
-* The receiver sends cumulative ACKs on a 10 ms timer (UDT's SYN
-  interval) and immediate NAKs when it observes sequence gaps.
+* The receiver sends batched cumulative ACKs on a 10 ms timer (UDT's SYN
+  interval), each carrying up to :data:`MAX_SACK` selective
+  acknowledgements for out-of-order packets it is holding, and immediate
+  NAKs when it observes sequence gaps.  Duplicate DATA triggers an
+  immediate re-ACK — a dropped ACK packet must not strand the sender in
+  an RTO retransmission loop.
 * The sender paces packets at ``rate`` bytes/s, increases the rate every
   SYN interval (probing toward a configurable estimate) and applies UDT's
   multiplicative decrease (x 8/9) on NAK or retransmission timeout.
+  Selectively-acknowledged packets leave the loss ledger immediately, so
+  a single hole never forces the whole flight to retransmit.
 * Handshake packets exchange the middleware hello and are retransmitted
-  until acknowledged.
+  until acknowledged.  A dialler that has completed a handshake with a
+  remote before may *resume* 0-RTT style: data flows immediately while
+  the handshake confirmation completes in the background (COMP4621's
+  "0RTT Handshaking" pattern).
 
 A per-endpoint ``loss_fn`` hook lets tests drop outgoing DATA packets
-deterministically to exercise the NAK/retransmission machinery on a
-loopback socket.
+deterministically, and an optional :class:`~repro.aio.adaptors.SocketAdaptor`
+can perturb *every* outgoing packet (drop ACKs, duplicate, delay,
+truncate) to exercise the control-plane machinery on a loopback socket.
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ import asyncio
 import struct
 import time
 from collections import OrderedDict, deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from repro.aio.transport import (
     AioConnection,
@@ -44,12 +54,16 @@ ACK = 4
 NAK = 5
 CLOSE = 6
 
+#: HANDSHAKE field flag: the dialler believes this is a resumed session
+RESUME = 1
+
 MSS = 1200  # payload bytes per DATA packet
 SYN_INTERVAL = 0.01  # UDT's fixed rate-control period
 DECREASE = 8.0 / 9.0
 RTO = 0.25
 FLIGHT_WINDOW = 2048  # max unacked packets
 MAX_NAK_BATCH = 128
+MAX_SACK = 64  # selective acks carried per ACK packet
 
 
 class UdtLiteConnection(AioConnection):
@@ -73,6 +87,8 @@ class UdtLiteConnection(AioConnection):
         self._unacked: "OrderedDict[int, bytes]" = OrderedDict()
         self._fresh: Deque[Tuple[int, bytes]] = deque()
         self._retransmit: Deque[int] = deque()
+        #: mirrors _retransmit for O(1) membership under bursty NAK storms
+        self._retransmit_set: Set[int] = set()
         self._work = asyncio.Event()
         self._all_acked = asyncio.Event()
         self._all_acked.set()
@@ -80,12 +96,22 @@ class UdtLiteConnection(AioConnection):
         self._last_increase = time.monotonic()
         self.retransmissions = 0
         self.naks_received = 0
+        self.sacked = 0
+
+        # handshake state (0-RTT resume diagnostics)
+        self.zero_rtt = False
+        self.handshake_confirmed = False
 
         # receiver state
         self._expected = 0
         self._ooo: Dict[int, bytes] = {}
         self._stream = bytearray()
         self._last_acked_to_peer = -1
+        #: set when the peer evidently missed our last ACK (duplicate DATA)
+        self._ack_dirty = False
+        self._next_reack = 0.0
+        self.dup_data_received = 0
+        self.reacks_sent = 0
 
         self._tasks = [
             asyncio.ensure_future(self._pacing_loop()),
@@ -95,14 +121,22 @@ class UdtLiteConnection(AioConnection):
     # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
-    async def send_frame(self, data: bytes) -> None:
-        stream = LENGTH.pack(len(data)) + data
-        for offset in range(0, len(stream), MSS):
-            seq = self._next_seq
-            self._next_seq += 1
-            self._fresh.append((seq, bytes(stream[offset:offset + MSS])))
+    def _enqueue_frames(self, frames: Iterable[bytes]) -> None:
+        for data in frames:
+            stream = LENGTH.pack(len(data)) + data
+            for offset in range(0, len(stream), MSS):
+                seq = self._next_seq
+                self._next_seq += 1
+                self._fresh.append((seq, bytes(stream[offset:offset + MSS])))
         self._all_acked.clear()
         self._work.set()
+
+    async def send_frame(self, data: bytes) -> None:
+        self._enqueue_frames((data,))
+
+    async def send_frames(self, frames: Sequence[bytes]) -> None:
+        # One enqueue pass and one pacing-loop wakeup for the whole batch.
+        self._enqueue_frames(frames)
 
     async def drain(self) -> None:
         await self._all_acked.wait()
@@ -127,6 +161,7 @@ class UdtLiteConnection(AioConnection):
     def _pop_next(self) -> Optional[Tuple[int, bytes]]:
         while self._retransmit:
             seq = self._retransmit.popleft()
+            self._retransmit_set.discard(seq)
             payload = self._unacked.get(seq)
             if payload is not None:
                 self.retransmissions += 1
@@ -146,27 +181,36 @@ class UdtLiteConnection(AioConnection):
     def _check_timeout(self) -> None:
         if self._unacked and time.monotonic() - self._last_progress > RTO:
             oldest = next(iter(self._unacked))
-            self._retransmit.appendleft(oldest)
+            if oldest not in self._retransmit_set:
+                self._retransmit.appendleft(oldest)
+                self._retransmit_set.add(oldest)
             self.rate = max(self.rate * DECREASE, 64 * 1024)
             self._last_progress = time.monotonic()
             self._work.set()
 
-    def _on_ack(self, cum: int) -> None:
+    def _on_ack(self, cum: int, sacks: Sequence[int] = ()) -> None:
         progressed = False
         while self._unacked and next(iter(self._unacked)) < cum:
             self._unacked.popitem(last=False)
             progressed = True
+        for seq in sacks:
+            if self._unacked.pop(seq, None) is not None:
+                # Held at the receiver: never retransmit it again.
+                self._retransmit_set.discard(seq)
+                self.sacked += 1
+                progressed = True
         if progressed:
             self._last_progress = time.monotonic()
             self._work.set()
         if not self._unacked and not self._fresh and not self._retransmit:
             self._all_acked.set()
 
-    def _on_nak(self, seqs) -> None:
+    def _on_nak(self, seqs: Iterable[int]) -> None:
         self.naks_received += 1
         for seq in seqs:
-            if seq in self._unacked and seq not in self._retransmit:
+            if seq in self._unacked and seq not in self._retransmit_set:
                 self._retransmit.append(seq)
+                self._retransmit_set.add(seq)
         self.rate = max(self.rate * DECREASE, 64 * 1024)
         self._work.set()
 
@@ -175,18 +219,28 @@ class UdtLiteConnection(AioConnection):
     # ------------------------------------------------------------------
     def _on_data(self, seq: int, payload: bytes) -> None:
         if seq < self._expected:
-            return  # duplicate
+            # Duplicate of something already consumed: the peer would only
+            # retransmit this if our cumulative ACK got lost.  Re-ACK now,
+            # or the sender RTO-loops on the oldest packet forever.
+            self.dup_data_received += 1
+            self._reack()
+            return
         if seq > self._expected:
-            if seq not in self._ooo:
-                self._ooo[seq] = payload
-                missing = [s for s in range(self._expected, min(seq, self._expected + MAX_NAK_BATCH))
-                           if s not in self._ooo]
-                if missing:
-                    self.endpoint._send_packet(
-                        NAK, len(missing),
-                        b"".join(LENGTH.pack(s) for s in missing),
-                        self.remote,
-                    )
+            if seq in self._ooo:
+                # Duplicate out-of-order packet: our ACK carrying its
+                # selective acknowledgement (or the NAK reply) was lost.
+                self.dup_data_received += 1
+                self._reack()
+                return
+            self._ooo[seq] = payload
+            missing = [s for s in range(self._expected, min(seq, self._expected + MAX_NAK_BATCH))
+                       if s not in self._ooo]
+            if missing:
+                self.endpoint._send_packet(
+                    NAK, len(missing),
+                    b"".join(LENGTH.pack(s) for s in missing),
+                    self.remote,
+                )
             return
         self._consume(payload)
         while self._expected in self._ooo:
@@ -203,12 +257,36 @@ class UdtLiteConnection(AioConnection):
             del self._stream[:LENGTH.size + length]
             self._deliver(frame)
 
+    def _send_ack(self) -> None:
+        self._last_acked_to_peer = self._expected - 1
+        self._ack_dirty = False
+        sacks = sorted(self._ooo)[:MAX_SACK]
+        self.endpoint._send_packet(
+            ACK, self._expected,
+            b"".join(LENGTH.pack(s) for s in sacks),
+            self.remote,
+        )
+
+    def _reack(self) -> None:
+        """Resend the current cumulative ACK, rate-limited to SYN_INTERVAL.
+
+        Immediate where possible (a retransmission burst should be cut
+        short right away), deferred to the ack loop otherwise so duplicate
+        floods cannot amplify into ACK floods.
+        """
+        now = time.monotonic()
+        if now >= self._next_reack:
+            self._next_reack = now + SYN_INTERVAL
+            self.reacks_sent += 1
+            self._send_ack()
+        else:
+            self._ack_dirty = True
+
     async def _ack_loop(self) -> None:
         while not self.closed:
             await asyncio.sleep(SYN_INTERVAL)
-            if self._expected - 1 != self._last_acked_to_peer:
-                self._last_acked_to_peer = self._expected - 1
-                self.endpoint._send_packet(ACK, self._expected, b"", self.remote)
+            if self._expected - 1 != self._last_acked_to_peer or self._ack_dirty:
+                self._send_ack()
 
     # ------------------------------------------------------------------
     # teardown
@@ -217,6 +295,10 @@ class UdtLiteConnection(AioConnection):
         if not self.closed:
             self.endpoint._send_packet(CLOSE, 0, b"", self.remote)
         self._teardown()
+        # _teardown only *cancels* the pacing/ACK loops (it must stay sync
+        # for the datagram-receive path); here we can wait for them to
+        # actually unwind so the loop never stops over a pending task.
+        await asyncio.gather(*self._tasks, return_exceptions=True)
 
     def _teardown(self) -> None:
         for task in self._tasks:
@@ -247,14 +329,20 @@ class UdtLiteEndpoint:
         on_connection: Optional[ConnectionHandler] = None,
         loss_fn: Optional[Callable[[int], bool]] = None,
         initial_rate: float = 2 * 1024 * 1024,
+        adaptor: Optional[object] = None,
     ) -> None:
         self.on_connection = on_connection
         self.loss_fn = loss_fn
         self.initial_rate = initial_rate
+        #: fault-injecting :class:`repro.aio.adaptors.SocketAdaptor` (tests)
+        self.adaptor = adaptor
         self.connections: Dict[Endpoint, UdtLiteConnection] = {}
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._handshake_acks: Dict[Endpoint, asyncio.Event] = {}
         self.local: Optional[Endpoint] = None
+        self.resumed_handshakes = 0
+        #: called when a 0-RTT resume never got its HANDSHAKE_ACK
+        self.on_resume_failed: Optional[Callable[[Endpoint], None]] = None
 
     async def open(self, host: str, port: int) -> Endpoint:
         loop = asyncio.get_running_loop()
@@ -273,7 +361,15 @@ class UdtLiteEndpoint:
             return
         if ptype == DATA and self.loss_fn is not None and self.loss_fn(field):
             return  # injected loss (tests)
-        self._transport.sendto(HEADER.pack(ptype, field) + payload, remote)
+        packet = HEADER.pack(ptype, field) + payload
+        if self.adaptor is not None:
+            self.adaptor.sendto(packet, remote, self._transmit)
+        else:
+            self._transmit(packet, remote)
+
+    def _transmit(self, packet: bytes, remote: Endpoint) -> None:
+        if self._transport is not None:
+            self._transport.sendto(packet, remote)
 
     def _on_packet(self, data: bytes, src: Endpoint) -> None:
         if len(data) < HEADER.size:
@@ -286,6 +382,8 @@ class UdtLiteEndpoint:
                 conn = UdtLiteConnection(self, src, initial_rate=self.initial_rate)
                 conn.peer_hello = payload
                 self.connections[src] = conn
+                if field & RESUME:
+                    self.resumed_handshakes += 1
                 if self.on_connection is not None:
                     self.on_connection(conn)
             self._send_packet(HANDSHAKE_ACK, 0, b"", src)
@@ -294,6 +392,9 @@ class UdtLiteEndpoint:
             event = self._handshake_acks.get(src)
             if event is not None:
                 event.set()
+            conn = self.connections.get(src)
+            if conn is not None:
+                conn.handshake_confirmed = True
             return
         conn = self.connections.get(src)
         if conn is None:
@@ -301,7 +402,9 @@ class UdtLiteEndpoint:
         if ptype == DATA:
             conn._on_data(field, payload)
         elif ptype == ACK:
-            conn._on_ack(field)
+            sacks = [LENGTH.unpack_from(payload, i * 4)[0]
+                     for i in range(len(payload) // 4)]
+            conn._on_ack(field, sacks)
         elif ptype == NAK:
             seqs = [LENGTH.unpack_from(payload, i * 4)[0] for i in range(field)
                     if (i + 1) * 4 <= len(payload)]
@@ -312,24 +415,85 @@ class UdtLiteEndpoint:
     # ------------------------------------------------------------------
     # client-side establishment
     # ------------------------------------------------------------------
-    async def dial(self, remote: Endpoint, hello: bytes, timeout: float = 5.0) -> UdtLiteConnection:
+    async def dial(
+        self,
+        remote: Endpoint,
+        hello: bytes,
+        timeout: float = 5.0,
+        resume: bool = False,
+    ) -> UdtLiteConnection:
+        existing = self.connections.get(remote)
+        if existing is not None and not existing.closed:
+            event = self._handshake_acks.get(remote)
+            if event is None or event.is_set():
+                return existing  # already established
+            # Another dial to the same remote is mid-handshake: ride it
+            # instead of clobbering its event (which would strand the
+            # first dialler waiting on an Event nobody will ever set).
+            await asyncio.wait_for(event.wait(), timeout)
+            return existing
+
         event = asyncio.Event()
         self._handshake_acks[remote] = event
         conn = UdtLiteConnection(self, remote, initial_rate=self.initial_rate)
         self.connections[remote] = conn
+
+        if resume:
+            # 0-RTT resume: the remote has seen us before, so send the
+            # handshake and start pushing DATA immediately; confirmation
+            # (and retransmission of the hello) continues in the
+            # background.  An unknown receiver simply drops DATA from an
+            # unestablished source until the retried HANDSHAKE lands —
+            # the sender's RTO machinery re-sends the early packets.
+            conn.zero_rtt = True
+            self._send_packet(HANDSHAKE, RESUME, hello, remote)
+            conn._tasks.append(asyncio.ensure_future(
+                self._confirm_handshake(conn, event, hello, remote, timeout)
+            ))
+            return conn
+
         deadline = time.monotonic() + timeout
         try:
             while True:
                 self._send_packet(HANDSHAKE, 0, hello, remote)
                 try:
                     await asyncio.wait_for(event.wait(), timeout=0.2)
+                    conn.handshake_confirmed = True
                     return conn
                 except asyncio.TimeoutError:
                     if time.monotonic() > deadline:
                         conn._teardown()
                         raise ConnectionError(f"UDT-lite handshake to {remote} timed out")
         finally:
-            self._handshake_acks.pop(remote, None)
+            if self._handshake_acks.get(remote) is event:
+                self._handshake_acks.pop(remote, None)
+
+    async def _confirm_handshake(
+        self,
+        conn: UdtLiteConnection,
+        event: asyncio.Event,
+        hello: bytes,
+        remote: Endpoint,
+        timeout: float,
+    ) -> None:
+        """Background retransmit-until-acked for a 0-RTT resumed dial."""
+        deadline = time.monotonic() + timeout
+        try:
+            while not conn.closed:
+                try:
+                    await asyncio.wait_for(event.wait(), timeout=0.2)
+                    conn.handshake_confirmed = True
+                    return
+                except asyncio.TimeoutError:
+                    if time.monotonic() > deadline:
+                        if self.on_resume_failed is not None:
+                            self.on_resume_failed(remote)
+                        conn._teardown()
+                        return
+                    self._send_packet(HANDSHAKE, RESUME, hello, remote)
+        finally:
+            if self._handshake_acks.get(remote) is event:
+                self._handshake_acks.pop(remote, None)
 
     def _forget(self, remote: Endpoint) -> None:
         self.connections.pop(remote, None)
@@ -356,20 +520,34 @@ class UdtLiteTransport(AioTransport):
     name = "udt"
 
     def __init__(self, initial_rate: float = 2 * 1024 * 1024,
-                 loss_fn: Optional[Callable[[int], bool]] = None) -> None:
+                 loss_fn: Optional[Callable[[int], bool]] = None,
+                 adaptor: Optional[object] = None) -> None:
         self.initial_rate = initial_rate
         self.loss_fn = loss_fn
+        self.adaptor = adaptor
+        #: remotes that completed a full handshake: eligible for 0-RTT
+        self._sessions: Set[Endpoint] = set()
+        self.zero_rtt_resumes = 0
 
     async def listen(self, host: str, port: int, on_connection: ConnectionHandler) -> AioListener:
         endpoint = UdtLiteEndpoint(
-            on_connection=on_connection, loss_fn=self.loss_fn, initial_rate=self.initial_rate
+            on_connection=on_connection, loss_fn=self.loss_fn,
+            initial_rate=self.initial_rate, adaptor=self.adaptor,
         )
         await endpoint.open(host, port)
         return _UdtListener(endpoint)
 
     async def connect(self, remote: Endpoint, hello: bytes) -> UdtLiteConnection:
-        endpoint = UdtLiteEndpoint(loss_fn=self.loss_fn, initial_rate=self.initial_rate)
+        endpoint = UdtLiteEndpoint(
+            loss_fn=self.loss_fn, initial_rate=self.initial_rate, adaptor=self.adaptor
+        )
         await endpoint.open("0.0.0.0", 0)
-        conn = await endpoint.dial(remote, hello)
+        resume = remote in self._sessions
+        if resume:
+            # A failed resume must fall back to a full handshake next time.
+            endpoint.on_resume_failed = self._sessions.discard
+            self.zero_rtt_resumes += 1
+        conn = await endpoint.dial(remote, hello, resume=resume)
+        self._sessions.add(remote)
         conn.owns_endpoint = True  # dialling side: socket dies with the conn
         return conn

@@ -312,6 +312,32 @@ def _obs_scenario(
     return run_observability_demo(duration=duration, seed=seed)
 
 
+def _loopback_scenario(
+    size_mb: float = 2.0,
+    duration: float = 4.0,  # unused; uniform check-workload signature
+    seed: int = 3,
+    transports: Optional[str] = None,
+    timeout: float = 120.0,
+) -> Any:
+    """Sim-predicted vs. real-socket loopback transfers (fig9 shape).
+
+    The only registered scenario that opens real sockets: it binds
+    loopback ports and runs the aio backend, so it is deliberately NOT
+    tagged ``check`` (the invariant checker's workloads stay simulated).
+    """
+    from repro.bench.loopback import DEFAULT_TRANSPORTS, run_loopback_comparison
+    from repro.messaging.transport import Transport
+
+    wanted = (
+        DEFAULT_TRANSPORTS
+        if transports is None
+        else tuple(Transport(t.strip()) for t in transports.split(",") if t.strip())
+    )
+    return run_loopback_comparison(
+        wanted, size=int(size_mb * MB), seed=seed, timeout=timeout
+    )
+
+
 def _faults_scenario(**kwargs: Any) -> Any:
     """Scripted cut/degrade/restore campaign (``repro faults``)."""
     from repro.bench.faults import run_fault_campaign
@@ -337,6 +363,10 @@ register_scenario(
 register_scenario(
     "obs", _obs_scenario, kind="workload", tags=("check", "equivalence"),
     description="instrumented ping-pong + adaptive DATA stream (obs demo)",
+)
+register_scenario(
+    "loopback", _loopback_scenario, kind="workload", tags=("real",),
+    description="sim-predicted vs. real-socket loopback transfers (aio backend)",
 )
 register_scenario(
     "faults", _faults_scenario, kind="campaign",

@@ -95,6 +95,26 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--trace", action="store_true",
                      help="include trace records in the JSON snapshot")
 
+    loopback = sub.add_parser(
+        "loopback",
+        help="run the fig9-style workload on REAL loopback sockets and "
+             "compare against the netsim prediction",
+    )
+    loopback.add_argument("--size-mb", type=float, default=2.0,
+                          help="dataset size per transport")
+    loopback.add_argument("--transports", default=None,
+                          help="comma-separated transports "
+                               "(default: tcp,udt,data)")
+    loopback.add_argument("--seed", type=int, default=3)
+    loopback.add_argument("--timeout", type=float, default=120.0,
+                          help="wall-clock deadline per transport run")
+    loopback.add_argument("--no-sim", action="store_true",
+                          help="skip the netsim prediction column")
+    loopback.add_argument("--format", choices=("table", "json"), default="table",
+                          help="human table or the JSON document")
+    loopback.add_argument("--output", default=None,
+                          help="write the output to this file instead of stdout")
+
     faults = sub.add_parser(
         "faults",
         help="scripted fault campaign (cut/degrade/restore) with recovery metrics",
@@ -392,6 +412,44 @@ def cmd_obs(args: argparse.Namespace) -> int:
         print(f"wrote {args.format} snapshot to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def cmd_loopback(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.loopback import (
+        DEFAULT_TRANSPORTS,
+        format_comparison,
+        run_loopback_comparison,
+    )
+
+    transports = (
+        DEFAULT_TRANSPORTS
+        if args.transports is None
+        else tuple(_transport(t.strip()) for t in args.transports.split(",") if t.strip())
+    )
+    comparison = run_loopback_comparison(
+        transports, size=int(args.size_mb * MB), seed=args.seed,
+        sim=not args.no_sim, timeout=args.timeout,
+    )
+
+    if args.format == "json":
+        text = json.dumps(comparison.to_document(), indent=2, sort_keys=True)
+    else:
+        text = format_comparison(comparison)
+
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.format} output to {args.output}")
+    else:
+        print(text)
+
+    incomplete = [r.transport for r in comparison.runs if not r.complete]
+    if incomplete:
+        print(f"loopback run(s) incomplete: {', '.join(incomplete)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -784,6 +842,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "latency": cmd_latency,
         "learn": cmd_learn,
         "obs": cmd_obs,
+        "loopback": cmd_loopback,
         "faults": cmd_faults,
         "chaos": cmd_chaos,
         "perf": cmd_perf,

@@ -7,6 +7,12 @@ with a selector that only lets the interceptor's own notifications back
 in, and offers :meth:`connect_consumer`, which attaches a consumer port
 with the ChannelSelectors that route non-data traffic straight past the
 interceptor to the network component.
+
+The wiring is backend-agnostic — :class:`DataNetworkBase` holds it, and
+the concrete bundles plug in a network component: :class:`DataNetwork`
+(simulated NettyNetwork over netsim) here, and
+:class:`repro.aio.data_network.AioDataNetwork` (real sockets) in the aio
+package.
 """
 
 from __future__ import annotations
@@ -28,32 +34,23 @@ from repro.messaging.transport import Transport
 from repro.netsim.host import SimHost
 
 
-class DataNetwork(ComponentDefinition):
-    """Wrapper composing NettyNetwork + DataNetworkInterceptor + timer."""
+class DataNetworkBase(ComponentDefinition):
+    """Shared interceptor/consumer wiring for DataNetwork bundles.
 
-    def __init__(
+    Subclasses create ``self.network`` (a component providing ``Network``)
+    and a timer, then call :meth:`_wire_interceptor`.
+    """
+
+    network: Component
+
+    def _wire_interceptor(
         self,
-        self_address: Address,
-        host: SimHost,
-        psp_factory: Optional[PspFactory] = None,
-        prp_factory: Optional[PrpFactory] = None,
-        episode_length: Optional[float] = None,
-        window_messages: Optional[int] = None,
-        protocols: Iterable[Transport] = DEFAULT_PROTOCOLS,
-        serializers: Optional[SerializerRegistry] = None,
-        compression: Optional[CompressionCodec] = None,
-        timer: Optional[Component] = None,
+        timer: Component,
+        psp_factory: Optional[PspFactory],
+        prp_factory: Optional[PrpFactory],
+        episode_length: Optional[float],
+        window_messages: Optional[int],
     ) -> None:
-        super().__init__()
-        self.self_address = self_address
-        self.netty = self.create(
-            NettyNetwork,
-            self_address,
-            host,
-            protocols=protocols,
-            serializers=serializers,
-            compression=compression,
-        )
         self.interceptor = self.create(
             DataNetworkInterceptor,
             psp_factory=psp_factory,
@@ -61,8 +58,6 @@ class DataNetwork(ComponentDefinition):
             episode_length=episode_length,
             window_messages=window_messages,
         )
-        if timer is None:
-            timer = self.create(SimTimerComponent)
         self.connect(timer.provided(Timer), self.interceptor.required(Timer))
 
         interceptor_def = self.interceptor.definition
@@ -79,7 +74,7 @@ class DataNetwork(ComponentDefinition):
             )
 
         self.connect(
-            self.netty.provided(Network),
+            self.network.provided(Network),
             self.interceptor.required(Network),
             ChannelSelector(on_indication=owned_resp),
         )
@@ -109,7 +104,7 @@ class DataNetwork(ComponentDefinition):
             ChannelSelector(on_request=is_data_traffic),
         )
         direct_channel = self.connect(
-            self.netty.provided(Network),
+            self.network.provided(Network),
             consumer_port,
             ChannelSelector(
                 on_request=lambda ev: not is_data_traffic(ev),
@@ -125,6 +120,39 @@ class DataNetwork(ComponentDefinition):
     def interceptor_def(self) -> DataNetworkInterceptor:
         return self.interceptor.definition
 
+
+class DataNetwork(DataNetworkBase):
+    """Wrapper composing NettyNetwork + DataNetworkInterceptor + timer."""
+
+    def __init__(
+        self,
+        self_address: Address,
+        host: SimHost,
+        psp_factory: Optional[PspFactory] = None,
+        prp_factory: Optional[PrpFactory] = None,
+        episode_length: Optional[float] = None,
+        window_messages: Optional[int] = None,
+        protocols: Iterable[Transport] = DEFAULT_PROTOCOLS,
+        serializers: Optional[SerializerRegistry] = None,
+        compression: Optional[CompressionCodec] = None,
+        timer: Optional[Component] = None,
+    ) -> None:
+        super().__init__()
+        self.self_address = self_address
+        self.network = self.create(
+            NettyNetwork,
+            self_address,
+            host,
+            protocols=protocols,
+            serializers=serializers,
+            compression=compression,
+        )
+        # Historical name: the simulated network child is the "netty" side.
+        self.netty = self.network
+        if timer is None:
+            timer = self.create(SimTimerComponent)
+        self._wire_interceptor(timer, psp_factory, prp_factory, episode_length, window_messages)
+
     @property
     def netty_def(self) -> NettyNetwork:
-        return self.netty.definition
+        return self.network.definition

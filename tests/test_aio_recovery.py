@@ -1,0 +1,276 @@
+"""AioNetwork failure handling: non-faulting sends, races, recovery.
+
+Locks in the PR's send-path contract: a bad message fails the *message*
+(``MessageNotify.Resp(success=False)``) and never the component; channels
+recover across peer restarts; sustained failure surfaces as
+``TransportStatus.Down`` and the first success afterwards as ``Up``.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.aio import AioNetwork
+from repro.apps import register_app_serializers
+from repro.kompics import ComponentDefinition, KompicsSystem
+from repro.messaging import (
+    BasicAddress,
+    BasicHeader,
+    MessageNotify,
+    Msg,
+    Network,
+    SerializerRegistry,
+    Transport,
+)
+from repro.messaging.network_port import TransportStatus
+from repro.obs import MetricsRegistry, collecting
+
+from tests.messaging_helpers import Blob, BlobSerializer
+
+pytestmark = pytest.mark.integration
+
+HOST = "127.0.0.1"
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind((HOST, 0))
+        return s.getsockname()[1]
+
+
+def registry() -> SerializerRegistry:
+    reg = register_app_serializers(SerializerRegistry())
+    reg.register(100, Blob, BlobSerializer())
+    return reg
+
+
+class StatusCollector(ComponentDefinition):
+    """Collector that also records TransportStatus indications."""
+
+    def __init__(self, address) -> None:
+        super().__init__()
+        self.net = self.requires(Network)
+        self.address = address
+        self.received = []
+        self.notifies = []
+        self.downs = []
+        self.ups = []
+        self.event = threading.Event()
+        self.subscribe(self.net, Msg, self._collect(self.received))
+        self.subscribe(self.net, MessageNotify.Resp, self._collect(self.notifies))
+        self.subscribe(self.net, TransportStatus.Down, self._collect(self.downs))
+        self.subscribe(self.net, TransportStatus.Up, self._collect(self.ups))
+
+    def _collect(self, bucket):
+        def handler(event) -> None:
+            bucket.append(event)
+            self.event.set()
+
+        return handler
+
+    def wait(self, predicate, timeout=15.0) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            self.event.wait(timeout=0.1)
+            self.event.clear()
+        return predicate()
+
+
+def build_node(system, port, **net_kwargs):
+    address = BasicAddress(HOST, port)
+    network = system.create(AioNetwork, address, serializers=registry(), **net_kwargs)
+    app = system.create(StatusCollector, address)
+    system.connect(network.provided(Network), app.required(Network))
+    system.start(network)
+    system.start(app)
+    network.definition.wait_ready(10.0)
+    return address, network, app
+
+
+@pytest.fixture()
+def system():
+    system = KompicsSystem.threaded(workers=3)
+    yield system
+    system.shutdown()
+    time.sleep(0.2)
+
+
+def send_blob(app, src, dst, tag, transport, nbytes=200, notify=False):
+    msg = Blob(BasicHeader(src, dst, transport), tag, nbytes)
+    if notify:
+        app.definition.trigger(MessageNotify.Req(msg), app.definition.net)
+    else:
+        app.definition.trigger(msg, app.definition.net)
+    return msg
+
+
+class TestNonFaultingSendPath:
+    def test_oversized_frame_fails_notify_not_component(self, system):
+        addr_a, net_a, app_a = build_node(system, free_port())
+        addr_b, net_b, app_b = build_node(system, free_port())
+
+        # Way past the 65536-byte serialization buffer (the payload is the
+        # tag itself: BlobSerializer pickles the whole object).
+        send_blob(app_a, addr_a, addr_b, "h" * 200_000, Transport.TCP,
+                  notify=True)
+        assert app_a.definition.wait(lambda: len(app_a.definition.notifies) == 1)
+        assert not app_a.definition.notifies[0].success
+        assert net_a.definition.counters["send_failures"] == 1
+
+        # The component survived: a normal send still goes through.
+        send_blob(app_a, addr_a, addr_b, "after", Transport.TCP, notify=True)
+        assert app_a.definition.wait(lambda: len(app_a.definition.notifies) == 2)
+        assert app_a.definition.notifies[1].success
+        assert app_b.definition.wait(lambda: len(app_b.definition.received) == 1)
+        assert app_b.definition.received[0].tag == "after"
+
+    def test_disabled_transport_fails_notify_not_component(self, system):
+        addr_a, net_a, app_a = build_node(
+            system, free_port(), protocols=(Transport.TCP,)
+        )
+        addr_b, net_b, app_b = build_node(system, free_port())
+
+        send_blob(app_a, addr_a, addr_b, "no-udt", Transport.UDT, notify=True)
+        assert app_a.definition.wait(lambda: len(app_a.definition.notifies) == 1)
+        assert not app_a.definition.notifies[0].success
+        assert net_a.definition.counters["send_failures"] == 1
+
+        send_blob(app_a, addr_a, addr_b, "tcp-ok", Transport.TCP, notify=True)
+        assert app_a.definition.wait(lambda: len(app_a.definition.notifies) == 2)
+        assert app_a.definition.notifies[1].success
+
+    def test_fire_and_forget_oversized_only_counts(self, system):
+        addr_a, net_a, app_a = build_node(system, free_port())
+        ghost = BasicAddress(HOST, free_port())
+        send_blob(app_a, addr_a, ghost, "s" * 200_000, Transport.TCP)
+        app_a.definition.wait(
+            lambda: net_a.definition.counters["send_failures"] == 1, timeout=5.0
+        )
+        assert net_a.definition.counters["send_failures"] == 1
+        assert app_a.definition.notifies == []  # nothing to resolve
+
+
+class TestTransportStatusRecovery:
+    def test_down_after_streak_then_up_on_recovery(self, system):
+        addr_a, net_a, app_a = build_node(system, free_port())
+        ghost_port = free_port()
+        ghost = BasicAddress(HOST, ghost_port)
+
+        # down_after defaults to 3 consecutive failed batches; send
+        # sequentially so each failure is its own batch.
+        for i in range(3):
+            send_blob(app_a, addr_a, ghost, f"f{i}", Transport.TCP, notify=True)
+            assert app_a.definition.wait(
+                lambda want=i + 1: len(app_a.definition.notifies) == want
+            )
+            assert not app_a.definition.notifies[i].success
+        assert app_a.definition.wait(lambda: len(app_a.definition.downs) == 1)
+        down = app_a.definition.downs[0]
+        assert down.remote == (HOST, ghost_port)
+        assert down.transport is Transport.TCP
+
+        # The remote comes up on the very port that was dead.
+        addr_b, net_b, app_b = build_node(system, ghost_port)
+        send_blob(app_a, addr_a, ghost, "revived", Transport.TCP, notify=True)
+        assert app_a.definition.wait(lambda: len(app_a.definition.notifies) == 4)
+        assert app_a.definition.notifies[3].success
+        assert app_a.definition.wait(lambda: len(app_a.definition.ups) == 1)
+        assert app_a.definition.ups[0].remote == (HOST, ghost_port)
+        assert app_b.definition.wait(lambda: len(app_b.definition.received) == 1)
+
+    def test_channel_replaced_after_close(self, system):
+        addr_a, net_a, app_a = build_node(system, free_port())
+        addr_b, net_b, app_b = build_node(system, free_port())
+
+        send_blob(app_a, addr_a, addr_b, "one", Transport.TCP, notify=True)
+        assert app_a.definition.wait(lambda: len(app_a.definition.notifies) == 1)
+        key = (addr_b.as_socket(), Transport.TCP)
+        assert key in net_a.definition._channels
+
+        # Kill the channel under the component's feet.
+        import asyncio
+
+        conn = net_a.definition._channels[key].result()
+        asyncio.run_coroutine_threadsafe(
+            conn.close(), net_a.definition._loop
+        ).result(timeout=5.0)
+        app_a.definition.wait(
+            lambda: key not in net_a.definition._channels, timeout=5.0
+        )
+        assert key not in net_a.definition._channels  # on_closed deregistered it
+
+        send_blob(app_a, addr_a, addr_b, "two", Transport.TCP, notify=True)
+        assert app_a.definition.wait(lambda: len(app_a.definition.notifies) == 2)
+        assert app_a.definition.notifies[1].success
+        assert app_b.definition.wait(lambda: len(app_b.definition.received) == 2)
+
+    def test_simultaneous_connect_both_directions(self, system):
+        addr_a, net_a, app_a = build_node(system, free_port())
+        addr_b, net_b, app_b = build_node(system, free_port())
+
+        # Both sides dial each other at (as close as it gets to) once.
+        for i in range(10):
+            send_blob(app_a, addr_a, addr_b, f"a{i}", Transport.TCP)
+            send_blob(app_b, addr_b, addr_a, f"b{i}", Transport.TCP)
+        assert app_a.definition.wait(lambda: len(app_a.definition.received) == 10)
+        assert app_b.definition.wait(lambda: len(app_b.definition.received) == 10)
+        assert [m.tag for m in app_a.definition.received] == [f"b{i}" for i in range(10)]
+        assert [m.tag for m in app_b.definition.received] == [f"a{i}" for i in range(10)]
+
+    def test_kill_fails_pending_notifies(self, system):
+        addr_a, net_a, app_a = build_node(system, free_port())
+        # A UDT dial to a dead port blocks for its 5 s handshake timeout;
+        # killing the network mid-dial must still resolve the notify.
+        ghost = BasicAddress(HOST, free_port())
+        send_blob(app_a, addr_a, ghost, "doomed", Transport.UDT, notify=True)
+        time.sleep(0.3)  # let the batch reach the drainer and start dialling
+        start = time.monotonic()
+        system.kill(net_a)
+        assert app_a.definition.wait(lambda: len(app_a.definition.notifies) == 1,
+                                     timeout=10.0)
+        assert not app_a.definition.notifies[0].success
+        assert time.monotonic() - start < 8.0  # did not ride out the dial
+
+
+class TestBatchingAndObs:
+    def test_burst_coalesces_into_batches(self, system):
+        addr_a, net_a, app_a = build_node(system, free_port())
+        addr_b, net_b, app_b = build_node(system, free_port())
+        for i in range(50):
+            send_blob(app_a, addr_a, addr_b, f"m{i}", Transport.TCP)
+        assert app_b.definition.wait(lambda: len(app_b.definition.received) == 50)
+        assert [m.tag for m in app_b.definition.received] == [f"m{i}" for i in range(50)]
+        counters = net_a.definition.counters
+        assert counters["sent"] == 50
+        assert 1 <= counters["batches"] <= 50
+
+    def test_obs_metrics_mirror_netty_families(self):
+        metrics = MetricsRegistry("aio-test")
+        with collecting(metrics):
+            system = KompicsSystem.threaded(workers=3)
+            try:
+                addr_a, net_a, app_a = build_node(system, free_port())
+                addr_b, net_b, app_b = build_node(system, free_port())
+                send_blob(app_a, addr_a, addr_b, "counted", Transport.TCP, notify=True)
+                assert app_a.definition.wait(lambda: len(app_a.definition.notifies) == 1)
+                assert app_b.definition.wait(lambda: len(app_b.definition.received) == 1)
+
+                sent = metrics.counter("messaging.sent_total", transport="tcp")
+                assert sent.value >= 1
+                received = metrics.counter(
+                    "messaging.received_total",
+                    instance=f"{addr_b.ip}:{addr_b.port}",
+                )
+                assert received.value >= 1
+                channels = metrics.gauge(
+                    "messaging.channels.open",
+                    instance=f"{addr_a.ip}:{addr_a.port}",
+                )
+                assert channels.value >= 1
+            finally:
+                system.shutdown()
+                time.sleep(0.2)
