@@ -46,16 +46,20 @@ class SyntheticDataset:
         self.chunk_size = chunk_size
         self.compressibility = compressibility
         self.seed = seed
+        # Datasets are immutable after construction; the sender consults
+        # total_chunks several times per chunk, so derive it once.
+        self._total_chunks = math.ceil(size / chunk_size)
 
     @property
     def total_chunks(self) -> int:
-        return math.ceil(self.size / self.chunk_size)
+        return self._total_chunks
 
     def chunk_length(self, index: int) -> int:
         """Byte length of chunk ``index`` (the last one may be short)."""
-        if not 0 <= index < self.total_chunks:
-            raise IndexError(f"chunk {index} out of range (0..{self.total_chunks - 1})")
-        if index == self.total_chunks - 1:
+        total = self._total_chunks
+        if not 0 <= index < total:
+            raise IndexError(f"chunk {index} out of range (0..{total - 1})")
+        if index == total - 1:
             rest = self.size - index * self.chunk_size
             return rest
         return self.chunk_size

@@ -44,6 +44,12 @@ class FileSender(ComponentDefinition):
         self.on_done = on_done
         self.read_ahead = max(read_ahead, 1)
 
+        # Headers are immutable and identical for every chunk of the
+        # transfer; build the one header once instead of per chunk (the
+        # interceptor's with_protocol() clones the message, not this).
+        header_cls = DataHeader if transport is Transport.DATA else BasicHeader
+        self._chunk_header = header_cls(self_address, destination, transport)
+
         self.transfer_id = next_transfer_id()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -91,17 +97,17 @@ class FileSender(ComponentDefinition):
     def _chunk_ready(self, index: int) -> None:
         if self._halted:
             return
-        header_cls = DataHeader if self.transport is Transport.DATA else BasicHeader
+        dataset = self.dataset
         msg = DataChunkMsg(
-            header_cls(self.self_address, self.destination, self.transport),
+            self._chunk_header,
             transfer_id=self.transfer_id,
             seq=index,
-            length=self.dataset.chunk_length(index),
-            total_chunks=self.dataset.total_chunks,
-            total_bytes=self.dataset.size,
-            compressibility=self.dataset.compressibility,
+            length=dataset.chunk_length(index),
+            total_chunks=dataset.total_chunks,
+            total_bytes=dataset.size,
+            compressibility=dataset.compressibility,
         )
-        self.trigger(msg, self.net)
+        self.net.trigger(msg)
         self.chunks_sent += 1
         self._issue_read()
 

@@ -296,6 +296,47 @@ def run_perf(
 
 
 # ----------------------------------------------------------------------
+# profiling
+# ----------------------------------------------------------------------
+
+def run_profile(
+    suites: Optional[Iterable[str]] = None,
+    quick: bool = False,
+    top: int = 25,
+) -> str:
+    """Run the requested suites under :mod:`cProfile`; return a report.
+
+    One profiler session per suite, sorted by cumulative time — the view
+    that surfaces *which layer* a wall-clock suite spends its time in
+    (kernel, ports, serialization, allocation).  The suites execute once
+    (no best-of repeats matter under instrumentation: the profile is for
+    hotspot hunting, not for the regression gate, and cProfile overhead
+    invalidates the rates anyway).
+    """
+    import cProfile
+    import io
+    import pstats
+
+    names = list(suites) if suites else list(SUITES)
+    unknown = [n for n in names if n not in SUITES]
+    if unknown:
+        raise ValueError(f"unknown suite(s) {unknown}; choose from {list(SUITES)}")
+    sections: List[str] = []
+    for name in names:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        SUITES[name](quick)
+        profiler.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+        sections.append(
+            f"==== {name} (top {top} by cumulative time) ====\n{buf.getvalue()}"
+        )
+    return "\n".join(sections)
+
+
+# ----------------------------------------------------------------------
 # regression gate
 # ----------------------------------------------------------------------
 

@@ -190,6 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--equivalence", action="store_true",
                       help="run the fastpath-on vs. off snapshot equivalence gate "
                            "instead of the measurement suites")
+    perf.add_argument("--profile", action="store_true",
+                      help="run the suites under cProfile and print the top "
+                           "functions by cumulative time (no gating)")
+    perf.add_argument("--profile-top", type=int, default=25, metavar="N",
+                      help="rows per suite in the --profile report")
     perf.add_argument("--summary", default=None, metavar="PATH",
                       help="append a markdown measured-vs-baseline table to this "
                            "file (e.g. $GITHUB_STEP_SUMMARY); needs --baseline")
@@ -585,6 +590,24 @@ def cmd_perf(args: argparse.Namespace) -> int:
     import json
 
     from repro.bench.perf import check_regression, run_equivalence, run_perf
+
+    if args.profile:
+        from repro.bench.perf import run_profile
+
+        try:
+            report = run_profile(
+                suites=args.suite, quick=args.quick, top=args.profile_top,
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(report)
+            print(f"wrote profile report to {args.out}")
+        else:
+            print(report)
+        return 0
 
     if args.equivalence:
         outcomes = run_equivalence(quick=args.quick)

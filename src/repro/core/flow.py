@@ -34,14 +34,14 @@ from repro.util.clock import Clock
 DEFAULT_WINDOW_MESSAGES = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class _Queued:
     msg: Msg
     consumer_notify_id: Optional[int]
     enqueued_at: float
 
 
-@dataclass
+@dataclass(slots=True)
 class _InFlight:
     consumer_notify_id: Optional[int]
     enqueued_at: float
@@ -134,27 +134,36 @@ class DestinationFlow:
         self._pump()
 
     def _pump(self) -> None:
-        while self._queue and len(self._in_flight) < self.window_messages:
-            item = self._queue.popleft()
-            transport = self.psp.select()
+        queue = self._queue
+        if not queue:
+            return
+        in_flight = self._in_flight
+        window = self.window_messages
+        select = self.psp.select
+        release = self._release
+        inv = self._inv
+        obs = self._obs
+        while queue and len(in_flight) < window:
+            item = queue.popleft()
+            transport = select()
             if self._down_until:
                 transport = self._apply_transport_hold(transport)
             if transport is Transport.TCP:
                 self._tcp_released += 1
-                if self._obs:
+                if obs:
                     self._m_selected_tcp.inc()
             else:
                 self._udt_released += 1
-                if self._obs:
+                if obs:
                     self._m_selected_udt.inc()
             stamped = item.msg.with_protocol(transport)
             req = MessageNotify.Req(stamped)
-            self._in_flight[req.notify_id] = _InFlight(
+            in_flight[req.notify_id] = _InFlight(
                 item.consumer_notify_id, item.enqueued_at, transport
             )
-            if self._inv is not None:
-                self._inv.on_release(transport.value, len(self._in_flight))
-            self._release(req)
+            if inv is not None:
+                inv.on_release(transport.value, len(in_flight))
+            release(req)
 
     # ------------------------------------------------------------------
     # transport fallback (recovery layer → selector penalty, §IV-A)
@@ -210,7 +219,10 @@ class DestinationFlow:
         if resp.success:
             self._bytes_acked += resp.size
             self._messages_acked += 1
-            self._queue_delay_sum += max(resp.sent_at - entry.enqueued_at, 0.0)
+            delay = resp.sent_at - entry.enqueued_at
+            if delay < 0.0:
+                delay = 0.0
+            self._queue_delay_sum += delay
             self.total_bytes_acked += resp.size
         else:
             self._messages_failed += 1

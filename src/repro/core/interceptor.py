@@ -158,7 +158,7 @@ class DataNetworkInterceptor(ComponentDefinition):
 
     def _release(self, req: MessageNotify.Req) -> None:
         self._owned_notify_ids.add(req.notify_id)
-        self.trigger(req, self.lower)
+        self.lower.trigger(req)
 
     # ------------------------------------------------------------------
     # network-side handlers

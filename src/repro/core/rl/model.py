@@ -29,9 +29,24 @@ class TransitionModel:
         self._state_set = set(self.states)
         self.low = self.states[0]
         self.high = self.states[-1]
+        #: canonical grid objects, so every next_state result is the same
+        #: Fraction instance and downstream dict probes short-circuit on
+        #: identity instead of running Fraction.__eq__
+        self._canon = {s: s for s in self.states}
+        #: memoized transitions keyed by (num, den, num, den) int tuples —
+        #: Fraction.__hash__ computes a modular inverse per call, which
+        #: dominates the learner's episode cost without this
+        self._memo: Dict[tuple, Fraction] = {}
 
     def next_state(self, state: Fraction, action: Fraction) -> Fraction:
         """M(s, a): apply the step and clamp to the grid boundary."""
+        key = (
+            state.numerator, state.denominator,
+            action.numerator, action.denominator,
+        )
+        target = self._memo.get(key)
+        if target is not None:
+            return target
         if state not in self._state_set:
             raise ValueError(f"unknown state {state}")
         target = state + action
@@ -41,6 +56,8 @@ class TransitionModel:
             target = self.low
         if target not in self._state_set:
             raise ValueError(f"action {action} leaves the grid from {state} (-> {target})")
+        target = self._canon[target]
+        self._memo[key] = target
         return target
 
 

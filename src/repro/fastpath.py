@@ -1,4 +1,4 @@
-"""Feature flags for the hot-path fast paths (PR 3).
+"""Feature flags for the hot-path fast paths.
 
 The performance pass keeps a hard invariant: *optimized runs produce
 byte-identical simulated results to the unoptimized paths*.  To make that
@@ -19,6 +19,24 @@ Flags
     Per-flow receive-side delivery trains in the fluid network model
     (one pump event per flow instead of one heap entry per in-flight
     message; see :class:`repro.netsim.connection.FlowState`).
+``RUN_QUEUE``
+    Near-future run queue in the simulation kernel: the monotone event
+    storm (flow-tx/flow-rx/scheduler chains) is kept in a tail-sorted
+    deque with amortized-O(1) ejection of out-of-order entries back to
+    the heap, and pops merge the two sorted sources
+    (:class:`repro.sim.Simulator`).  Pop order is unchanged — only
+    which container holds an entry differs.
+``ALLOC_EPOCH``
+    Epoch-cached link rate allocation: ``LinkDirection`` computes the
+    full tiered allocation map once per *allocation epoch* and
+    invalidates on activate/deactivate/spec-change/demand-dirty instead
+    of re-solving per flow per message
+    (:meth:`repro.netsim.link.LinkDirection.allocate_rate`).
+``VEC_MAXMIN``
+    numpy-vectorized progressive-filling max-min solver used above a
+    flow-count threshold, bit-equal to the scalar reference
+    (:func:`repro.netsim.link.max_min_allocation_vec`).  No-op when
+    numpy is unavailable.
 
 All flags default to on.  They gate *pure memoizations*: flipping them
 must never change simulated timestamps, event order, metric values or
@@ -33,8 +51,18 @@ from typing import Dict, Iterator, Tuple
 DISPATCH_CACHE: bool = True
 SERIALIZER_CACHE: bool = True
 RX_TRAIN: bool = True
+RUN_QUEUE: bool = True
+ALLOC_EPOCH: bool = True
+VEC_MAXMIN: bool = True
 
-_ALL: Tuple[str, ...] = ("DISPATCH_CACHE", "SERIALIZER_CACHE", "RX_TRAIN")
+_ALL: Tuple[str, ...] = (
+    "DISPATCH_CACHE",
+    "SERIALIZER_CACHE",
+    "RX_TRAIN",
+    "RUN_QUEUE",
+    "ALLOC_EPOCH",
+    "VEC_MAXMIN",
+)
 
 
 def flags() -> Dict[str, bool]:

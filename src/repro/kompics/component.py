@@ -20,6 +20,7 @@ import threading
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Tuple, Type
 
+from repro import fastpath
 from repro.errors import ComponentError, PortError
 from repro.kompics.channel import Channel, ChannelSelector
 from repro.kompics.event import Fault, Kill, KompicsEvent, Start, Stop
@@ -77,6 +78,8 @@ class ComponentCore:
         from repro.kompics.scheduler import SimScheduler
 
         self._single_threaded = isinstance(system.scheduler, SimScheduler)
+        #: bound once: the intake paths below run once per delivered event
+        self._schedule_ready = system.scheduler.ready_callable(self)
 
         # Shared scheduler-level instruments (one per system) plus a
         # per-component queue-depth gauge; all no-ops unless a registry is
@@ -122,6 +125,13 @@ class ComponentCore:
         """
         if self._single_threaded:
             state = self.state
+            if state is ComponentState.ACTIVE:
+                # hottest case first: a live component taking a data event
+                self._queue.append((port, event))
+                if not self._scheduled:
+                    self._scheduled = True
+                    self._schedule_ready(self)
+                return
             if state is ComponentState.DESTROYED or state is ComponentState.FAULTY:
                 self.system.note_deadletter(self, event, state, dropped=True)
                 return
@@ -129,9 +139,9 @@ class ComponentCore:
                 self.system.note_deadletter(self, event, state, dropped=False)
             self._queue.append((port, event))
             # inlined _maybe_schedule_locked: _queue is known non-empty
-            if not self._scheduled and (self._control_queue or state is ComponentState.ACTIVE):
+            if not self._scheduled and self._control_queue:
                 self._scheduled = True
-                self.system.scheduler.schedule_ready(self)
+                self._schedule_ready(self)
             return
         # note_deadletter runs outside the lock: publishing a DeadLetter
         # can re-enter enqueue on this very component.
@@ -195,29 +205,43 @@ class ComponentCore:
             # Lock-free twin of the loop below.  The control queue has
             # priority and lifecycle transitions (Stop/Kill/fault) take
             # effect immediately, so both queues and the state are
-            # re-checked for every event.
+            # re-checked for every event.  Dispatch is inlined here (the
+            # per-event path is the hottest loop in the whole simulator);
+            # semantics match _dispatch exactly, including the stop-on-
+            # fault behaviour for the remaining handlers of that event.
+            cache_on = fastpath.DISPATCH_CACHE
             while handled < max_batch:
-                port = None
                 if control_queue:
-                    event: Any = control_queue.popleft()
-                elif queue and self.state is active:
+                    handled += 1
+                    self._handle_control(control_queue.popleft())
+                    continue
+                if queue and self.state is active:
                     port, event = queue.popleft()
                 else:
                     break
                 handled += 1
-                self.events_handled += 1
-                if port is None:
-                    self._handle_control(event)
+                if cache_on:
+                    handlers = port._dispatch_cache.get(event.__class__)
+                    if handlers is None:
+                        handlers = port.matching_handlers(event)
                 else:
-                    self._dispatch(port, event)
-            if handled and self._obs:
-                self._m_events.inc(handled)
-                self._m_batches.inc()
-                self._m_batch_size.observe(handled)
+                    handlers = port.matching_handlers(event)
+                for handler in handlers:
+                    try:
+                        handler(event)
+                    except Exception as exc:  # noqa: BLE001 - fault boundary
+                        self._fault(event, exc)
+                        break
+            if handled:
+                self.events_handled += handled
+                if self._obs:
+                    self._m_events.inc(handled)
+                    self._m_batches.inc()
+                    self._m_batch_size.observe(handled)
             self._scheduled = False
             if control_queue or (queue and self.state is active):
                 self._scheduled = True
-                self.system.scheduler.schedule_ready(self)
+                self._schedule_ready(self)
             return
         lock = self._lock
         while handled < max_batch:

@@ -198,6 +198,10 @@ class Port:
                 declared = self.port_type.requests
             allowed = bool(declared) and issubclass(cls, declared)
             self._direction_cache[cls] = allowed
+        # Channel forwarding is inlined below (one call per event per
+        # channel on the hottest path in the system); the logic must stay
+        # in lockstep with Channel.forward_indication/forward_request and
+        # Port.deliver.
         if self.positive:
             if not allowed:
                 raise PortError(
@@ -205,7 +209,17 @@ class Port:
                     f"{self.port_type.__name__}: not an indication"
                 )
             for channel in self._channels:
-                channel.forward_indication(event)
+                if not channel.connected:
+                    continue
+                selector = channel.selector
+                if (
+                    selector
+                    and selector.on_indication
+                    and not selector.on_indication(event)
+                ):
+                    continue
+                dest = channel.negative
+                dest.owner.enqueue(dest, event)
         else:
             if not allowed:
                 raise PortError(
@@ -213,7 +227,17 @@ class Port:
                     f"{self.port_type.__name__}: not a request"
                 )
             for channel in self._channels:
-                channel.forward_request(event)
+                if not channel.connected:
+                    continue
+                selector = channel.selector
+                if (
+                    selector
+                    and selector.on_request
+                    and not selector.on_request(event)
+                ):
+                    continue
+                dest = channel.positive
+                dest.owner.enqueue(dest, event)
 
     def deliver(self, event: KompicsEvent) -> None:
         """Queue an inbound ``event`` at the owning component."""

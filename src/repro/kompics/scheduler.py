@@ -16,7 +16,7 @@ from __future__ import annotations
 import queue
 import threading
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.obs import get_registry, get_tracer
 from repro.sim import Simulator
@@ -31,6 +31,14 @@ class Scheduler(ABC):
     @abstractmethod
     def schedule_ready(self, core: "ComponentCore") -> None:
         """Called (under the core's lock) when ``core`` has work to do."""
+
+    def ready_callable(self, core: "ComponentCore") -> Callable[["ComponentCore"], None]:
+        """The cheapest per-core equivalent of :meth:`schedule_ready`.
+
+        Cores bind this once at construction; schedulers that can skip
+        per-call bookkeeping for a known core may return a fused closure.
+        """
+        return self.schedule_ready
 
     def shutdown(self) -> None:
         """Release execution resources; idempotent."""
@@ -54,12 +62,25 @@ class SimScheduler(Scheduler):
         # off.  The hint is sampled once — installing a tracer mid-run
         # costs nothing but the labels of already-built schedulers.
         self._labels = get_tracer().enabled
+        self._schedule = simulator.schedule
 
     def schedule_ready(self, core: "ComponentCore") -> None:
         if self._obs:
             self._m_schedules.inc()
-        label = f"exec:{core.name}" if self._labels else ""
-        self.simulator.schedule(self.overhead, core.execute_batch, label=label)
+        if self._labels:
+            self._schedule(self.overhead, core.execute_batch, label=f"exec:{core.name}")
+        else:
+            self._schedule(self.overhead, core.execute_batch, label="")
+
+    def ready_callable(self, core: "ComponentCore") -> Callable[["ComponentCore"], None]:
+        if self._obs or self._labels:
+            return self.schedule_ready
+        # No bookkeeping to do: fuse straight into simulator.schedule with
+        # the core's bound execute_batch, skipping a frame on every wakeup.
+        schedule = self._schedule
+        overhead = self.overhead
+        execute_batch = core.execute_batch
+        return lambda _core: schedule(overhead, execute_batch, "")
 
 
 class ThreadPoolScheduler(Scheduler):

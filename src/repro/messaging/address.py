@@ -41,7 +41,7 @@ class Address(ABC):
 class BasicAddress(Address):
     """Immutable default implementation."""
 
-    __slots__ = ("_ip", "_port")
+    __slots__ = ("_ip", "_port", "_sock", "_packed_size")
 
     def __init__(self, ip: str, port: int) -> None:
         if not ip:
@@ -50,6 +50,11 @@ class BasicAddress(Address):
             raise AddressError(f"port {port} out of range")
         self._ip = ip
         self._port = port
+        # Addresses are immutable, and as_socket() / serialized sizing sit
+        # on the network's per-message path: derive both once.
+        self._sock = (ip, port)
+        ip_len = len(ip) if ip.isascii() else len(ip.encode("utf-8"))
+        self._packed_size = 1 + ip_len + 2 + 1
 
     @property
     def ip(self) -> str:
@@ -58,6 +63,9 @@ class BasicAddress(Address):
     @property
     def port(self) -> int:
         return self._port
+
+    def as_socket(self) -> Socket:
+        return self._sock
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -92,6 +100,7 @@ class VirtualAddress(BasicAddress):
         if not isinstance(vnode_id, bytes) or not vnode_id:
             raise AddressError("vnode_id must be non-empty bytes")
         self._vnode_id = vnode_id
+        self._packed_size += len(vnode_id)
 
     @property
     def vnode_id(self) -> bytes:

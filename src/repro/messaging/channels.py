@@ -53,7 +53,8 @@ class ChannelRef:
 
     @property
     def usable(self) -> bool:
-        return self.conn.state in (ConnectionState.CONNECTING, ConnectionState.ACTIVE)
+        state = self.conn.state
+        return state is ConnectionState.ACTIVE or state is ConnectionState.CONNECTING
 
     def send(self, payload: Any, size: int, on_sent: Optional[Callable[[bool], None]]) -> None:
         def wrapped(success: bool) -> None:
@@ -130,7 +131,8 @@ class ChannelPool:
                     on_sent(False)
             return
         ref = self.get_or_connect(remote, proto)
-        ref.last_used = max(ref.last_used, now)
+        if now > ref.last_used:
+            ref.last_used = now
         ref.send(payload, size, on_sent)
 
     def get_or_connect(self, remote: Socket, proto: Proto) -> ChannelRef:
@@ -240,7 +242,8 @@ class ChannelPool:
         if ref is not None:
             ref.stats.messages_in += 1
             ref.stats.bytes_in += size
-            ref.last_used = max(ref.last_used, now)
+            if now > ref.last_used:
+                ref.last_used = now
 
     # ------------------------------------------------------------------
     # teardown

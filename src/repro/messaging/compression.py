@@ -25,11 +25,16 @@ COMPRESSIBILITY_ATTR = "compressibility"
 def compressibility_of(msg: Any) -> float:
     """The message's compressed-size fraction hint, clamped to (0, 1]."""
     hint = getattr(msg, COMPRESSIBILITY_ATTR, 1.0)
-    try:
-        hint = float(hint)
-    except (TypeError, ValueError):
-        return 1.0
-    return min(max(hint, 0.01), 1.0)
+    if type(hint) is not float:
+        try:
+            hint = float(hint)
+        except (TypeError, ValueError):
+            return 1.0
+    if hint < 0.01:
+        hint = 0.01
+    elif hint > 1.0:
+        hint = 1.0
+    return hint
 
 
 class CompressionCodec(ABC):

@@ -21,11 +21,11 @@ from repro.messaging.transport import Transport
 
 _msg_ids = itertools.count()
 
-# Per-class slot inventory for BaseMsg.__copy__ (every declared slot
-# across the MRO, in declaration order).  copy.copy on a slotted class
-# otherwise detours through __reduce_ex__/copy._reconstruct, which shows
-# up on the bulk path at one clone per chunk (with_protocol).
-_copy_slots: dict = {}
+# Per-class compiled copiers for BaseMsg.__copy__ (direct slot-to-slot
+# assignment, no per-attribute getattr/setattr).  copy.copy on a slotted
+# class otherwise detours through __reduce_ex__/copy._reconstruct, which
+# shows up on the bulk path at one clone per chunk (with_protocol).
+_copiers: dict = {}
 
 
 def _slots_of(cls: type) -> tuple:
@@ -38,6 +38,25 @@ def _slots_of(cls: type) -> tuple:
             if name not in ("__dict__", "__weakref__") and name not in names:
                 names.append(name)
     return tuple(names)
+
+
+def _make_copier(cls: type):
+    """Compile a straight-line copier for ``cls`` (dataclass-style).
+
+    Assumes every declared slot is assigned; __copy__ falls back to the
+    tolerant per-attribute loop when that assumption breaks.
+    """
+    lines = ["def _copy(self):", "    clone = _new(cls)"]
+    for name in _slots_of(cls):
+        lines.append(f"    clone.{name} = self.{name}")
+    if cls.__dictoffset__:
+        lines.append("    state = self.__dict__")
+        lines.append("    if state:")
+        lines.append("        clone.__dict__.update(state)")
+    lines.append("    return clone")
+    namespace = {"cls": cls, "_new": cls.__new__}
+    exec("\n".join(lines), namespace)  # noqa: S102 - static, class-derived source
+    return namespace["_copy"]
 
 
 class Header(ABC):
@@ -82,12 +101,16 @@ class Msg(KompicsEvent, ABC):
 class BasicHeader(Header):
     """Immutable default header."""
 
-    __slots__ = ("_source", "_destination", "_protocol")
+    __slots__ = ("_source", "_destination", "_protocol", "_stamped")
 
     def __init__(self, source: Address, destination: Address, protocol: Transport) -> None:
         self._source = source
         self._destination = destination
         self._protocol = protocol
+        #: memoized with_protocol results — headers are immutable, so the
+        #: stamped variants can be shared by every message reusing this
+        #: header (the bulk sender stamps one header once per chunk)
+        self._stamped = None
 
     @property
     def source(self) -> Address:
@@ -103,7 +126,15 @@ class BasicHeader(Header):
 
     def with_protocol(self, protocol: Transport) -> "BasicHeader":
         """A copy with the transport replaced (headers stay immutable)."""
-        return BasicHeader(self._source, self._destination, protocol)
+        stamped = self._stamped
+        if stamped is None:
+            stamped = self._stamped = {}
+        header = stamped.get(protocol)
+        if header is None:
+            header = stamped[protocol] = type(self)(
+                self._source, self._destination, protocol
+            )
+        return header
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{self._source!r}->{self._destination!r}/{self._protocol.value}"
@@ -120,9 +151,7 @@ class DataHeader(BasicHeader):
 
     def __init__(self, source: Address, destination: Address, protocol: Transport = Transport.DATA) -> None:
         super().__init__(source, destination, protocol)
-
-    def with_protocol(self, protocol: Transport) -> "DataHeader":
-        return DataHeader(self._source, self._destination, protocol)
+        # with_protocol is inherited: type(self) keeps the DataHeader class.
 
 
 class Route:
@@ -225,21 +254,27 @@ class BaseMsg(Msg):
             raise TypeError(
                 f"{type(self._header).__name__} does not support protocol replacement"
             )
-        clone = copy.copy(self)
+        # copy.copy(self) resolves to __copy__ anyway; call it directly —
+        # the data interceptor stamps every data message through here.
+        clone = self.__copy__()
         clone._header = replace(protocol)
         return clone
 
     def __copy__(self) -> "BaseMsg":
         cls = type(self)
-        slots = _copy_slots.get(cls)
-        if slots is None:
-            slots = _copy_slots[cls] = _slots_of(cls)
+        copier = _copiers.get(cls)
+        if copier is None:
+            copier = _copiers[cls] = _make_copier(cls)
+        try:
+            return copier(self)
+        except AttributeError:
+            pass  # a slot declared but never assigned: take the slow path
         clone = cls.__new__(cls)
-        for name in slots:
+        for name in _slots_of(cls):
             try:
                 setattr(clone, name, getattr(self, name))
             except AttributeError:
-                pass  # slot declared but never assigned
+                pass
         state = getattr(self, "__dict__", None)
         if state:
             clone.__dict__.update(state)

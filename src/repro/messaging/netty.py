@@ -206,19 +206,23 @@ class NettyNetwork(ComponentDefinition):
     def _on_notify_request(self, req: MessageNotify.Req) -> None:
         def report(success: bool, size: int) -> None:
             resp = MessageNotify.Resp(req.notify_id, success, self.clock.now(), size)
-            self.trigger(resp, self.net)
+            self.net.trigger(resp)
 
         self._send(req.msg, report)
 
     def _send(self, msg: Msg, report: Optional[Callable[[bool, int], None]]) -> None:
         header = msg.header
         transport = header.protocol
-        if not transport.is_wire_protocol:
-            raise TransportError(
-                "Transport.DATA reached NettyNetwork: wrap the network in a "
-                "DataNetwork so the interceptor can replace it (paper §IV-A)"
-            )
-        if transport not in self._protocol_set:
+        # One dict probe covers both send-path guards (the map only ever
+        # holds enabled wire protocols); the cold branch reproduces the
+        # original error precedence.
+        proto = self._proto_of.get(transport)
+        if proto is None:
+            if not transport.is_wire_protocol:
+                raise TransportError(
+                    "Transport.DATA reached NettyNetwork: wrap the network in a "
+                    "DataNetwork so the interceptor can replace it (paper §IV-A)"
+                )
             raise TransportError(f"{transport.value} not enabled on {self.name}")
 
         destination = header.destination
@@ -235,7 +239,6 @@ class NettyNetwork(ComponentDefinition):
             return
 
         size = self._wire_size(msg)
-        proto = self._proto_of[transport]
 
         def on_sent(success: bool) -> None:
             if success:
@@ -250,7 +253,10 @@ class NettyNetwork(ComponentDefinition):
                 report(success, size)
 
         self.pool.send(remote, proto, msg, size, on_sent, now=self.clock.now())
-        self._arm_channel_sweep()
+        # Inline the common-case guard of _arm_channel_sweep (sweeps are
+        # off unless an idle timeout is configured).
+        if not self._sweep_armed and self._idle_timeout is not None:
+            self._arm_channel_sweep()
 
     def _wire_size(self, msg: Msg) -> int:
         frame = self.serializers.wire_size(msg)
@@ -337,7 +343,7 @@ class NettyNetwork(ComponentDefinition):
 
     def _on_wire_message(self, payload: Any, size: int, conn: Connection) -> None:
         msg = payload  # fluid path: the envelope is the message itself
-        if isinstance(msg, Msg) and conn.peer_hello is not None:
+        if conn.peer_hello is not None and isinstance(msg, Msg):
             self.pool.note_traffic_in(
                 tuple(conn.peer_hello), conn.proto, size, now=self.clock.now()
             )
@@ -361,4 +367,4 @@ class NettyNetwork(ComponentDefinition):
         self.counters["received"] += 1
         if self._obs:
             self._m_received.inc()
-        self.trigger(msg, self.net)
+        self.net.trigger(msg)

@@ -185,5 +185,13 @@ def unpack_address(data: bytes, offset: int = 0) -> Tuple[Address, int]:
 
 
 def packed_address_size(address: Address) -> int:
+    # The built-in address classes precompute their packed size (they are
+    # immutable); arbitrary Address implementations take the slow path.
+    size = getattr(address, "_packed_size", None)
+    if size is not None:
+        return size
     vnode = getattr(address, "vnode_id", None) or b""
-    return 1 + len(address.ip.encode("utf-8")) + 2 + 1 + len(vnode)
+    ip = address.ip
+    # ASCII ips (the common case) need no encode to know their byte length.
+    ip_len = len(ip) if ip.isascii() else len(ip.encode("utf-8"))
+    return 1 + ip_len + 2 + 1 + len(vnode)

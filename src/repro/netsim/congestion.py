@@ -28,10 +28,29 @@ class CongestionControl(ABC):
     subject_to_udp_cap: bool = False
     #: scavenger protocols only get bandwidth foreground flows leave over
     scavenger: bool = False
+    #: True when ``demand_rate`` depends on ``now`` (not only on controller
+    #: state), e.g. UDT's SYN-interval ramping.  The allocation-epoch cache
+    #: (``fastpath.ALLOC_EPOCH``) only reuses an allocation across
+    #: timestamps when every participating controller is time-invariant.
+    demand_time_varying: bool = False
+    #: Generation counter for demand-relevant state.  Implementations bump
+    #: it whenever a signal (``on_bytes_sent``/``on_loss``/external writes)
+    #: actually changes the value ``demand_rate`` would return; the
+    #: allocation-epoch cache uses it to detect staleness without
+    #: re-querying (queries may mutate state).  A pegged controller (e.g.
+    #: TCP at ``wnd_max``) keeps its generation, which is what makes
+    #: steady-state allocations cacheable.
+    demand_gen: int = 0
 
     @abstractmethod
     def demand_rate(self, now: float) -> float:
-        """Bytes/second the protocol is willing to push right now."""
+        """Bytes/second the protocol is willing to push right now.
+
+        Contract for the allocation-epoch cache: calling this twice at the
+        same ``now`` with unchanged state must return the same value, and
+        the second call must not change observable state (idempotence
+        within a timestamp).  All built-in controllers satisfy this.
+        """
 
     def on_bytes_sent(self, nbytes: int, now: float) -> None:
         """Credit ``nbytes`` transmitted (and, in the fluid model, acked)."""
@@ -78,16 +97,26 @@ class TcpCc(CongestionControl):
         self.loss_episodes = 0
 
     def demand_rate(self, now: float) -> float:
-        wnd = min(max(self.cwnd, 2 * MSS), self.wnd_max)
+        wnd = self.cwnd
+        floor = 2 * MSS
+        if wnd < floor:
+            wnd = floor
+        wnd_max = self.wnd_max
+        if wnd > wnd_max:
+            wnd = wnd_max
         return wnd / self.rtt
 
     def on_bytes_sent(self, nbytes: int, now: float) -> None:
-        if self.cwnd < self.ssthresh:
-            self.cwnd += nbytes  # slow start: double per RTT
+        cwnd = self.cwnd
+        if cwnd < self.ssthresh:
+            cwnd += nbytes  # slow start: double per RTT
         else:
-            self.cwnd += MSS * nbytes / self.cwnd  # CA: +MSS per RTT
-        if self.cwnd > self.wnd_max:
-            self.cwnd = self.wnd_max
+            cwnd += MSS * nbytes / cwnd  # CA: +MSS per RTT
+        if cwnd > self.wnd_max:
+            cwnd = self.wnd_max
+        if cwnd != self.cwnd:
+            self.cwnd = cwnd
+            self.demand_gen += 1
 
     def on_loss(self, now: float) -> None:
         if now - self._last_md < self.rtt:
@@ -95,7 +124,9 @@ class TcpCc(CongestionControl):
         self._last_md = now
         self.loss_episodes += 1
         self.ssthresh = max(self.cwnd / 2.0, 2 * MSS)
-        self.cwnd = self.ssthresh
+        if self.cwnd != self.ssthresh:
+            self.cwnd = self.ssthresh
+            self.demand_gen += 1
 
     def window_bytes(self) -> float:
         return min(max(self.cwnd, 2 * MSS), self.wnd_max)
@@ -117,6 +148,9 @@ class UdtCc(CongestionControl):
     """
 
     subject_to_udp_cap = True
+    #: the SYN-interval ramp makes demand a function of time, not just
+    #: state; the allocation-epoch cache must re-solve at new timestamps
+    demand_time_varying = True
 
     SYN = 0.01  # UDT rate-control interval, seconds
     DECREASE = 1.0 - 1.0 / 9.0  # multiplicative decrease factor
@@ -143,20 +177,31 @@ class UdtCc(CongestionControl):
 
     def demand_rate(self, now: float) -> float:
         self._maybe_increase(now)
-        return min(max(self.rate, self.min_rate), self.max_rate)
+        rate = self.rate
+        if rate < self.min_rate:
+            rate = self.min_rate
+        if rate > self.max_rate:
+            rate = self.max_rate
+        return rate
 
     def _maybe_increase(self, now: float) -> None:
-        if now - self._last_increase < self.SYN:
+        last = self._last_increase
+        if now - last < self.SYN:
             return
         # Multiple SYN intervals may have elapsed while idle; apply each.
         intervals = 1
-        if self._last_increase > -math.inf:
-            intervals = max(1, int((now - self._last_increase) / self.SYN))
+        if last > -math.inf:
+            intervals = max(1, int((now - last) / self.SYN))
             intervals = min(intervals, 1000)
+        rate = self.rate
+        estimate = self.bandwidth_estimate
+        max_rate = self.max_rate
+        probe = 10 * MSS
         for _ in range(intervals):
-            gap = self.bandwidth_estimate - self.rate
-            step = max(gap * 0.05, 0.0) + 10 * MSS  # probe even at estimate
-            self.rate = min(self.rate + step, self.max_rate)
+            gap = estimate - rate
+            step = max(gap * 0.05, 0.0) + probe  # probe even at estimate
+            rate = min(rate + step, max_rate)
+        self.rate = rate
         self._last_increase = now
 
     def check_receive_buffer(self, now: float) -> bool:
@@ -174,7 +219,10 @@ class UdtCc(CongestionControl):
 
     def on_loss(self, now: float) -> None:
         self.loss_events += 1
-        self.rate = max(self.rate * self.DECREASE, self.min_rate)
+        rate = max(self.rate * self.DECREASE, self.min_rate)
+        if rate != self.rate:
+            self.rate = rate
+            self.demand_gen += 1
 
     def window_bytes(self) -> float:
         return self.current_rate() * self.rtt
@@ -233,14 +281,20 @@ class LedbatCc(CongestionControl):
         # Additive increase of ~one rate-quantum per RTT worth of data,
         # never asking beyond the link estimate (the scavenger tier clips
         # the actual allocation to spare capacity anyway).
-        self.rate = min(
+        rate = min(
             self.rate + (nbytes / self.rtt) * 0.10,
             self.bandwidth_estimate,
         )
+        if rate != self.rate:
+            self.rate = rate
+            self.demand_gen += 1
 
     def on_loss(self, now: float) -> None:
         self.loss_events += 1
-        self.rate = max(self.rate / 2.0, self.min_rate)
+        rate = max(self.rate / 2.0, self.min_rate)
+        if rate != self.rate:
+            self.rate = rate
+            self.demand_gen += 1
 
     def window_bytes(self) -> float:
         return self.current_rate() * self.rtt

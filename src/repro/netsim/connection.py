@@ -121,7 +121,7 @@ class FlowState:
         return self.cc.scavenger
 
     def demand_rate(self) -> float:
-        return self.cc.demand_rate(self.sim.now)
+        return self.cc.demand_rate(self.sim.clock._now)
 
     # ------------------------------------------------------------------
     # sending
@@ -147,8 +147,15 @@ class FlowState:
 
     def _start_next(self) -> None:
         msg = self.queue[0]
-        rate = min(self.demand_rate(), self.link_dir.allocate_rate(self))
-        rate = max(rate, 1.0)
+        if fastpath.ALLOC_EPOCH:
+            # allocate_rate() never exceeds this flow's demand and already
+            # floors at 1.0, so min(demand, rate) == rate and the extra
+            # demand query is redundant (demand_rate is idempotent within
+            # a timestamp; skipping it cannot change controller state).
+            rate = self.link_dir.allocate_rate(self)
+        else:
+            rate = min(self.demand_rate(), self.link_dir.allocate_rate(self))
+            rate = max(rate, 1.0)
         self.busy = True
         duration = msg.size / rate
         self.sim.schedule(duration, self._complete, label="flow-tx")
@@ -156,41 +163,50 @@ class FlowState:
     def _complete(self) -> None:
         if self.aborted:
             return
-        now = self.sim.now
+        sim = self.sim
+        link_dir = self.link_dir
+        now = sim.clock._now
         msg = self.queue.popleft()
-        self.queued_bytes -= msg.size
-        self.bytes_sent += msg.size
+        size = msg.size
+        self.queued_bytes -= size
+        self.bytes_sent += size
         self.messages_sent += 1
-        self.link_dir.note_transmit(msg.size)
+        link_dir.note_transmit(size)
 
-        self.cc.on_bytes_sent(msg.size, now)
-        lost = self.rng.random() < self.link_dir.loss_probability(msg.size)
+        cc = self.cc
+        gen0 = cc.demand_gen
+        cc.on_bytes_sent(size, now)
+        lost = self.rng.random() < link_dir.loss_probability(size)
         if lost:
-            self.cc.on_loss(now)
-        if isinstance(self.cc, UdtCc):
+            cc.on_loss(now)
+        if isinstance(cc, UdtCc):
             # Receive-buffer overshoot acts as an additional loss signal but
             # the data is retransmitted (reliable), so delivery still happens.
-            self.cc.check_receive_buffer(now)
+            cc.check_receive_buffer(now)
+        if cc.demand_gen != gen0:
+            # The controller's demand moved: cached allocations are stale.
+            link_dir.demand_dirty()
 
-        if self.link_dir.up and (self.cc.reliable or not lost):
-            delay = self.link_dir.spec.delay
-            if not self.cc.ordered and self.link_dir.spec.jitter > 0:
-                delay += self.rng.uniform(0.0, self.link_dir.spec.jitter)
+        if link_dir.up and (cc.reliable or not lost):
+            spec = link_dir.spec
+            delay = spec.delay
+            if not cc.ordered and spec.jitter > 0:
+                delay += self.rng.uniform(0.0, spec.jitter)
             if fastpath.RX_TRAIN:
                 self._enqueue_delivery(now + delay, msg)
             else:
-                self.sim.schedule(delay, lambda m=msg: self.deliver(m), label="flow-rx")
+                sim.schedule(delay, lambda m=msg: self.deliver(m), label="flow-rx")
             msg._sent(True)
         else:
             self.messages_dropped += 1
-            self.link_dir.note_drop()
+            link_dir.note_drop()
             msg._sent(False)
 
         if self.queue:
             self._start_next()
         else:
             self.busy = False
-            self.link_dir.deactivate(self)
+            link_dir.deactivate(self)
 
     # ------------------------------------------------------------------
     # receive-side delivery train
@@ -220,10 +236,26 @@ class FlowState:
         itself if it is no longer active (same as the reference path).
         """
         train = self._train
-        now = self.sim.now
-        deliver = self.deliver
-        while train and train[0][0] <= now:
-            deliver(train.popleft()[1])
+        now = self.sim.clock._now
+        due = 0
+        for entry in train:
+            if entry[0] > now:
+                break
+            due += 1
+        if due == 1:
+            # The overwhelmingly common case under windowed flow control:
+            # exactly one entry matured, deliver it right here.
+            self.deliver(train.popleft()[1])
+        elif due:
+            # A real burst (coinciding due times): fan the batch out with
+            # one schedule_many call — contiguous sequence numbers keep
+            # train order, and each delivery runs as its own event so a
+            # mid-batch teardown behaves like the reference path.
+            deliver = self.deliver
+            batch = [train.popleft()[1] for _ in range(due)]
+            self.sim.schedule_many(
+                0.0, [lambda m=m: deliver(m) for m in batch], label="flow-rx"
+            )
         if train:
             self.sim.schedule_at(train[0][0], self._pump_rx, label="flow-rx")
         else:

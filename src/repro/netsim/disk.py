@@ -38,20 +38,26 @@ class DiskModel:
         """Schedule a sequential read; returns its completion time."""
         if nbytes < 0:
             raise ValueError("cannot read a negative byte count")
-        start = max(self.sim.now, self._read_busy_until)
+        sim = self.sim
+        now = sim.clock._now
+        busy = self._read_busy_until
+        start = busy if busy > now else now
         done = start + nbytes / self.read_rate
         self._read_busy_until = done
         self.bytes_read += nbytes
-        self.sim.schedule_at(done, callback, label="disk-read")
+        sim.schedule_at(done, callback, label="disk-read")
         return done
 
     def write(self, nbytes: int, callback: Callable[[], None]) -> float:
         """Schedule a sequential write; returns its completion time."""
         if nbytes < 0:
             raise ValueError("cannot write a negative byte count")
-        start = max(self.sim.now, self._write_busy_until)
+        sim = self.sim
+        now = sim.clock._now
+        busy = self._write_busy_until
+        start = busy if busy > now else now
         done = start + nbytes / self.write_rate
         self._write_busy_until = done
         self.bytes_written += nbytes
-        self.sim.schedule_at(done, callback, label="disk-write")
+        sim.schedule_at(done, callback, label="disk-write")
         return done

@@ -209,6 +209,7 @@ class SimNetwork:
                 rtt = max(out_dir.spec.delay + back_dir.spec.delay, 1e-5)
                 if hasattr(conn.flow.cc, "rtt"):
                     conn.flow.cc.rtt = rtt
+                    conn.flow.link_dir.demand_dirty()
                     updated += 1
         return updated
 

@@ -7,13 +7,23 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro import fastpath
 from repro.check import get_checker
 from repro.obs import get_registry
+
+try:  # numpy backs the vectorized max-min solver; scalar path otherwise
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the dev environment
+    _np = None
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.connection import FlowState
 
 PACKET_SIZE = 1500.0  # bytes; granularity for loss-probability conversion
+
+#: Hand the max-min solve to numpy only above this flow count; below it the
+#: scalar path wins on constant factors.
+VEC_MAXMIN_THRESHOLD = 32
 
 
 class Proto(enum.Enum):
@@ -97,14 +107,100 @@ def max_min_allocation(demands: Sequence[float], capacity: float) -> List[float]
     return alloc
 
 
+def max_min_allocation_vec(demands: Sequence[float], capacity: float) -> List[float]:
+    """Vectorized progressive filling, bit-equal to :func:`max_min_allocation`.
+
+    The scalar reference settles flows in ascending-demand order and while
+    a flow demands less than its fair share the step degenerates to
+    ``remaining -= demand``.  That prefix is a pure left fold, which
+    ``np.subtract.accumulate`` reproduces with the *same* sequence of IEEE
+    subtractions — so the prefix allocations and the running ``remaining``
+    match the scalar path bit for bit.  The first flow whose demand
+    exceeds its share breaks the degenerate pattern; from there the scalar
+    loop finishes the (typically short) saturated tail, which also absorbs
+    ``inf`` demands and any share wobble.  ``argsort(kind="stable")``
+    matches ``sorted``'s stable tie-breaking exactly.
+    """
+    n = len(demands)
+    if n <= 2 or _np is None:
+        return max_min_allocation(demands, capacity)
+    arr = _np.asarray(demands, dtype=float)
+    order = _np.argsort(arr, kind="stable")
+    d_sorted = arr[order]
+    # remaining[k] = capacity after fully granting the first k demands,
+    # computed as the same left fold the scalar loop performs.
+    remaining_seq = _np.subtract.accumulate(
+        _np.concatenate(((capacity,), d_sorted[:-1]))
+    )
+    shares = remaining_seq / _np.arange(n, 0, -1, dtype=float)
+    under = d_sorted <= shares
+    k = n if bool(under.all()) else int(_np.argmin(under))
+    alloc = [0.0] * n
+    order_list = order.tolist()
+    d_list = d_sorted.tolist()
+    for i in range(k):
+        alloc[order_list[i]] = d_list[i]
+    if k < n:
+        remaining = float(remaining_seq[k])
+        active = n - k
+        for i in range(k, n):
+            share = remaining / active
+            give = min(d_list[i], share)
+            alloc[order_list[i]] = give
+            remaining -= give
+            active -= 1
+    return alloc
+
+
+def _max_min(demands: Sequence[float], capacity: float) -> List[float]:
+    """Dispatch between the scalar and vectorized max-min solvers."""
+    if (
+        fastpath.VEC_MAXMIN
+        and _np is not None
+        and len(demands) >= VEC_MAXMIN_THRESHOLD
+    ):
+        return max_min_allocation_vec(demands, capacity)
+    return max_min_allocation(demands, capacity)
+
+
 class LinkDirection:
-    """One direction of a link; tracks active flows for fair sharing."""
+    """One direction of a link; tracks active flows for fair sharing.
+
+    Allocation epochs (``fastpath.ALLOC_EPOCH``)
+    --------------------------------------------
+    The tiered allocation (udp-cap pool → foreground max-min → scavenger
+    leftover) is a pure function of the active-flow set, the link spec,
+    the controllers' demand-relevant state, and — for time-varying
+    controllers like UDT — the clock.  Those inputs change far less often
+    than messages start, so the direction counts an *allocation epoch*
+    (``_epoch``), bumped on activate/deactivate, spec change, and
+    ``demand_dirty`` (a controller's demand-relevant state changed), and
+    caches the full allocation map per epoch.  A cache hit skips the
+    demand queries entirely; that is byte-equivalent because
+    ``demand_rate`` is idempotent within a timestamp (see
+    :class:`~repro.netsim.congestion.CongestionControl`) and a hit implies
+    unchanged state (same epoch) and — when any participant is
+    time-varying — the same timestamp.
+    """
 
     def __init__(self, spec: LinkSpec, name: str) -> None:
         self.spec = spec
         self.name = name
         self.up = True
-        self._active: List["FlowState"] = []
+        #: insertion-ordered set of active flows (dict for O(1) membership;
+        #: iteration order matches the old append/remove list semantics)
+        self._active: Dict["FlowState", None] = {}
+        #: memoized tuple view of ``_active`` (rebuilt lazily on change)
+        self._flows: Optional[Tuple["FlowState", ...]] = None
+        #: allocation epoch; any change to allocation inputs bumps it
+        self._epoch = 0
+        #: (epoch, timestamp-or-None, {flow: floored rate}) — timestamp is
+        #: None when every participant's demand is time-invariant
+        self._alloc_cache: Optional[
+            Tuple[int, Optional[float], Dict["FlowState", float]]
+        ] = None
+        #: (spec, nbytes, probability) — see loss_probability
+        self._loss_memo: Optional[Tuple[LinkSpec, int, float]] = None
         self.bytes_carried = 0.0
 
         # Per-direction wire accounting (no-ops unless a registry is enabled).
@@ -132,7 +228,8 @@ class LinkDirection:
 
     def note_drop(self) -> None:
         """Account one message lost in this direction (loss, cut, abort)."""
-        self._m_drops.inc()
+        if self._obs:
+            self._m_drops.inc()
 
     def update_spec(self, spec: LinkSpec) -> None:
         """Change the direction's characteristics at runtime.
@@ -145,21 +242,44 @@ class LinkDirection:
         ``SimNetwork.refresh_rtts`` (connections cache the RTT at dial time).
         """
         self.spec = spec
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     # flow registration
     # ------------------------------------------------------------------
     def activate(self, flow: "FlowState") -> None:
-        if flow not in self._active:
-            self._active.append(flow)
+        active = self._active
+        if flow not in active:
+            active[flow] = None
+            self._flows = None
+            self._epoch += 1
 
     def deactivate(self, flow: "FlowState") -> None:
-        if flow in self._active:
-            self._active.remove(flow)
+        active = self._active
+        if flow in active:
+            del active[flow]
+            self._flows = None
+            self._epoch += 1
+
+    def demand_dirty(self) -> None:
+        """Invalidate the allocation epoch: a controller's demand changed.
+
+        Called by :class:`~repro.netsim.connection.FlowState` when a
+        completion's congestion signals moved the controller's
+        ``demand_gen``, and by ``SimNetwork.refresh_rtts`` after writing
+        RTTs into live controllers.
+        """
+        self._epoch += 1
+
+    def _flows_tuple(self) -> Tuple["FlowState", ...]:
+        flows = self._flows
+        if flows is None:
+            flows = self._flows = tuple(self._active)
+        return flows
 
     @property
     def active_flows(self) -> Tuple["FlowState", ...]:
-        return tuple(self._active)
+        return self._flows_tuple()
 
     # ------------------------------------------------------------------
     # rate allocation
@@ -176,7 +296,6 @@ class LinkDirection:
           effort semantics of RFC 6817;
         * within each tier, progressive-filling max-min fairness.
         """
-        active = self._active
         if self._check is not None:
             # Checked runs always take the general path: it computes the
             # full demand/allocation maps the feasibility invariant needs,
@@ -184,14 +303,43 @@ class LinkDirection:
             # as the unrolled cases (controllers mutate state when queried,
             # so the hook must not re-query them).
             return self._allocate_general(flow)
+        active = self._flows_tuple()
+        if fastpath.ALLOC_EPOCH:
+            if len(active) == 1 and active[0] is flow:
+                # Sole-flow queries gain nothing from the cache (the whole
+                # solve is four lines) but would pay its dict/tuple churn,
+                # so they keep the direct unrolled path.
+                spec = self.spec
+                demand = flow.demand_rate()
+                if flow.subject_to_udp_cap and spec.udp_cap is not None:
+                    cap = spec.udp_cap
+                    if demand > cap:
+                        demand = cap
+                bw = spec.bandwidth
+                if demand > bw:
+                    demand = bw
+                return demand if demand > 1.0 else 1.0
+            cache = self._alloc_cache
+            if cache is not None and cache[0] == self._epoch:
+                stamp = cache[1]
+                if stamp is None or stamp == flow.sim.clock._now:
+                    rate = cache[2].get(flow)
+                    if rate is not None:
+                        return rate
+            return self._allocate_epoch(flow)
         if len(active) == 1 and active[0] is flow:
             # Sole active flow (the bulk-transfer steady state): the tiers
             # collapse to min(demand, caps), bit-identical to the general
             # path below (max-min of one demand is min(demand, capacity)).
             demand = flow.demand_rate()
             if flow.subject_to_udp_cap and self.spec.udp_cap is not None:
-                demand = min(demand, self.spec.udp_cap)
-            return max(min(demand, self.spec.bandwidth), 1.0)
+                cap = self.spec.udp_cap
+                if demand > cap:
+                    demand = cap
+            bw = self.spec.bandwidth
+            if demand > bw:
+                demand = bw
+            return demand if demand > 1.0 else 1.0
         if (
             len(active) == 2
             and not active[0].scavenger
@@ -210,45 +358,81 @@ class LinkDirection:
                 if f0.subject_to_udp_cap:
                     if f1.subject_to_udp_cap:
                         if d0 <= d1:
-                            d0 = min(d0, cap / 2)
-                            d1 = min(d1, cap - d0)
+                            half = cap / 2
+                            if d0 > half:
+                                d0 = half
+                            rest = cap - d0
+                            if d1 > rest:
+                                d1 = rest
                         else:
-                            d1 = min(d1, cap / 2)
-                            d0 = min(d0, cap - d1)
+                            half = cap / 2
+                            if d1 > half:
+                                d1 = half
+                            rest = cap - d1
+                            if d0 > rest:
+                                d0 = rest
                     else:
-                        d0 = min(d0, cap / 1)
+                        full = cap / 1
+                        if d0 > full:
+                            d0 = full
                 elif f1.subject_to_udp_cap:
-                    d1 = min(d1, cap / 1)
+                    full = cap / 1
+                    if d1 > full:
+                        d1 = full
             bw = self.spec.bandwidth
             if d0 <= d1:
-                a0 = min(d0, bw / 2)
-                a1 = min(d1, bw - a0)
+                half = bw / 2
+                a0 = d0 if d0 <= half else half
+                rest = bw - a0
+                a1 = d1 if d1 <= rest else rest
             else:
-                a1 = min(d1, bw / 2)
-                a0 = min(d0, bw - a1)
-            return max(a0 if flow is f0 else a1, 1.0)
+                half = bw / 2
+                a1 = d1 if d1 <= half else half
+                rest = bw - a1
+                a0 = d0 if d0 <= rest else rest
+            alloc = a0 if flow is f0 else a1
+            return alloc if alloc > 1.0 else 1.0
         return self._allocate_general(flow)
 
-    def _allocate_general(self, flow: "FlowState") -> float:
-        active = self._active
-        flows = active if flow in active else active + [flow]
-        demands: Dict["FlowState", float] = {f: f.demand_rate() for f in flows}
+    def _query_flows(self, flow: "FlowState") -> Tuple["FlowState", ...]:
+        """The flow set an allocation covers, in activation order."""
+        flows = self._flows_tuple()
+        if flow not in self._active:
+            flows = flows + (flow,)
+        return flows
 
-        if self.spec.udp_cap is not None:
+    def _tiered_allocation(
+        self,
+        flows: Sequence["FlowState"],
+        demands: Dict["FlowState", float],
+    ) -> Dict["FlowState", float]:
+        """udp-cap pool → foreground max-min → scavenger leftover.
+
+        Mutates ``demands`` in place (udp-capped values), matching what the
+        checker hook historically observed.
+        """
+        spec = self.spec
+        if spec.udp_cap is not None:
             udp_flows = [f for f in flows if f.subject_to_udp_cap]
             if udp_flows:
-                capped = max_min_allocation([demands[f] for f in udp_flows], self.spec.udp_cap)
+                capped = _max_min([demands[f] for f in udp_flows], spec.udp_cap)
                 for f, c in zip(udp_flows, capped):
                     demands[f] = c
 
         foreground = [f for f in flows if not f.scavenger]
         background = [f for f in flows if f.scavenger]
-        fg_alloc = max_min_allocation([demands[f] for f in foreground], self.spec.bandwidth)
+        fg_alloc = _max_min([demands[f] for f in foreground], spec.bandwidth)
         allocation: Dict["FlowState", float] = dict(zip(foreground, fg_alloc))
         if background:
-            leftover = max(self.spec.bandwidth - sum(fg_alloc), 0.0)
-            bg_alloc = max_min_allocation([demands[f] for f in background], leftover)
+            leftover = max(spec.bandwidth - sum(fg_alloc), 0.0)
+            bg_alloc = _max_min([demands[f] for f in background], leftover)
             allocation.update(zip(background, bg_alloc))
+        return allocation
+
+    def _allocate_general(self, flow: "FlowState") -> float:
+        flows = self._query_flows(flow)
+        demands: Dict["FlowState", float] = {f: f.demand_rate() for f in flows}
+        allocation = self._tiered_allocation(flows, demands)
 
         if self._check is not None:
             self._check.on_allocation(
@@ -259,15 +443,115 @@ class LinkDirection:
         # Never return a zero rate for a flow with work: progress floor.
         return max(allocation[flow], 1.0)
 
+    def _allocate_epoch(self, flow: "FlowState") -> float:
+        """Compute and cache the full allocation map for this epoch.
+
+        Performs exactly the demand queries (count and order) the
+        reference path would make for one allocation, then records every
+        flow's floored rate so subsequent queries in the same epoch skip
+        the solve entirely.  The cache is stamped with the current time
+        when any participant's demand is time-varying; it is reusable
+        across timestamps otherwise.
+        """
+        flows = self._query_flows(flow)
+        epoch = self._epoch  # before queries: a query must not outlive bumps
+        now = flow.sim.clock._now
+        spec = self.spec
+        n = len(flows)
+        time_varying = False
+        rates: Dict["FlowState", float]
+        if n == 1:
+            f0 = flows[0]
+            time_varying = f0.cc.demand_time_varying
+            demand = f0.demand_rate()
+            if f0.subject_to_udp_cap and spec.udp_cap is not None:
+                demand = min(demand, spec.udp_cap)
+            bw = spec.bandwidth
+            if demand > bw:
+                demand = bw
+            rates = {f0: demand if demand > 1.0 else 1.0}
+        elif n == 2 and not flows[0].scavenger and not flows[1].scavenger:
+            # Two foreground flows, unrolled: cap the UDP-pool members,
+            # then one two-flow max-min — same operations in the same
+            # order as the general path.
+            f0, f1 = flows
+            time_varying = f0.cc.demand_time_varying or f1.cc.demand_time_varying
+            d0 = f0.demand_rate()
+            d1 = f1.demand_rate()
+            cap = spec.udp_cap
+            if cap is not None:
+                if f0.subject_to_udp_cap:
+                    if f1.subject_to_udp_cap:
+                        if d0 <= d1:
+                            half = cap / 2
+                            if d0 > half:
+                                d0 = half
+                            rest = cap - d0
+                            if d1 > rest:
+                                d1 = rest
+                        else:
+                            half = cap / 2
+                            if d1 > half:
+                                d1 = half
+                            rest = cap - d1
+                            if d0 > rest:
+                                d0 = rest
+                    else:
+                        full = cap / 1
+                        if d0 > full:
+                            d0 = full
+                elif f1.subject_to_udp_cap:
+                    full = cap / 1
+                    if d1 > full:
+                        d1 = full
+            bw = spec.bandwidth
+            if d0 <= d1:
+                half = bw / 2
+                a0 = d0 if d0 <= half else half
+                rest = bw - a0
+                a1 = d1 if d1 <= rest else rest
+            else:
+                half = bw / 2
+                a1 = d1 if d1 <= half else half
+                rest = bw - a1
+                a0 = d0 if d0 <= rest else rest
+            if a0 < 1.0:
+                a0 = 1.0
+            if a1 < 1.0:
+                a1 = 1.0
+            rates = {f0: a0, f1: a1}
+        else:
+            demands: Dict["FlowState", float] = {f: f.demand_rate() for f in flows}
+            allocation = self._tiered_allocation(flows, demands)
+            rates = {f: max(a, 1.0) for f, a in allocation.items()}
+            for f in flows:
+                if f.cc.demand_time_varying:
+                    time_varying = True
+                    break
+        self._alloc_cache = (epoch, now if time_varying else None, rates)
+        return rates[flow]
+
     # ------------------------------------------------------------------
     # loss
     # ------------------------------------------------------------------
     def loss_probability(self, nbytes: int) -> float:
         """Probability that a transmission of ``nbytes`` sees >= 1 packet loss."""
-        if self.spec.loss <= 0.0:
-            return 0.0
-        packets = max(1.0, nbytes / PACKET_SIZE)
-        return 1.0 - math.pow(1.0 - self.spec.loss, packets)
+        # Single-entry memo: bulk transfers ask for the same chunk size
+        # against the same (frozen) spec millions of times, and math.pow
+        # dominates an otherwise trivial function.
+        spec = self.spec
+        memo = self._loss_memo
+        if memo is not None and memo[0] is spec and memo[1] == nbytes:
+            return memo[2]
+        if spec.loss <= 0.0:
+            p = 0.0
+        else:
+            packets = nbytes / PACKET_SIZE
+            if packets < 1.0:
+                packets = 1.0
+            p = 1.0 - math.pow(1.0 - spec.loss, packets)
+        self._loss_memo = (spec, nbytes, p)
+        return p
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LinkDirection({self.name}, bw={self.spec.bandwidth:.3g}B/s, d={self.spec.delay * 1e3:.3g}ms)"

@@ -62,6 +62,10 @@ class CompositePath:
         for d in self._dirs:
             d.deactivate(flow)
 
+    def demand_dirty(self) -> None:
+        for d in self._dirs:
+            d.demand_dirty()
+
     def allocate_rate(self, flow: "FlowState") -> float:
         return max(min(d.allocate_rate(flow) for d in self._dirs), 1.0)
 

@@ -18,6 +18,9 @@ class EventHandle:
 
     __slots__ = ("time", "seq", "callback", "cancelled", "label", "owner")
 
+    # NOTE: the Simulator scheduling fast paths construct handles via
+    # ``object.__new__`` and inline these slot stores; keep them in sync
+    # with any change here.
     def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str = "") -> None:
         self.time = time
         self.seq = seq

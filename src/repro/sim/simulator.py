@@ -14,29 +14,58 @@ The heap stores ``(time, seq, handle)`` tuples rather than bare
 :class:`EventHandle` objects: ``seq`` is unique, so sift comparisons never
 reach the handle and run entirely in C.  Cancellation stays lazy
 (tombstones are skipped at the head), but the kernel counts live
-tombstones and compacts the heap in place once they dominate it, so
-recurring timers that reschedule cannot grow the heap without bound.
+tombstones and compacts the queues in place once they dominate them, so
+recurring timers that reschedule cannot grow the queues without bound.
 Pop order is a total order on ``(time, seq)``, so compaction — and any
-heap re-arrangement — cannot change execution order.
+re-arrangement — cannot change execution order.
+
+Run queue (``fastpath.RUN_QUEUE``)
+----------------------------------
+Simulation workloads schedule in *almost sorted* order: the executing
+event at ``t`` usually schedules at ``t + delta`` for a small set of
+deltas, so successive pushes are non-decreasing with occasional
+far-future jumps (timeouts, retry timers).  Paying a full O(log n) heap
+sift per event for a stream that is already sorted is the kernel's
+single biggest cost, so the fast path keeps a second queue: a deque of
+bare handles, maintained sorted by appending at the tail while pushes
+stay monotone.  A push that is *smaller* than the tail first ejects the
+blocking tail entries into the heap — each entry can be ejected at most
+once in its lifetime, so ejection is amortized O(1) per scheduled event,
+and far-future entries migrate to the heap where they belong.  Pops take
+the minimum of the two sorted sources; since both are individually
+sorted, the merge always yields the global ``(time, seq)`` minimum
+regardless of which queue holds an entry, so execution order is
+bit-identical to the heap-only reference path.  Run-queue entries are
+never sifted, so they skip the ``(time, seq, handle)`` tuple entirely —
+one allocation per event instead of two.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, List, Optional, Tuple
+import math
+from collections import deque
+from typing import Callable, Deque, Iterable, List, Optional, Tuple
 
+from repro import fastpath
 from repro.check import get_checker
 from repro.errors import SchedulingError, SimulationError
 from repro.obs import get_registry
 from repro.sim.event import EventHandle
 from repro.util.clock import SimulatedClock
 
-#: Compact only when at least this many tombstones are buried in the heap
+#: Compact only when at least this many tombstones are buried in the queues
 #: (and they outnumber the live entries); keeps small simulations from
 #: paying rebuild costs for a handful of cancelled timers.
 COMPACTION_MIN_TOMBSTONES = 64
 
 _HeapEntry = Tuple[float, int, EventHandle]
+
+#: Allocating an EventHandle without running ``__init__`` (the slot stores
+#: are inlined at the scheduling sites) saves a call frame per event on
+#: the hottest allocation in the kernel.  The inlined stores mirror
+#: ``EventHandle.__init__`` — keep the two in sync.
+_new_handle = object.__new__
 
 
 class Simulator:
@@ -53,11 +82,15 @@ class Simulator:
     def __init__(self, start_time: float = 0.0) -> None:
         self.clock = SimulatedClock(start_time)
         self._heap: List[_HeapEntry] = []
+        #: tail-sorted near-future queue of bare handles (see module
+        #: docstring); merged with the heap on pop, so it is always safe
+        #: to leave entries here
+        self._run_q: Deque[EventHandle] = deque()
         self._seq = 0
         self._running = False
         self._stopped = False
         self.events_executed = 0
-        #: cancelled handles still buried in the heap (lazy tombstones)
+        #: cancelled handles still buried in the queues (lazy tombstones)
         self._tombstones = 0
         #: lifetime stats for introspection and the perf harness
         self.heap_compactions = 0
@@ -72,7 +105,7 @@ class Simulator:
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
-        return self.clock.now()
+        return self.clock._now
 
     # ------------------------------------------------------------------
     # scheduling
@@ -84,9 +117,27 @@ class Simulator:
         time = self.clock._now + delay
         seq = self._seq
         self._seq = seq + 1
-        handle = EventHandle(time, seq, callback, label)
+        handle = _new_handle(EventHandle)
+        handle.time = time
+        handle.seq = seq
+        handle.callback = callback
+        handle.cancelled = False
+        handle.label = label
         handle.owner = self
-        heapq.heappush(self._heap, (time, seq, handle))
+        if fastpath.RUN_QUEUE:
+            run_q = self._run_q
+            if run_q and time < run_q[-1].time:
+                # Out-of-order push: eject the blocking tail into the heap
+                # (each entry is ejected at most once — amortized O(1)).
+                heap = self._heap
+                push = heapq.heappush
+                eject = run_q.pop
+                while run_q and run_q[-1].time > time:
+                    tail = eject()
+                    push(heap, (tail.time, tail.seq, tail))
+            run_q.append(handle)
+        else:
+            heapq.heappush(self._heap, (time, seq, handle))
         return handle
 
     def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> EventHandle:
@@ -95,9 +146,25 @@ class Simulator:
             raise SchedulingError(f"cannot schedule at {time} < now {self.now}")
         seq = self._seq
         self._seq = seq + 1
-        handle = EventHandle(time, seq, callback, label)
+        handle = _new_handle(EventHandle)
+        handle.time = time
+        handle.seq = seq
+        handle.callback = callback
+        handle.cancelled = False
+        handle.label = label
         handle.owner = self
-        heapq.heappush(self._heap, (time, seq, handle))
+        if fastpath.RUN_QUEUE:
+            run_q = self._run_q
+            if run_q and time < run_q[-1].time:
+                heap = self._heap
+                push = heapq.heappush
+                eject = run_q.pop
+                while run_q and run_q[-1].time > time:
+                    tail = eject()
+                    push(heap, (tail.time, tail.seq, tail))
+            run_q.append(handle)
+        else:
+            heapq.heappush(self._heap, (time, seq, handle))
         return handle
 
     def schedule_many(
@@ -118,17 +185,34 @@ class Simulator:
         if delay < 0:
             raise SchedulingError(f"negative delay {delay!r}")
         time = self.clock._now + delay
-        heap = self._heap
-        push = heapq.heappush
         seq = self._seq
         handles: List[EventHandle] = []
         append = handles.append
-        for callback in callbacks:
-            handle = EventHandle(time, seq, callback, label)
-            handle.owner = self
-            push(heap, (time, seq, handle))
-            seq += 1
-            append(handle)
+        if fastpath.RUN_QUEUE:
+            run_q = self._run_q
+            if run_q and time < run_q[-1].time:
+                heap = self._heap
+                push = heapq.heappush
+                eject = run_q.pop
+                while run_q and run_q[-1].time > time:
+                    tail = eject()
+                    push(heap, (tail.time, tail.seq, tail))
+            enqueue = run_q.append
+            for callback in callbacks:
+                handle = EventHandle(time, seq, callback, label)
+                handle.owner = self
+                enqueue(handle)
+                seq += 1
+                append(handle)
+        else:
+            heap = self._heap
+            push = heapq.heappush
+            for callback in callbacks:
+                handle = EventHandle(time, seq, callback, label)
+                handle.owner = self
+                push(heap, (time, seq, handle))
+                seq += 1
+                append(handle)
         self._seq = seq
         return handles
 
@@ -138,20 +222,26 @@ class Simulator:
     def _note_cancelled(self) -> None:
         self._tombstones = count = self._tombstones + 1
         self._m_cancelled.inc()
-        if count >= COMPACTION_MIN_TOMBSTONES and count * 2 > len(self._heap):
+        if count >= COMPACTION_MIN_TOMBSTONES and count * 2 > len(self._heap) + len(self._run_q):
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without tombstones, in place.
+        """Rebuild the queues without tombstones, in place.
 
-        In-place (slice assignment) so that a ``heap`` binding held by an
-        in-flight ``_run`` loop stays valid when a callback cancels enough
-        events to trigger compaction mid-run.
+        In-place (slice assignment / clear+extend) so that ``heap`` and
+        ``run_q`` bindings held by an in-flight ``_run`` loop stay valid
+        when a callback cancels enough events to trigger compaction
+        mid-run.  The run queue is sorted, so filtering preserves order.
         """
         heap = self._heap
         evicted = self._tombstones
         heap[:] = [entry for entry in heap if not entry[2].cancelled]
         heapq.heapify(heap)
+        run_q = self._run_q
+        if run_q:
+            live = [handle for handle in run_q if not handle.cancelled]
+            run_q.clear()
+            run_q.extend(live)
         self._tombstones = 0
         self.heap_compactions += 1
         self.tombstones_evicted += evicted
@@ -159,22 +249,40 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _pop_next(self) -> Optional[EventHandle]:
+        """Pop the globally minimal handle across both sorted sources."""
+        heap = self._heap
+        run_q = self._run_q
+        if run_q:
+            if heap:
+                head = run_q[0]
+                h0 = heap[0]
+                h0t = h0[0]
+                rt = head.time
+                if h0t < rt or (h0t == rt and h0[1] < head.seq):
+                    return heapq.heappop(heap)[2]
+            return run_q.popleft()
+        if heap:
+            return heapq.heappop(heap)[2]
+        return None
+
     def step(self) -> bool:
         """Execute the next pending event; return False when none remain."""
-        heap = self._heap
-        while heap:
-            time, _seq, handle = heapq.heappop(heap)
+        while True:
+            handle = self._pop_next()
+            if handle is None:
+                return False
             handle.owner = None
             if handle.cancelled:
                 self._tombstones -= 1
                 continue
+            time = handle.time
             self.clock._advance_to(time)
             self.events_executed += 1
             if self._check is not None:
                 self._check.on_execute(time, handle.label)
             handle.callback()
             return True
-        return False
 
     def run(self, max_events: int = 100_000_000) -> None:
         """Run until the event queue drains (or ``stop`` is called)."""
@@ -203,37 +311,133 @@ class Simulator:
         self._stopped = False
         executed = 0
         heap = self._heap
+        run_q = self._run_q
         pop = heapq.heappop
+        popleft = run_q.popleft
         clock = self.clock
         inv = self._check
+        limit = math.inf if until is None else until
         if inv is not None:
             inv.on_run_begin()
         try:
-            while heap and not self._stopped:
-                time, _seq, head = heap[0]
-                if head.cancelled:
-                    pop(heap)
-                    head.owner = None
-                    self._tombstones -= 1
-                    continue
-                if until is not None and time > until:
-                    break
-                pop(heap)
-                head.owner = None
-                # Direct write: scheduling validated time >= now and the
-                # heap pops in time order, so monotonicity holds.
-                clock._now = time
-                self.events_executed += 1
-                executed += 1
-                if executed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} at t={self.now}; "
-                        f"likely a zero-delay event loop (last label={head.label!r})"
-                    )
-                if inv is not None:
-                    inv.on_execute(time, head.label)
-                head.callback()
+            # Two copies of the loop: the checker-off variant drops the
+            # per-event hook call from the hottest loop in the codebase.
+            # Keep the bodies in sync.
+            if inv is None:
+                while not self._stopped:
+                    # Merged pop: both sources are sorted, so comparing
+                    # heads yields the global (time, seq) minimum.  The
+                    # float compare settles everything except exact-time
+                    # ties, which fall back to the seq tie-break.
+                    if run_q:
+                        handle = run_q[0]
+                        if heap:
+                            h0 = heap[0]
+                            h0t = h0[0]
+                            rt = handle.time
+                            if h0t < rt or (h0t == rt and h0[1] < handle.seq):
+                                entry = pop(heap)
+                                handle = entry[2]
+                                if handle.cancelled:
+                                    handle.owner = None
+                                    self._tombstones -= 1
+                                    continue
+                                if h0t > limit:
+                                    heapq.heappush(heap, entry)
+                                    break
+                                handle.owner = None
+                                clock._now = h0t
+                                executed += 1
+                                if executed > max_events:
+                                    raise SimulationError(
+                                        f"exceeded max_events={max_events} at t={self.now}; "
+                                        f"likely a zero-delay event loop "
+                                        f"(last label={handle.label!r})"
+                                    )
+                                handle.callback()
+                                continue
+                        popleft()
+                    elif heap:
+                        handle = pop(heap)[2]
+                    else:
+                        break
+                    if handle.cancelled:
+                        handle.owner = None
+                        self._tombstones -= 1
+                        continue
+                    time = handle.time
+                    if time > limit:
+                        # Put the (globally minimal) handle back at the run
+                        # queue head; it stays <= run_q[0], so order holds.
+                        run_q.appendleft(handle)
+                        break
+                    handle.owner = None
+                    # Direct write: scheduling validated time >= now and
+                    # the merged pop is in time order, so monotonicity
+                    # holds.
+                    clock._now = time
+                    executed += 1
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} at t={self.now}; "
+                            f"likely a zero-delay event loop (last label={handle.label!r})"
+                        )
+                    handle.callback()
+            else:
+                while not self._stopped:
+                    if run_q:
+                        handle = run_q[0]
+                        if heap:
+                            h0 = heap[0]
+                            h0t = h0[0]
+                            rt = handle.time
+                            if h0t < rt or (h0t == rt and h0[1] < handle.seq):
+                                entry = pop(heap)
+                                handle = entry[2]
+                                if handle.cancelled:
+                                    handle.owner = None
+                                    self._tombstones -= 1
+                                    continue
+                                if h0t > limit:
+                                    heapq.heappush(heap, entry)
+                                    break
+                                handle.owner = None
+                                clock._now = h0t
+                                executed += 1
+                                if executed > max_events:
+                                    raise SimulationError(
+                                        f"exceeded max_events={max_events} at t={self.now}; "
+                                        f"likely a zero-delay event loop "
+                                        f"(last label={handle.label!r})"
+                                    )
+                                inv.on_execute(h0t, handle.label)
+                                handle.callback()
+                                continue
+                        popleft()
+                    elif heap:
+                        handle = pop(heap)[2]
+                    else:
+                        break
+                    if handle.cancelled:
+                        handle.owner = None
+                        self._tombstones -= 1
+                        continue
+                    time = handle.time
+                    if time > limit:
+                        run_q.appendleft(handle)
+                        break
+                    handle.owner = None
+                    clock._now = time
+                    executed += 1
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} at t={self.now}; "
+                            f"likely a zero-delay event loop (last label={handle.label!r})"
+                        )
+                    inv.on_execute(time, handle.label)
+                    handle.callback()
         finally:
+            self.events_executed += executed
             self._running = False
             if inv is not None:
                 inv.on_run_end()
@@ -243,20 +447,37 @@ class Simulator:
     # ------------------------------------------------------------------
     def pending_events(self) -> int:
         """Number of queued (non-cancelled) events."""
-        return len(self._heap) - self._tombstones
+        return len(self._heap) + len(self._run_q) - self._tombstones
 
     def peek_next_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None if the queue is empty.
 
         Pops tombstoned heads on the way, so repeated peeks stay O(1)
-        amortised instead of sorting the heap.
+        amortised instead of sorting the queues.
         """
         heap = self._heap
-        while heap:
-            head = heap[0]
-            if not head[2].cancelled:
-                return head[0]
-            heapq.heappop(heap)
-            head[2].owner = None
+        run_q = self._run_q
+        while True:
+            from_heap = True
+            if run_q:
+                head = run_q[0]
+                if heap:
+                    h0 = heap[0]
+                    if h0[0] < head.time or (h0[0] == head.time and h0[1] < head.seq):
+                        head = h0[2]
+                    else:
+                        from_heap = False
+                else:
+                    from_heap = False
+            elif heap:
+                head = heap[0][2]
+            else:
+                return None
+            if not head.cancelled:
+                return head.time
+            if from_heap:
+                heapq.heappop(heap)
+            else:
+                run_q.popleft()
+            head.owner = None
             self._tombstones -= 1
-        return None

@@ -46,6 +46,7 @@ class TestSuites:
         assert result["meta"]["quick"] is True
         assert result["meta"]["fastpath"] == {
             "DISPATCH_CACHE": True, "SERIALIZER_CACHE": True, "RX_TRAIN": True,
+            "RUN_QUEUE": True, "ALLOC_EPOCH": True, "VEC_MAXMIN": True,
         }
         assert "pre_pr_reference" in result
 
