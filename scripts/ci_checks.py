@@ -64,6 +64,49 @@ def check_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def check_chaos_aio(args: argparse.Namespace) -> int:
+    """Real-socket chaos: zero leaks, zero duplicates, epochs monotone.
+
+    The artifact is one ``repro chaos --backend aio --format json`` run:
+    a live AioNetwork killed and supervision-restarted mid-transfer.  The
+    gate asserts the crash-recovery contract, not throughput: every
+    MessageNotify resolved exactly once (``leaked == 0``), no chunk was
+    delivered twice (the epoch fence + dedup window), every planned kill
+    actually happened, and each incarnation announced a strictly larger
+    network epoch with the ``aio.epoch``/``aio.nodup`` invariants clean.
+    """
+    doc = _load(args.artifact)
+    assert doc.get("kind") == "chaos-aio", \
+        f"not a chaos-aio artifact: kind={doc.get('kind')!r}"
+    assert doc["restarts_done"] >= 1, "no supervised restart ever happened"
+    assert doc["restarts_done"] == doc["restarts_planned"], \
+        f"only {doc['restarts_done']}/{doc['restarts_planned']} kills landed"
+    assert doc["leaked"] == 0, \
+        f"{doc['leaked']} notifies never resolved (leak across restart)"
+    assert doc["duplicates_delivered"] == 0, \
+        f"{doc['duplicates_delivered']} duplicate chunk deliveries"
+    epochs = doc["epochs"]
+    assert len(epochs) == doc["restarts_done"] + 1, \
+        f"expected {doc['restarts_done'] + 1} epochs, saw {len(epochs)}"
+    assert all(a < b for a, b in zip(epochs, epochs[1:])), \
+        f"network epochs not strictly increasing: {epochs}"
+    assert doc["check_ok"], "invariant violations: " + "; ".join(doc["violations"])
+    assert doc["sender_done"], "sender never finished its accounting"
+    if doc["redelivery"] == "at-least-once":
+        assert doc["delivered_unique"] == doc["chunks"], \
+            f"at-least-once lost chunks: {doc['delivered_unique']}/{doc['chunks']}"
+        assert doc["failed"] == 0, \
+            f"at-least-once failed {doc['failed']} notifies"
+    assert doc["converged"], "campaign did not converge"
+    assert "aio" in doc.get("check_streams", {}), \
+        "no aio digest stream recorded (checker was off?)"
+    print(f"chaos-aio OK: {doc['transport']}/{doc['redelivery']}, "
+          f"{doc['restarts_done']} restart(s), epochs {epochs}, "
+          f"{doc['delivered_unique']}/{doc['chunks']} delivered, "
+          f"0 leaked, 0 duplicated")
+    return 0
+
+
 def check_loopback(args: argparse.Namespace) -> int:
     """The real-socket loopback run must be loss-free and leak-free.
 
@@ -165,6 +208,12 @@ def main(argv=None) -> int:
     p_chaos = sub.add_parser("chaos", help="chaos-campaign snapshot checks")
     p_chaos.add_argument("snapshot")
     p_chaos.set_defaults(func=check_chaos)
+
+    p_chaos_aio = sub.add_parser(
+        "chaos-aio", help="real-socket chaos artifact checks"
+    )
+    p_chaos_aio.add_argument("artifact")
+    p_chaos_aio.set_defaults(func=check_chaos_aio)
 
     p_loopback = sub.add_parser(
         "loopback", help="real-socket loopback artifact checks"

@@ -18,32 +18,52 @@ Production behaviours layered on top of the raw transports:
   ``send_failures`` bump — instead of faulting the component and leaking
   the pending notify.
 * **Channel recovery**: a failed send drops the channel and retries the
-  dial (``messaging.aio.redial_attempts``); after
-  ``messaging.aio.down_after`` consecutive batch failures the component
-  publishes ``TransportStatus.Down`` so the adaptive selector steers
-  away, and ``TransportStatus.Up`` once traffic flows again.
+  dial (``messaging.aio.redial_attempts``) on the capped-exponential
+  backoff schedule of :class:`~repro.messaging.recovery.ReconnectPolicy`
+  (``messaging.reconnect.*`` keys, gated by ``messaging.aio.backoff``)
+  so redial storms after a peer crash back off instead of thundering;
+  after ``messaging.aio.down_after`` consecutive batch failures the
+  component publishes ``TransportStatus.Down`` so the adaptive selector
+  steers away, and ``TransportStatus.Up`` once traffic flows again.
+* **Network epochs & crash-recovery**: every (re)start of the component
+  draws a fresh, process-monotonic *epoch*; outgoing frames carry an
+  ``(epoch, seq)`` header and receivers suppress duplicates through a
+  bounded per-peer delivery window (``messaging.aio.dedup_window``).
+  Under supervision RESTART the old instance tears down leak-free and —
+  with ``messaging.aio.redelivery = at-least-once`` — stashes its queued
+  and in-flight sends on the surviving core, which the successor
+  instance re-enqueues in ``on_start``; the epoch fence plus the dedup
+  window make the resend safe even when part of the old batch already
+  reached the wire (e.g. over a resumed UDT session cache).  The default
+  ``at-most-once`` fails pending sends across the restart, exactly like
+  a plain kill.
 * **Observability**: the same ``messaging.*`` counter families as
   NettyNetwork, so ``repro.obs`` snapshots read identically across the
-  simulated and real backends.
+  simulated and real backends; with :mod:`repro.check` enabled the
+  ``aio.epoch`` and ``aio.nodup`` invariants verify the recovery path.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
+import struct
 import threading
 from collections import deque
-from typing import Callable, Deque, Dict, Iterable, Optional, Set, Tuple
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.aio.tcp import TcpTransport
 from repro.aio.transport import AioConnection, AioListener, Endpoint
 from repro.aio.udp import UdpEndpoint
 from repro.aio.udt import UdtLiteTransport
-from repro.errors import TransportError
+from repro.check import get_checker
+from repro.errors import AioStartupError, TransportError
 from repro.kompics.component import ComponentDefinition
 from repro.messaging.address import Address
 from repro.messaging.compression import CompressionCodec, NoCompression
 from repro.messaging.message import Msg
 from repro.messaging.network_port import MessageNotify, Network, TransportStatus
+from repro.messaging.recovery import ReconnectPolicy
 from repro.messaging.serialization import SerializerRegistry, pack_address, unpack_address
 from repro.messaging.transport import Transport
 from repro.obs import get_registry, get_tracer
@@ -52,6 +72,55 @@ DEFAULT_PROTOCOLS = (Transport.TCP, Transport.UDP, Transport.UDT)
 
 #: (frame bytes, optional report callback) queued towards one channel
 _QueuedSend = Tuple[bytes, Optional[Callable[[bool, int], None]]]
+
+#: wire prefix on every aio frame: (network epoch, per-channel sequence)
+EPOCH_HEADER = struct.Struct(">II")
+
+#: redelivery knob values for ``messaging.aio.redelivery``
+AT_MOST_ONCE = "at-most-once"
+AT_LEAST_ONCE = "at-least-once"
+
+#: process-monotonic epoch source: every AioNetwork (re)start draws the
+#: next value, so a supervised restart is guaranteed a strictly larger
+#: epoch than its predecessor without persisting anything.
+_epoch_counter = itertools.count(1)
+
+
+def next_network_epoch() -> int:
+    """Allocate the next network epoch (monotonic per process)."""
+    return next(_epoch_counter)
+
+
+class _DedupWindow:
+    """Bounded set of ``(epoch, seq)`` pairs seen from one peer.
+
+    Admission is exact while a pair is inside the window; once more than
+    ``limit`` newer pairs arrived the oldest entries are forgotten, which
+    bounds memory under long-lived flows.  A re-sent frame therefore has
+    to be delayed by more than ``limit`` fresher frames to slip through —
+    far beyond what a crash-restart resend can produce.
+    """
+
+    __slots__ = ("limit", "_seen", "_order")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self._seen: Set[Tuple[int, int]] = set()
+        self._order: Deque[Tuple[int, int]] = deque()
+
+    def admit(self, epoch: int, seq: int) -> bool:
+        """True if this (epoch, seq) was not seen before (and record it)."""
+        key = (epoch, seq)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._order.append(key)
+        if len(self._order) > self.limit:
+            self._seen.discard(self._order.popleft())
+        return True
+
+    def __len__(self) -> int:
+        return len(self._order)
 
 
 class AioNetwork(ComponentDefinition):
@@ -88,7 +157,26 @@ class AioNetwork(ComponentDefinition):
         self.redial_attempts = self.config.get_int("messaging.aio.redial_attempts", 1)
         #: consecutive failed batches before TransportStatus.Down is published
         self.down_after = self.config.get_int("messaging.aio.down_after", 3)
+        #: what happens to queued/in-flight sends across a supervised restart
+        self.redelivery = self.config.get_str("messaging.aio.redelivery", AT_MOST_ONCE)
+        if self.redelivery not in (AT_MOST_ONCE, AT_LEAST_ONCE):
+            raise TransportError(
+                f"messaging.aio.redelivery must be {AT_MOST_ONCE!r} or "
+                f"{AT_LEAST_ONCE!r}, not {self.redelivery!r}"
+            )
+        #: per-peer (epoch, seq) delivery-window size for duplicate suppression
+        self.dedup_window = self.config.get_int("messaging.aio.dedup_window", 4096)
+        #: at-least-once only: bound on waiting for transport-level ACKs
+        #: before a batch may be reported sent
+        self.ack_timeout = self.config.get_float("messaging.aio.ack_timeout", 30.0)
+        #: capped-exponential backoff between redials (shared with the
+        #: simulated ChannelPool's reconnect campaigns)
+        self.reconnect_policy = ReconnectPolicy.from_config(self.config)
+        self._backoff_enabled = self.config.get_bool("messaging.aio.backoff", True)
+        self._backoff_rng = self.rng("aio-backoff")
         self._hello = pack_address(self_address)
+        #: this instance's network epoch, stamped into every outgoing frame
+        self.epoch = next_network_epoch()
 
         self._tcp = TcpTransport()
         self._udt = UdtLiteTransport(loss_fn=udt_loss_fn, adaptor=udt_adaptor)
@@ -106,17 +194,33 @@ class AioNetwork(ComponentDefinition):
         #: consecutive failed batches per channel (recovery bookkeeping)
         self._fail_streak: Dict[Tuple[Endpoint, Transport], int] = {}
         self._down: Set[Tuple[Endpoint, Transport]] = set()
+        #: per-(remote socket, transport) outgoing sequence counters
+        self._seq: Dict[Tuple[Endpoint, Transport], int] = {}
+        #: per-(peer socket, transport) receive-side delivery windows —
+        #: one per sender sequence stream (they survive restarts via the
+        #: core stash, so a resend after our own crash still dedups)
+        self._dedup: Dict[Tuple[Endpoint, Transport], _DedupWindow] = {}
         self._closing = False
+        #: set False at the top of on_kill (any thread): late sends fail
+        #: fast instead of racing the stopping event loop
+        self._accepting = True
+        #: non-None during an at-least-once teardown: cancelled drainers
+        #: park their in-flight batch here instead of failing it
+        self._parked_batches: Optional[List[Tuple[Tuple[Endpoint, Transport], list]]] = None
         self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
         self.counters = {
             "sent": 0, "received": 0, "reflected": 0, "send_failures": 0,
-            "batches": 0,
+            "batches": 0, "dups_suppressed": 0, "requeued": 0,
         }
 
         metrics = get_registry()
         self._obs = metrics.enabled
         self.tracer = get_tracer()
+        chk = get_checker()
+        self._check = chk if chk.enabled else None
         instance = f"{self_address.ip}:{self_address.port}"
+        self._instance = instance
         self._m_sent = {
             t: metrics.counter("messaging.sent_total", transport=t.value)
             for t in self.protocols
@@ -127,6 +231,12 @@ class AioNetwork(ComponentDefinition):
         }
         self._m_received = metrics.counter("messaging.received_total", instance=instance)
         self._m_reflected = metrics.counter("messaging.reflected_total", instance=instance)
+        self._m_dups = metrics.counter(
+            "messaging.aio.dups_suppressed_total", instance=instance
+        )
+        self._m_requeued = metrics.counter(
+            "messaging.aio.requeued_total", instance=instance
+        )
         self._m_wire_bytes = metrics.histogram(
             "messaging.serialization.wire_bytes",
             buckets=(64, 256, 1024, 4096, 16384, 65536),
@@ -146,12 +256,45 @@ class AioNetwork(ComponentDefinition):
     # lifecycle
     # ------------------------------------------------------------------
     def on_start(self) -> None:
+        # A supervised restart stashes recovery state on the surviving
+        # core (see on_kill): adopt the delivery windows *before* the
+        # listeners bind, so nothing received by the fresh instance can
+        # race the adoption, and replay stashed sends once we are up.
+        stash: Optional[Dict[str, Any]] = self._core.__dict__.pop("aio_recovery", None)
+        if stash is not None:
+            self._dedup = stash["dedup"]
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(target=self._run_loop, name=f"{self.name}-loop", daemon=True)
         self._thread.start()
         future = asyncio.run_coroutine_threadsafe(self._setup(), self._loop)
-        future.result(timeout=10.0)
+        try:
+            future.result(timeout=10.0)
+        except BaseException as exc:
+            # Record the bind/dial error for wait_ready() before faulting
+            # the component, and reap the half-started loop thread so the
+            # failed instance leaks neither sockets nor a running loop.
+            self._startup_error = exc
+            self._shutdown_loop(partial=True)
+            raise
         self._ready.set()
+        if self._check is not None:
+            self._check.on_aio_epoch(self._instance, self.epoch)
+        self.tracer.event("messaging.aio.start", instance=self._instance, epoch=self.epoch)
+        sends = stash["sends"] if stash is not None else ()
+        if sends:
+            self.counters["requeued"] += len(sends)
+            if self._obs:
+                self._m_requeued.inc(len(sends))
+            self.tracer.event(
+                "messaging.aio.redelivery_replay",
+                instance=self._instance, epoch=self.epoch, frames=len(sends),
+            )
+
+            def replay() -> None:
+                for key, frame, report in sends:
+                    self._enqueue_send(key, frame, report)
+
+            self._loop.call_soon_threadsafe(replay)
 
     def wait_ready(self, timeout: float = 10.0) -> bool:
         """Block until the listeners are bound (threaded-system helper).
@@ -159,8 +302,19 @@ class AioNetwork(ComponentDefinition):
         ``KompicsSystem.threaded`` delivers Start events asynchronously,
         so a peer may dial before this instance's listeners exist; test
         and bench harnesses wait on this instead of sleeping.
+
+        Raises :class:`~repro.errors.AioStartupError` — with the
+        underlying bind/dial exception attached as ``__cause__`` — if the
+        network failed to come up or did not become ready within
+        ``timeout``, instead of leaving the caller to hang on a network
+        whose event-loop thread died during startup.
         """
-        return self._ready.wait(timeout)
+        if self._ready.wait(timeout):
+            return True
+        raise AioStartupError(
+            f"{self.name}: aio network not ready after {timeout:.1f}s"
+            + (f" (startup failed: {self._startup_error!r})" if self._startup_error else "")
+        ) from self._startup_error
 
     def _run_loop(self) -> None:
         assert self._loop is not None
@@ -184,37 +338,114 @@ class AioNetwork(ComponentDefinition):
     def on_kill(self) -> None:
         if self._loop is None:
             return
+        self._accepting = False
+        # Under a supervised restart the core survives and a successor
+        # instance will run: at-least-once stashes the pending sends for
+        # it instead of failing them (the epoch fence + receiver dedup
+        # windows make the resend safe); the delivery windows transfer
+        # either way, so a peer's own redelivery cannot double-deliver
+        # through our restart.
+        restarting = self._core.restarting
+        redeliver = restarting and self.redelivery == AT_LEAST_ONCE
 
-        async def teardown() -> None:
+        async def teardown() -> List[Tuple[Tuple[Endpoint, Transport], bytes, Any]]:
             self._closing = True
+            if redeliver:
+                self._parked_batches = []
             drainers = list(self._drainers.values())
             for task in drainers:
                 task.cancel()
             await asyncio.gather(*drainers, return_exceptions=True)
             self._drainers.clear()
-            # Pending sends must not leak their notifies: fail them.
-            for queue in self._sendq.values():
+            stash: List[Tuple[Tuple[Endpoint, Transport], bytes, Any]] = []
+            if self._parked_batches:
+                # In-flight batches first: they were on the wire before
+                # anything still queued, so per-key FIFO order survives.
+                for key, batch in self._parked_batches:
+                    stash.extend((key, frame, report) for frame, report in batch)
+            self._parked_batches = None
+            # Pending sends must not leak their notifies: stash them for
+            # the successor instance (at-least-once) or fail them.
+            for key, queue in self._sendq.items():
                 while queue:
                     frame, report = queue.popleft()
-                    self._record_failure(None, report, len(frame))
+                    if redeliver:
+                        stash.append((key, frame, report))
+                    else:
+                        self._record_failure(None, report, len(frame))
             self._sendq.clear()
             for listener in self._listeners:
                 await listener.close()
             for future in list(self._channels.values()):
                 if future.done() and not future.exception():
                     await future.result().close()
+                elif not future.done():
+                    future.cancel()
+            self._channels.clear()
             if self._udp is not None:
                 await self._udp.close()
             # One loop cycle so cancelled tasks (drainers, UDT pacing
             # loops) actually unwind before the loop stops.
             await asyncio.sleep(0)
+            return stash
 
+        stash: List[Tuple[Tuple[Endpoint, Transport], bytes, Any]] = []
         try:
-            asyncio.run_coroutine_threadsafe(teardown(), self._loop).result(timeout=5.0)
+            stash = asyncio.run_coroutine_threadsafe(teardown(), self._loop).result(timeout=5.0)
         finally:
-            self._loop.call_soon_threadsafe(self._loop.stop)
-            if self._thread is not None:
-                self._thread.join(timeout=5.0)
+            self._shutdown_loop()
+        if restarting:
+            self._core.aio_recovery = {"sends": stash, "dedup": self._dedup}
+
+    def on_fault(self, fault: Any) -> None:
+        """Terminal-fault hook: release the sockets and the loop thread.
+
+        Under a supervised restart the ``on_kill`` hook that runs next
+        does the orderly teardown (and, at-least-once, stashes pending
+        sends for the successor), so there is nothing to do here.  A
+        *terminal* fault — restart budget exhausted, escalated to the
+        root under ``kompics.fault_policy = store`` — never reaches
+        ``on_kill``, so tear down now: pending notifies resolve as
+        failures instead of leaking and the event-loop thread exits.
+        """
+        if self._core.restarting:
+            return
+        self.on_kill()
+
+    def _shutdown_loop(self, partial: bool = False) -> None:
+        """Stop the loop thread and close the loop (idempotent).
+
+        ``partial`` is the startup-failure path: a best-effort async close
+        of whatever ``_setup`` managed to bind runs first, so a failed
+        bind does not strand the listeners that did come up.
+        """
+        loop, thread = self._loop, self._thread
+        if loop is None:
+            return
+        if partial:
+            async def close_partial() -> None:
+                for listener in self._listeners:
+                    await listener.close()
+                if self._udp is not None:
+                    await self._udp.close()
+
+            try:
+                asyncio.run_coroutine_threadsafe(close_partial(), loop).result(timeout=2.0)
+            except Exception:  # noqa: BLE001 - best effort on a dying loop
+                pass
+        try:
+            loop.call_soon_threadsafe(loop.stop)
+        except RuntimeError:
+            pass
+        if thread is not None:
+            thread.join(timeout=5.0)
+        if thread is None or not thread.is_alive():
+            try:
+                loop.close()
+            except RuntimeError:  # pragma: no cover - defensive
+                pass
+        self._loop = None
+        self._thread = None
 
     # ------------------------------------------------------------------
     # send path (component thread)
@@ -255,19 +486,32 @@ class AioNetwork(ComponentDefinition):
                 self.name, transport.value, destination,
             )
             return
-        frame = self.compression.compress(self.serializers.serialize(msg))
-        if len(frame) > self.buffer_size:
-            self._record_failure(transport, report, len(frame))
+        payload = self.compression.compress(self.serializers.serialize(msg))
+        if len(payload) > self.buffer_size:
+            self._record_failure(transport, report, len(payload))
             self.logger.debug(
                 "%s: dropping %d byte frame to %s (exceeds %d byte buffer)",
-                self.name, len(frame), destination, self.buffer_size,
+                self.name, len(payload), destination, self.buffer_size,
             )
             return
         if self._obs:
-            self._m_wire_bytes.observe(len(frame))
-        assert self._loop is not None, "component not started"
+            self._m_wire_bytes.observe(len(payload))
         key = (destination.as_socket(), transport)
-        self._loop.call_soon_threadsafe(self._enqueue_send, key, frame, report)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        frame = EPOCH_HEADER.pack(self.epoch, seq) + payload
+        loop = self._loop
+        if not self._accepting or loop is None:
+            # Killed (or being restarted) under our feet: fail the
+            # message rather than race the stopping event loop.
+            self._record_failure(transport, report, len(frame))
+            return
+        try:
+            loop.call_soon_threadsafe(self._enqueue_send, key, frame, report)
+        except RuntimeError:
+            # The loop closed between the check above and the call —
+            # the teardown already flushed the queues, so resolve here.
+            self._record_failure(transport, report, len(frame))
 
     # ------------------------------------------------------------------
     # batching drainers (loop thread)
@@ -313,10 +557,16 @@ class AioNetwork(ComponentDefinition):
                     try:
                         await self._send_batch(key, batch)
                     except asyncio.CancelledError:
-                        # Killed mid-batch (teardown): the batch was already
-                        # popped from the queue, so fail its notifies here —
-                        # nothing else will ever resolve them.
-                        self._fail_batch(key, batch)
+                        # Killed mid-batch: the batch was already popped
+                        # from the queue, so nothing else will resolve it.
+                        # An at-least-once teardown parks it for the
+                        # successor instance (part of it may be on the
+                        # wire — the receiver's dedup window absorbs the
+                        # resend); otherwise fail its notifies here.
+                        if self._parked_batches is not None:
+                            self._parked_batches.append((key, batch))
+                        else:
+                            self._fail_batch(key, batch)
                         raise
         finally:
             self._drainers.pop(key, None)
@@ -348,11 +598,35 @@ class AioNetwork(ComponentDefinition):
             except (ConnectionError, OSError, asyncio.TimeoutError):
                 self._channels.pop(key, None)
                 conn = None
+            if attempt < self.redial_attempts and self._backoff_enabled:
+                # Capped-exponential backoff between redials: a restart
+                # storm (many peers redialling a recovering network at
+                # once) spreads out instead of thundering.  Cancellation
+                # during the sleep propagates to _drain's handler.
+                delay = self.reconnect_policy.delay_for(attempt, self._backoff_rng)
+                if delay > 0.0:
+                    self.tracer.event(
+                        "messaging.aio.redial_backoff",
+                        remote=f"{remote[0]}:{remote[1]}", proto=transport.value,
+                        attempt=attempt, delay=delay,
+                    )
+                    await asyncio.sleep(delay)
         if conn is None:
             self._fail_batch(key, batch)
             return
         try:
             await conn.send_frames(frames)
+            if self.redelivery == AT_LEAST_ONCE:
+                # "Sent" must mean *acknowledged* for redelivery to be
+                # sound: UDT's send_frames returns once the batch enters
+                # the pacing window, and success reported there would let
+                # a kill drop un-ACKed packets that nobody ever resends.
+                # Waiting here keeps the batch cancellable — a teardown
+                # mid-drain parks it for the successor instance, and the
+                # receiver's dedup window absorbs the replayed overlap.
+                drain = getattr(conn, "drain", None)
+                if drain is not None:
+                    await asyncio.wait_for(drain(), timeout=self.ack_timeout)
         except (ConnectionError, OSError, asyncio.TimeoutError):
             # The batch may be partially on the wire: at-most-once
             # semantics forbid re-sending, so fail it and drop the channel.
@@ -471,7 +745,12 @@ class AioNetwork(ComponentDefinition):
         return on_connection
 
     def _wire_connection(self, conn: AioConnection, key: Optional[Tuple[Endpoint, Transport]]) -> None:
-        conn.on_frame = self._on_frame
+        # The dedup identity is the peer's *instance* address (from the
+        # dial target or the handshake hello) plus the transport — one
+        # window per sender sequence stream, NOT per connection: a
+        # crash-restart replaces the connection but must keep folding
+        # into the same delivery window.
+        conn.on_frame = lambda frame: self._on_frame(frame, key)
         if key is not None:
             def on_closed(c: AioConnection) -> None:
                 future = self._channels.get(key)
@@ -481,12 +760,38 @@ class AioNetwork(ComponentDefinition):
 
             conn.on_closed = on_closed
 
-    def _on_frame(self, frame: bytes) -> None:
-        msg = self.serializers.deserialize(self.compression.decompress(frame))
+    def _on_frame(
+        self, frame: bytes, key: Optional[Tuple[Endpoint, Transport]] = None
+    ) -> None:
+        if len(frame) < EPOCH_HEADER.size:
+            return  # malformed: shorter than the epoch header
+        epoch, seq = EPOCH_HEADER.unpack_from(frame)
+        if key is not None:
+            window = self._dedup.get(key)
+            if window is None:
+                window = self._dedup[key] = _DedupWindow(self.dedup_window)
+            peer, transport = key
+            stream = f"{peer[0]}:{peer[1]}/{transport.value}"
+            if not window.admit(epoch, seq):
+                self.counters["dups_suppressed"] += 1
+                if self._obs:
+                    self._m_dups.inc()
+                self.tracer.event(
+                    "messaging.aio.dup_suppressed",
+                    peer=stream, epoch=epoch, seq=seq,
+                )
+                return
+            if self._check is not None:
+                self._check.on_aio_delivery(self._instance, stream, epoch, seq)
+        msg = self.serializers.deserialize(
+            self.compression.decompress(frame[EPOCH_HEADER.size:])
+        )
         self.counters["received"] += 1
         if self._obs:
             self._m_received.inc()
         self.trigger(msg, self.net)
 
     def _on_datagram(self, frame: bytes, src: Endpoint) -> None:
-        self._on_frame(frame)
+        # The UDP endpoint binds the instance port, so the datagram source
+        # *is* the peer's instance address — a stable dedup identity.
+        self._on_frame(frame, (src, Transport.UDP))

@@ -303,6 +303,14 @@ class UdtLiteConnection(AioConnection):
     def _teardown(self) -> None:
         for task in self._tasks:
             task.cancel()
+        # Torn down mid 0-RTT resume: _confirm_handshake was cancelled
+        # above before it could decide, so the transport's session cache
+        # still lists this peer.  Purge it here — a later dial must not
+        # resume 0-RTT against a session the peer never confirmed (e.g.
+        # the peer crashed and restarted with empty reassembly state).
+        if self.zero_rtt and not self.handshake_confirmed:
+            if self.endpoint.on_resume_failed is not None:
+                self.endpoint.on_resume_failed(self.remote)
         self.endpoint._forget(self.remote)
         if getattr(self, "owns_endpoint", False) and self.endpoint._transport is not None:
             self.endpoint._transport.close()

@@ -15,6 +15,16 @@ precomputed from ``derive_seed(seed, "chaos")`` before the run starts, and
 the simulated testbed is deterministic in ``seed`` as usual — same seed,
 same timeline, same counters.
 
+:func:`run_aio_chaos_campaign` is the real-socket sibling (``repro chaos
+--backend aio``): it kills a live :class:`~repro.aio.network.AioNetwork`
+mid-transfer through the same supervised ``inject_fault`` entry point and
+asserts convergence with strict ``requested - ok - failed = leaked``
+accounting, per-chunk duplicate detection, and the ``aio.epoch`` /
+``aio.nodup`` invariants of :mod:`repro.check`.  Wall-clock timing is not
+reproducible there, but the *kill plan* (how many restarts, at which
+transfer fractions) is drawn from ``derive_seed(seed, "chaos-aio")`` and
+the convergence assertions hold deterministically per seed.
+
 Run via ``repro chaos`` (instrumented through
 :func:`repro.bench.harness.run_observed`) to get the supervision metrics —
 ``kompics.restarts_total``, ``kompics.deadletters_total`` — in the
@@ -24,16 +34,23 @@ snapshot document.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.apps import FileReceiver, FileSender, Pinger, Ponger, SyntheticDataset
 from repro.apps.filetransfer.chunks import PAPER_CHUNK_BYTES as CHUNK
+from repro.apps.filetransfer.chunks import DataChunkMsg
 from repro.bench.faults import FAULT_ENV
 from repro.bench.harness import run_in_steps, wire_endpoint
 from repro.bench.scenario import MB, Setup, TestbedPair
 from repro.kompics import SimTimerComponent, Timer
+from repro.kompics.component import ComponentDefinition
 from repro.messaging import Transport
+from repro.messaging.message import Msg
+from repro.messaging.network_port import Network
 from repro.netsim.faults import FaultInjector
 from repro.obs import get_registry
 from repro.util.rng import derive_seed
@@ -251,3 +268,348 @@ def run_chaos_campaign(
         reconnect_attempts=int(metrics.total("messaging.reconnect.attempts_total")),
         reconnect_recovered=int(metrics.total("messaging.reconnect.recovered_total")),
     )
+
+
+# ----------------------------------------------------------------------
+# real-socket chaos: supervised kill/restart of a live AioNetwork
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AioChaosResult:
+    """One seeded real-socket chaos run: kill plan, accounting, verdict.
+
+    The accounting identity the whole campaign hangs on is the sender's
+    ``requested - ok - failed = leaked``: every chunk handed to the
+    network wrapped in a ``MessageNotify.Req`` must resolve exactly once,
+    crash or no crash.  ``duplicates_delivered`` counts application-level
+    chunk deliveries beyond the first per sequence number — the receiver
+    network's ``(epoch, seq)`` window must make this zero even when
+    at-least-once redelivery re-sends frames that already reached the
+    wire before the kill.
+    """
+
+    transport: str
+    redelivery: str
+    seed: int
+    size: int
+    chunks: int
+    restarts_planned: int
+    restarts_done: int
+    kill_points: Tuple[int, ...]  # chunk-progress thresholds of each kill
+    epochs: Tuple[int, ...]  # sender network epoch per incarnation
+    requested: int
+    ok: int
+    failed: int
+    delivered_unique: int
+    duplicates_delivered: int
+    dups_suppressed: int
+    requeued: int
+    deadletters: int
+    sender_done: bool
+    duration: float
+    check_ok: bool
+    violations: Tuple[str, ...] = ()
+    check_streams: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def leaked(self) -> int:
+        return self.requested - self.ok - self.failed
+
+    @property
+    def epochs_monotone(self) -> bool:
+        return all(a < b for a, b in zip(self.epochs, self.epochs[1:]))
+
+    @property
+    def converged(self) -> bool:
+        """Did the run meet its redelivery contract with zero leaks?"""
+        if not (
+            self.sender_done
+            and self.leaked == 0
+            and self.duplicates_delivered == 0
+            and self.restarts_done == self.restarts_planned
+            and self.epochs_monotone
+            and self.check_ok
+        ):
+            return False
+        if self.redelivery == "at-least-once":
+            # Every chunk must arrive despite the kills: redelivery
+            # replays the gap, the epoch fence dedups the overlap.
+            return self.failed == 0 and self.delivered_unique == self.chunks
+        # at-most-once: chunks in flight across a kill may fail (that is
+        # the contract) but every notify resolved and nothing doubled.
+        return self.delivered_unique <= self.chunks
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "kind": "chaos-aio",
+            "transport": self.transport,
+            "redelivery": self.redelivery,
+            "seed": self.seed,
+            "size": self.size,
+            "chunks": self.chunks,
+            "restarts_planned": self.restarts_planned,
+            "restarts_done": self.restarts_done,
+            "kill_points": list(self.kill_points),
+            "epochs": list(self.epochs),
+            "epochs_monotone": self.epochs_monotone,
+            "requested": self.requested,
+            "ok": self.ok,
+            "failed": self.failed,
+            "leaked": self.leaked,
+            "delivered_unique": self.delivered_unique,
+            "duplicates_delivered": self.duplicates_delivered,
+            "dups_suppressed": self.dups_suppressed,
+            "requeued": self.requeued,
+            "deadletters": self.deadletters,
+            "sender_done": self.sender_done,
+            "duration": self.duration,
+            "check_ok": self.check_ok,
+            "violations": list(self.violations),
+            "check_streams": self.check_streams,
+            "converged": self.converged,
+        }
+
+
+class _ChaosChunkReceiver(ComponentDefinition):
+    """Counts chunk deliveries *per sequence number* to expose duplicates.
+
+    ``delivered_unique`` is distinct chunks seen; ``duplicates`` is every
+    delivery beyond the first of a sequence number — the number that must
+    stay zero when at-least-once redelivery replays a crashed sender's
+    frames through the receiver network's dedup window.
+    """
+
+    def __init__(self, expected_chunks: int) -> None:
+        super().__init__()
+        self.net = self.requires(Network)
+        self.expected = expected_chunks
+        self.seen: Dict[int, int] = {}
+        self.delivered_total = 0
+        self.bytes = 0
+        self.all_delivered = threading.Event()
+        self.subscribe(self.net, Msg, self._on_msg)
+
+    def _on_msg(self, msg: Msg) -> None:
+        if not isinstance(msg, DataChunkMsg):
+            return
+        self.delivered_total += 1
+        self.bytes += msg.length
+        self.seen[msg.seq] = self.seen.get(msg.seq, 0) + 1
+        if len(self.seen) >= self.expected:
+            self.all_delivered.set()
+
+    @property
+    def delivered_unique(self) -> int:
+        return len(self.seen)
+
+    @property
+    def duplicates(self) -> int:
+        return self.delivered_total - len(self.seen)
+
+
+def plan_aio_kill_points(seed: int, restarts: int, chunks: int) -> Tuple[int, ...]:
+    """Chunk-progress thresholds at which the sender network gets killed.
+
+    Drawn from ``derive_seed(seed, "chaos-aio")`` over the middle of the
+    transfer (15%–75%), so every kill lands mid-stream — never before the
+    first chunk or after the last — and the same seed plans the same
+    campaign on any host.
+    """
+    rng = random.Random(derive_seed(seed, "chaos-aio"))
+    lo = max(1, int(chunks * 0.15))
+    hi = max(lo + 1, int(chunks * 0.75))
+    points = sorted(rng.randint(lo, hi) for _ in range(restarts))
+    # De-overlap: two kills at the same progress point would collapse
+    # into a single observable restart window.
+    for i in range(1, len(points)):
+        if points[i] <= points[i - 1]:
+            points[i] = points[i - 1] + 1
+    return tuple(points)
+
+
+def run_aio_chaos_campaign(
+    transport: Transport = Transport.TCP,
+    size: int = 1 * MB,
+    seed: int = 0,
+    restarts: int = 2,
+    redelivery: str = "at-most-once",
+    drop: float = 0.0,
+    chunk: Optional[int] = None,
+    window: int = 16,
+    max_restarts: int = 10,
+    restart_window: float = 30.0,
+    timeout: float = 120.0,
+    check: bool = True,
+) -> AioChaosResult:
+    """Kill and supervision-restart a live ``AioNetwork`` mid-transfer.
+
+    A chunked dataset flows over real loopback sockets from a sender to a
+    receiver node while the harness, at seeded progress points, faults
+    the **sender's network component** through
+    ``system.supervision.inject_fault`` — the same entry point the
+    simulated campaign uses.  Supervision (RESTART policy, budget
+    ``max_restarts`` per ``restart_window``) tears the faulted network
+    down leak-free and reinstantiates it from its recorded create args;
+    the sender application never sees the crash except through its
+    notify accounting.
+
+    ``redelivery`` selects the ``messaging.aio.redelivery`` contract:
+    ``at-most-once`` (default) fails chunks in flight across each kill,
+    ``at-least-once`` stashes and replays them under the epoch fence.
+    ``drop`` > 0 additionally runs a seeded
+    :class:`~repro.aio.adaptors.DropAdaptor` under UDT for packet-level
+    chaos on top of the process-level kills.
+    """
+    from repro.aio import AioNetwork
+    from repro.aio.adaptors import DropAdaptor
+    from repro.apps import SyntheticDataset
+    from repro.bench.loopback import (
+        HOST,
+        LOOPBACK_CHUNK,
+        _free_port,
+        _LoopbackSender,
+        _registry,
+    )
+    from repro.check import checking, get_checker
+    from repro.kompics.runtime import KompicsSystem
+    from repro.messaging.address import BasicAddress
+
+    if transport not in (Transport.TCP, Transport.UDT):
+        raise ValueError("aio chaos runs on TCP or UDT (UDP has no delivery contract)")
+    if redelivery not in ("at-most-once", "at-least-once"):
+        raise ValueError(f"unknown redelivery mode {redelivery!r}")
+    chunk = LOOPBACK_CHUNK if chunk is None else chunk
+
+    dataset = SyntheticDataset(size=size, chunk_size=chunk, seed=seed)
+    chunks = dataset.total_chunks
+    kill_points = plan_aio_kill_points(seed, restarts, chunks)
+
+    config: Dict[str, object] = {
+        "kompics.supervision.enabled": True,
+        "kompics.supervision.action": "restart",
+        "kompics.supervision.max_restarts": max_restarts,
+        "kompics.supervision.window": restart_window,
+        "kompics.fault_policy": "store",
+        "messaging.aio.redelivery": redelivery,
+    }
+
+    already_checking = get_checker().enabled
+    ctx = checking() if (check and not already_checking) else None
+    chk = ctx.__enter__() if ctx is not None else get_checker()
+    started = time.monotonic()
+    deadline = started + timeout
+    epochs: List[int] = []
+    system = KompicsSystem.threaded(workers=4, config=config, seed=seed)
+    try:
+        addr_snd = BasicAddress(HOST, _free_port())
+        addr_rcv = BasicAddress(HOST, _free_port())
+        adaptor_args: Dict[str, object] = {}
+        if drop > 0.0:
+            adaptor_args["udt_adaptor"] = DropAdaptor(
+                probability=drop, seed=derive_seed(seed, "chaos-aio-drop")
+            )
+        net_snd = system.create(
+            AioNetwork, addr_snd, serializers=_registry(), **adaptor_args
+        )
+        net_rcv = system.create(AioNetwork, addr_rcv, serializers=_registry())
+        sender = system.create(
+            _LoopbackSender, addr_snd, addr_rcv, dataset, transport, window
+        )
+        receiver = system.create(_ChaosChunkReceiver, chunks)
+        system.connect(net_snd.provided(Network), sender.required(Network))
+        system.connect(net_rcv.provided(Network), receiver.required(Network))
+
+        system.start(net_snd)
+        system.start(net_rcv)
+        system.start(receiver)
+        net_snd.definition.wait_ready(10.0)
+        net_rcv.definition.wait_ready(10.0)
+        epochs.append(net_snd.definition.epoch)
+
+        snd_def = sender.definition
+        rcv_def = receiver.definition
+
+        # The kills fire from the sender's own notify-accounting path, at
+        # the exact planned completion counts: the hook runs on the
+        # worker executing the sender (one component, one worker at a
+        # time), so "kill #i at >= point chunks" is deterministic in the
+        # plan — not a race between a polling harness thread and a
+        # transfer that may finish in milliseconds.  inject_fault resolves
+        # the supervised restart synchronously; by the time the hook
+        # returns, the core carries the ready successor instance.
+        pending_kills = deque(kill_points)
+        kill_state = {"restarts": 0, "requeued": 0}
+
+        def on_progress(completed: int) -> None:
+            while pending_kills and completed >= pending_kills[0]:
+                point = pending_kills.popleft()
+                kill_state["restarts"] += 1
+                system.supervision.inject_fault(
+                    net_snd,
+                    RuntimeError(
+                        f"chaos-aio: kill #{kill_state['restarts']} at >= {point} chunks"
+                    ),
+                )
+                new_def = net_snd.definition
+                new_def.wait_ready(10.0)
+                epochs.append(new_def.epoch)
+                kill_state["requeued"] += new_def.counters["requeued"]
+
+        snd_def.on_progress = on_progress
+        system.start(sender)
+
+        if not snd_def.done.wait(timeout=max(0.0, deadline - time.monotonic())):
+            raise RuntimeError(
+                f"aio chaos sender stalled: {snd_def.ok} ok / {snd_def.failed} "
+                f"failed / {len(snd_def._in_flight)} in flight of {chunks}"
+            )
+        if redelivery == "at-least-once":
+            # Every chunk must eventually land; give the wire time to
+            # drain the replayed tail.
+            rcv_def.all_delivered.wait(timeout=max(0.0, deadline - time.monotonic()))
+        else:
+            # at-most-once: no completion promise — wait for the receive
+            # side to go quiet so late frames are counted, not raced.
+            settled = rcv_def.delivered_total
+            settle_deadline = min(deadline, time.monotonic() + 5.0)
+            while time.monotonic() < settle_deadline:
+                time.sleep(0.1)
+                now_count = rcv_def.delivered_total
+                if now_count == settled:
+                    break
+                settled = now_count
+
+        final_snd = net_snd.definition
+        return AioChaosResult(
+            transport=transport.value,
+            redelivery=redelivery,
+            seed=seed,
+            size=size,
+            chunks=chunks,
+            restarts_planned=restarts,
+            restarts_done=kill_state["restarts"],
+            kill_points=kill_points,
+            epochs=tuple(epochs),
+            requested=snd_def.requested,
+            ok=snd_def.ok,
+            failed=snd_def.failed,
+            delivered_unique=rcv_def.delivered_unique,
+            duplicates_delivered=rcv_def.duplicates,
+            dups_suppressed=(
+                net_rcv.definition.counters["dups_suppressed"]
+                + final_snd.counters["dups_suppressed"]
+            ),
+            requeued=kill_state["requeued"],
+            deadletters=system.deadletters_total,
+            sender_done=snd_def.done.is_set(),
+            duration=time.monotonic() - started,
+            check_ok=chk.ok if chk.enabled else True,
+            violations=tuple(v.format() for v in chk.violations) if chk.enabled else (),
+            check_streams=(
+                chk.document()["streams"] if chk.enabled else {}
+            ),
+        )
+    finally:
+        system.shutdown()
+        if ctx is not None:
+            ctx.__exit__(None, None, None)

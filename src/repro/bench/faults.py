@@ -57,6 +57,17 @@ class FaultCampaignResult:
     def ping_loss(self) -> int:
         return self.pings_sent - self.pings_answered
 
+    @property
+    def converged(self) -> bool:
+        """Did the workload ride out the scripted faults?
+
+        The transfer must have completed and the control plane must have
+        stayed alive (some pings answered).  Bare (``recovery=False``)
+        runs exist to demonstrate the at-most-once floor and are expected
+        to fail this — the CLI only enforces it when recovery is on.
+        """
+        return self.transfer_done and self.pings_answered > 0
+
 
 def run_fault_campaign(
     setup: Setup = FAULT_ENV,

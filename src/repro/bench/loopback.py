@@ -93,6 +93,10 @@ class _LoopbackSender(ComponentDefinition):
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.done = threading.Event()
+        #: optional hook called with ``ok + failed`` after each resolved
+        #: notify, *before* the window refills — the chaos campaign uses
+        #: it to kill the network at an exact mid-transfer point.
+        self.on_progress: Optional[Any] = None
         self.subscribe(self.net, MessageNotify.Resp, self._on_resp)
 
     def on_start(self) -> None:
@@ -128,6 +132,8 @@ class _LoopbackSender(ComponentDefinition):
             self.ok += 1
         else:
             self.failed += 1
+        if self.on_progress is not None:
+            self.on_progress(self.ok + self.failed)
         if not self._pending and not self._in_flight:
             self.finished_at = time.monotonic()
             self.done.set()
@@ -247,9 +253,11 @@ def run_loopback_once(
         # Start events are asynchronous: both listener sets must be bound
         # before the first chunk goes out, or the opening batch dials a
         # port that does not exist yet.
+        # wait_ready raises AioStartupError (with the bind failure as
+        # __cause__) if either network did not come up.
         aio_snd = net_snd.definition.network_def if use_data else net_snd.definition
-        if not (aio_snd.wait_ready(10.0) and net_rcv.definition.wait_ready(10.0)):
-            raise RuntimeError("aio networks failed to come up within 10s")
+        aio_snd.wait_ready(10.0)
+        net_rcv.definition.wait_ready(10.0)
         system.start(sender)
 
         deadline = time.monotonic() + timeout

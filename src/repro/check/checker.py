@@ -24,6 +24,8 @@ Invariants carry stable dotted names used by violations, tests and the
 ``rl.trace``         an eligibility trace left ``(0, 1]`` (replacing) or finiteness
 ``rl.q``             a Q-value or TD signal became non-finite
 ``link.allocation``  a max-min allocation became infeasible beyond tolerance
+``aio.epoch``        an aio network (re)started with a non-increasing epoch
+``aio.nodup``        an aio receiver delivered the same ``(epoch, seq)`` twice
 ===================  ==============================================================
 """
 
@@ -81,6 +83,8 @@ class InvariantChecker:
         self._digests: Dict[str, RollingDigest] = {}
         self._wire_streams = 0
         self._wire_last: Dict[int, int] = {}
+        self._aio_epochs: Dict[str, int] = {}
+        self._aio_seen: Dict[Tuple[str, str], set] = {}
 
     # ------------------------------------------------------------------
     # core
@@ -155,6 +159,55 @@ class InvariantChecker:
         else:
             self._wire_last[stream] = seq
         self.digest("wire").fold((stream, seq))
+
+    # ------------------------------------------------------------------
+    # aio epochs / crash-recovery delivery
+    # ------------------------------------------------------------------
+    # These live on the checker itself (not on a per-instance hook object)
+    # because AioNetwork rebinds its hooks at construction time and the
+    # whole point is to observe *across* supervised restarts of the same
+    # network instance: the epoch history and delivery windows must
+    # survive the component being torn down and reinstantiated.
+
+    def on_aio_epoch(self, instance: str, epoch: int) -> None:
+        """An aio network came up on ``instance`` with ``epoch``.
+
+        Epochs must be strictly increasing per instance address — a
+        restarted network announcing an old epoch would defeat the fence
+        that makes crash-resume redelivery safe (``aio.epoch``).
+        """
+        last = self._aio_epochs.get(instance)
+        if last is not None and epoch <= last:
+            self.violation(
+                "aio.epoch",
+                "aio network (re)started with a non-increasing epoch",
+                instance=instance, epoch=epoch, last=last,
+            )
+        else:
+            self._aio_epochs[instance] = epoch
+        self.digest("aio").fold(("epoch", instance, epoch))
+
+    def on_aio_delivery(self, instance: str, peer: str, epoch: int, seq: int) -> None:
+        """``instance`` delivered frame ``(epoch, seq)`` from ``peer``.
+
+        Called *after* the receiver's own dedup window admitted the frame,
+        so a second admission of the same pair means the window failed —
+        exactly the double-delivery the ``aio.nodup`` invariant guards
+        against (e.g. a UDT session-cache resume replaying a crashed
+        sender's frames past the dedup bound).
+        """
+        seen = self._aio_seen.get((instance, peer))
+        if seen is None:
+            seen = self._aio_seen[(instance, peer)] = set()
+        if (epoch, seq) in seen:
+            self.violation(
+                "aio.nodup",
+                "aio receiver delivered the same (epoch, seq) twice",
+                instance=instance, peer=peer, epoch=epoch, seq=seq,
+            )
+        else:
+            seen.add((epoch, seq))
+        self.digest("aio").fold(("rx", instance, peer, epoch, seq))
 
 
 class _SimHook:
@@ -357,6 +410,12 @@ class NullChecker:
         return 0
 
     def on_wire_delivery(self, stream: int, seq: int) -> None:  # pragma: no cover
+        return None
+
+    def on_aio_epoch(self, instance: str, epoch: int) -> None:  # pragma: no cover
+        return None
+
+    def on_aio_delivery(self, instance: str, peer: str, epoch: int, seq: int) -> None:  # pragma: no cover
         return None
 
     def document(self) -> Dict[str, Any]:

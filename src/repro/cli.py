@@ -148,6 +148,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded random fault campaign (handler faults + link cuts) "
              "under component supervision",
     )
+    chaos.add_argument("--backend", choices=("sim", "aio"), default="sim",
+                       help="sim: netsim testbed campaign; aio: kill/restart a "
+                            "live real-socket AioNetwork mid-transfer")
+    chaos.add_argument("--restarts", type=int, default=2,
+                       help="[aio] planned supervised kills of the sender network")
+    chaos.add_argument("--redelivery", choices=("at-most-once", "at-least-once"),
+                       default="at-most-once",
+                       help="[aio] messaging.aio.redelivery contract across restarts")
+    chaos.add_argument("--size-mb", type=float, default=1.0,
+                       help="[aio] transfer size in MB")
+    chaos.add_argument("--drop", type=float, default=0.0,
+                       help="[aio] seeded UDT packet-drop probability on top of kills")
     chaos.add_argument("--duration", type=float, default=20.0,
                        help="simulated seconds to run")
     chaos.add_argument("--events", type=int, default=5,
@@ -507,6 +519,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         if result.backoff_delays:
             delays = ", ".join(f"{d:.3f}" for d in result.backoff_delays)
             lines.append(f"  backoff (s)     {delays}")
+        if not result.converged:
+            lines.append("  converged       NO")
         text = "\n".join(lines)
 
     if args.output is not None:
@@ -515,7 +529,9 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print(f"wrote {args.format} output to {args.output}")
     else:
         print(text)
-    return 0
+    # Bare runs demonstrate the unrecovered floor and are allowed to lose
+    # the transfer; with recovery on, non-convergence is a failure.
+    return 0 if (args.no_recovery or result.converged) else 1
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -525,6 +541,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.bench.chaos import DEFAULT_TARGETS
     from repro.bench.harness import run_observed
     from repro.bench.scenario import run_scenario
+
+    if args.backend == "aio":
+        return _cmd_chaos_aio(args)
 
     targets = (
         DEFAULT_TARGETS if args.targets is None
@@ -584,6 +603,54 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0 if result.healthy_at_end else 1
+
+
+def _cmd_chaos_aio(args: argparse.Namespace) -> int:
+    """``repro chaos --backend aio``: real-socket kill/restart campaign."""
+    import json
+
+    from repro.bench.chaos import run_aio_chaos_campaign
+
+    result = run_aio_chaos_campaign(
+        transport=args.transport,
+        size=int(args.size_mb * MB),
+        seed=args.seed,
+        restarts=args.restarts,
+        redelivery=args.redelivery,
+        drop=args.drop,
+        max_restarts=args.max_restarts,
+    )
+    document = result.to_document()
+
+    if args.format == "json":
+        text = json.dumps(document, indent=2, sort_keys=True)
+    else:
+        lines = [
+            f"aio chaos campaign ({result.transport}, {result.redelivery}, "
+            f"seed {result.seed}): {result.restarts_done}/{result.restarts_planned} "
+            f"supervised restart(s) at chunk(s) {list(result.kill_points)}",
+            f"  epochs          {list(result.epochs)}"
+            + ("" if result.epochs_monotone else "  NOT MONOTONE"),
+            f"  notifies        {result.ok} ok / {result.failed} failed / "
+            f"{result.leaked} leaked of {result.requested}",
+            f"  delivered       {result.delivered_unique}/{result.chunks} unique, "
+            f"{result.duplicates_delivered} duplicate(s), "
+            f"{result.dups_suppressed} suppressed by the dedup window",
+            f"  redelivery      {result.requeued} frame(s) requeued across restarts",
+            f"  dead letters    {result.deadletters}",
+            f"  invariants      {'ok' if result.check_ok else 'VIOLATED'}"
+            + ("" if result.check_ok else "\n    " + "\n    ".join(result.violations)),
+            f"  converged       {'yes' if result.converged else 'NO'}",
+        ]
+        text = "\n".join(lines)
+
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.format} output to {args.output}")
+    else:
+        print(text)
+    return 0 if result.converged else 1
 
 
 def cmd_perf(args: argparse.Namespace) -> int:

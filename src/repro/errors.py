@@ -55,6 +55,11 @@ class TransportError(NetworkError):
     """Raised when a requested transport is unsupported on a link or host."""
 
 
+class AioStartupError(NetworkError):
+    """Raised when an aio network failed to come up (bind/dial error or a
+    dead event-loop thread); ``__cause__`` carries the underlying error."""
+
+
 class PolicyError(ReproError):
     """Raised for invalid protocol-selection or protocol-ratio policy state."""
 

@@ -63,6 +63,10 @@ class ComponentCore:
         #: supervision re-runs it on RESTART.
         self.create_args: Optional[Tuple[Any, ...]] = None
         self.state = ComponentState.PASSIVE
+        #: True while supervision restarts this component: the old
+        #: definition's teardown hooks may stash recovery state on the
+        #: core for the successor instance (cleared after reinstantiate).
+        self.restarting = False
 
         self._ports: Dict[Tuple[Type[PortType], bool], Port] = {}
         self._queue: Deque[Tuple[Port, KompicsEvent]] = deque()
@@ -343,8 +347,14 @@ class ComponentCore:
                     "on_fault hook of %r failed", self.name
                 )
         with self._lock:
+            leftover = [event for _, event in self._queue]
             self._queue.clear()
             self._control_queue.clear()
+        # Anything still parked dies with the component: account for each
+        # as a dropped dead letter (everything sent *after* this point is
+        # dead-lettered by enqueue, since the state is now FAULTY).
+        for event in leftover:
+            self.system.note_deadletter(self, event, ComponentState.FAULTY, dropped=True)
         for child in self.children:
             child.enqueue_control(Kill())
         self.system.report_fault(fault)

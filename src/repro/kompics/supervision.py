@@ -332,6 +332,16 @@ class Supervisor:
         only subscriptions are re-made by the fresh ``__init__``.
         Children (and channels attached to *their* ports) are destroyed
         and re-created by the new definition.
+
+        The data mailbox survives the restart (actor-family semantics:
+        Erlang/Akka restarts keep the mailbox, dropping only the faulting
+        message): the core goes PASSIVE before the old definition's
+        teardown hooks run, so events delivered during the gap park in
+        the queue and are handled by the fresh instance after ``Start``.
+        While the hooks run, ``core.restarting`` is True — lifecycle
+        hooks can stash recovery state on the core (see
+        ``AioNetwork``'s at-least-once redelivery) for the successor
+        instance to pick up in ``on_start``.
         """
         from repro.kompics.component import ComponentState
 
@@ -342,27 +352,31 @@ class Supervisor:
         self.tracer.event("kompics.restart", component=core.name, time=now)
 
         old = core.definition
-        for child in list(core.children):
-            self._teardown(child)
-        core.children.clear()
-        if old is not None:
-            if core.state is ComponentState.ACTIVE:
-                self._safe_hook(core, old.on_stop)
-            if fault is not None:
-                self._safe_hook(core, lambda: old.on_fault(fault))
-            self._safe_hook(core, old.on_kill)
-        with core._lock:
-            core._queue.clear()
-            core._control_queue.clear()
-        for port in core._ports.values():
-            port.clear_subscriptions()
+        was_active = core.state is ComponentState.ACTIVE
         core.state = ComponentState.PASSIVE
+        core.restarting = True
         try:
-            self.system._reinstantiate(core)
-        except Exception as exc:  # noqa: BLE001 - constructor fault boundary
-            logger.exception("restart of %r failed in __init__", core.name)
-            core._terminal_fault(Fault(core.name, None, exc))
-            return
+            for child in list(core.children):
+                self._teardown(child)
+            core.children.clear()
+            if old is not None:
+                if was_active:
+                    self._safe_hook(core, old.on_stop)
+                if fault is not None:
+                    self._safe_hook(core, lambda: old.on_fault(fault))
+                self._safe_hook(core, old.on_kill)
+            with core._lock:
+                core._control_queue.clear()
+            for port in core._ports.values():
+                port.clear_subscriptions()
+            try:
+                self.system._reinstantiate(core)
+            except Exception as exc:  # noqa: BLE001 - constructor fault boundary
+                logger.exception("restart of %r failed in __init__", core.name)
+                core._terminal_fault(Fault(core.name, None, exc))
+                return
+        finally:
+            core.restarting = False
         restarted = Restarted(
             core.name, core.id, fault, len(self._restart_times[core.id])
         )
@@ -393,8 +407,14 @@ class Supervisor:
                 self._safe_hook(core, defn.on_kill)
         core.state = ComponentState.DESTROYED
         with core._lock:
+            leftover = [event for _, event in core._queue]
             core._queue.clear()
             core._control_queue.clear()
+        # Unlike a restart (which parks the mailbox for the successor
+        # instance), destruction genuinely drops queued events — account
+        # for each as a dead letter rather than losing them silently.
+        for event in leftover:
+            self.system.note_deadletter(core, event, ComponentState.DESTROYED, dropped=True)
         for port in core._ports.values():
             for channel in port.channels:
                 peer = channel.other(port)

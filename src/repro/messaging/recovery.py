@@ -24,6 +24,12 @@ Everything is **default-off**: without ``messaging.reconnect.enabled``
 the pool never constructs a recovery engine and behaves byte-for-byte as
 before.
 
+The real-socket backend shares the schedule: :class:`~repro.aio.network.
+AioNetwork` builds a :class:`ReconnectPolicy` from the same config keys
+and sleeps ``delay_for(attempt)`` between redial attempts of a failed
+batch (gated by ``messaging.aio.backoff``), so post-crash redial storms
+back off identically on both backends.
+
 Config keys (all under ``messaging.reconnect.*``)::
 
     enabled       bool    master switch (default False)

@@ -212,6 +212,30 @@ class TestUdtLite:
         # shorten by monkeypatching would be nicer; 5s default is tolerable
         asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))
 
+    def test_teardown_mid_resume_purges_session_cache(self):
+        # Regression: a connection torn down while its 0-RTT resume was
+        # still unconfirmed used to leave the transport's session cache
+        # listing the peer, so the *next* dial would resume 0-RTT against
+        # a session the (possibly restarted) peer never confirmed.
+        async def scenario():
+            port = await free_port()
+            transport = UdtLiteTransport()
+            listener = await UdtLiteTransport().listen(HOST, port, lambda c: None)
+            conn = await transport.connect((HOST, port), b"h")
+            assert (HOST, port) in transport._sessions
+            await conn.close()
+            await listener.close()  # peer "crashes"
+
+            # Redial resumes 0-RTT and returns immediately; with the peer
+            # gone the handshake can never be confirmed, so tearing down
+            # now is exactly the mid-resume race.
+            conn2 = await transport.connect((HOST, port), b"h")
+            assert conn2.zero_rtt and not conn2.handshake_confirmed
+            await conn2.close()
+            assert (HOST, port) not in transport._sessions
+
+        run(scenario())
+
     def test_duplex_frames(self):
         async def scenario():
             port = await free_port()

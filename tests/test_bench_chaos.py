@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.bench.chaos import plan_chaos_timeline, run_chaos_campaign
+from repro.bench.chaos import (
+    plan_aio_kill_points,
+    plan_chaos_timeline,
+    run_chaos_campaign,
+)
 from repro.bench.harness import run_observed
 
 pytestmark = pytest.mark.integration
@@ -31,6 +35,28 @@ class TestChaosTimeline:
         assert len(plan) == 20
         assert all(1.0 <= e.time < 4.0 for e in plan)
         assert all(e.kind in ("component_fault", "link_cut") for e in plan)
+
+
+class TestAioKillPlan:
+    def test_same_seed_same_plan(self):
+        assert plan_aio_kill_points(7, 3, 256) == plan_aio_kill_points(7, 3, 256)
+
+    def test_different_seed_different_plan(self):
+        assert plan_aio_kill_points(7, 3, 256) != plan_aio_kill_points(8, 3, 256)
+
+    def test_points_land_mid_transfer_strictly_increasing(self):
+        for seed in range(10):
+            points = plan_aio_kill_points(seed, 4, 100)
+            assert len(points) == 4
+            # never before the first chunk, never in the final quarter
+            # (modulo the +1 de-overlap nudge)
+            assert all(1 <= p <= 75 + 4 for p in points)
+            assert all(a < b for a, b in zip(points, points[1:]))
+
+    def test_tiny_transfer_still_plans_inside_the_stream(self):
+        points = plan_aio_kill_points(0, 2, 4)
+        assert all(p >= 1 for p in points)
+        assert points[0] < points[1]
 
 
 class TestChaosCampaign:

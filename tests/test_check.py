@@ -167,6 +167,28 @@ class TestInvariantChecker:
         chk.on_wire_delivery(s2, 0)  # lower seq, but a different stream
         assert chk.ok
 
+    def test_aio_epoch_must_strictly_increase_per_instance(self):
+        chk = InvariantChecker()
+        chk.on_aio_epoch("127.0.0.1:9000", 1)
+        chk.on_aio_epoch("127.0.0.1:9000", 4)  # gaps are fine (other nets drew 2, 3)
+        chk.on_aio_epoch("127.0.0.1:9001", 2)  # instances are independent
+        assert chk.ok
+        chk.on_aio_epoch("127.0.0.1:9000", 4)  # stale re-announcement
+        chk.on_aio_epoch("127.0.0.1:9000", 3)  # regression
+        assert [v.invariant for v in chk.violations] == ["aio.epoch", "aio.epoch"]
+        assert "aio" in chk.document()["streams"]
+
+    def test_aio_delivery_window_rejects_same_epoch_seq_twice(self):
+        chk = InvariantChecker()
+        chk.on_aio_delivery("n1", "p:1/tcp", 1, 0)
+        chk.on_aio_delivery("n1", "p:1/tcp", 1, 1)
+        chk.on_aio_delivery("n1", "p:1/tcp", 2, 0)  # new epoch restarts seq: fine
+        chk.on_aio_delivery("n1", "p:1/udt", 1, 0)  # per-transport streams independent
+        chk.on_aio_delivery("n2", "p:1/tcp", 1, 0)  # receivers independent
+        assert chk.ok
+        chk.on_aio_delivery("n1", "p:1/tcp", 1, 1)  # crash-resume double delivery
+        assert [v.invariant for v in chk.violations] == ["aio.nodup"]
+
 
 class TestHooks:
     def test_sim_hook_clock_and_stop(self):

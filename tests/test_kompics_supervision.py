@@ -156,6 +156,22 @@ class TestRestart:
         assert new_child.core is not old_child.core
         assert new_child.state is ComponentState.ACTIVE
 
+    def test_restart_preserves_parked_mailbox(self, sim):
+        # Actor-family restart semantics: the fault consumes only the
+        # poisoned event; everything already queued behind it survives the
+        # reinstantiation and is delivered to the successor instance.
+        system = supervised(sim)
+        server, client = wire(sim, system)
+        system.supervision.set_policy(server, SupervisionPolicy.restart())
+        for seq in (1, 2, 3, 4):
+            client.definition.send(seq)
+        sim.run()
+        assert Flaky.instances == 2
+        # seq 2 faulted the first instance; 3 and 4 were parked in the
+        # mailbox across the restart and answered by the successor
+        assert server.definition.handled == [3, 4]
+        assert [p.seq for p in client.definition.pongs] == [1, 3, 4]
+
     def test_budget_exhaustion_escalates(self, sim):
         system = supervised(sim)
         server, client = wire(sim, system, bad_seqs=(1, 2, 3))
@@ -378,6 +394,41 @@ class TestDeadLetters:
         system.start(server)
         sim.run()
         assert [p.seq for p in client.definition.pongs] == [7]
+
+    def test_terminal_fault_dead_letters_parked_events(self, sim):
+        # Events queued *behind* the poisoned one at the moment of a
+        # terminal fault die with the component — each must be accounted
+        # as a dropped dead letter, not silently discarded.
+        system = KompicsSystem.simulated(sim, config={"kompics.fault_policy": "store"})
+        server, client = wire(sim, system)
+        for seq in (2, 3, 4):
+            client.definition.send(seq)
+        sim.run()
+        assert server.state is ComponentState.FAULTY
+        assert system.deadletters_total == 2  # seqs 3 and 4
+        assert [letter.state for letter in system.deadletters] == ["faulty", "faulty"]
+        assert all(letter.dropped for letter in system.deadletters)
+
+    def test_budget_exhaustion_dead_letters_events_sent_during_gap(self, sim):
+        # After the restart budget is exhausted and the fault escalates to
+        # the root (store policy -> FAULTY), every later send is a dropped
+        # dead letter: the "gap" traffic is fully accounted, never lost
+        # silently.
+        system = supervised(sim, **{"kompics.fault_policy": "store"})
+        server, client = wire(sim, system, bad_seqs=(1, 2))
+        system.supervision.set_policy(
+            server, SupervisionPolicy.restart(max_restarts=1, window=100.0)
+        )
+        send_and_run(sim, client, 1)  # restart #1 uses up the budget
+        assert system.supervision.restarts_total == 1
+        send_and_run(sim, client, 2)  # escalates; stored, server FAULTY
+        assert server.state is ComponentState.FAULTY
+        assert system.supervision.escalations_total == 1
+        before = system.deadletters_total
+        send_and_run(sim, client, 3, 4)
+        assert system.deadletters_total == before + 2
+        assert system.deadletters[-1].state == "faulty"
+        assert system.deadletters[-1].dropped
 
     def test_ring_buffer_is_bounded(self, sim):
         system = KompicsSystem.simulated(
