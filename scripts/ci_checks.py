@@ -197,6 +197,76 @@ def check_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def check_hygiene(args: argparse.Namespace) -> int:
+    """No compiled Python artifacts may ever be tracked by git.
+
+    A tracked ``.pyc`` is stale the moment its source changes and breaks
+    fresh-clone determinism; this gate fails the build if ``git ls-files``
+    reports any ``__pycache__`` directory or ``*.pyc`` file.
+    """
+    import subprocess
+
+    out = subprocess.run(
+        ["git", "ls-files"], capture_output=True, text=True, check=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    tracked = out.stdout.splitlines()
+    offenders = [
+        path for path in tracked
+        if "__pycache__" in path.split("/") or path.endswith(".pyc")
+    ]
+    assert not offenders, \
+        "compiled artifacts tracked by git: " + ", ".join(offenders)
+    print(f"hygiene OK: {len(tracked)} tracked files, no __pycache__/*.pyc")
+    return 0
+
+
+def check_cc_matrix(args: argparse.Namespace) -> int:
+    """The congestion-control sweep must be deterministic per arm.
+
+    Takes two artifacts from independent ``repro fleet campaign`` runs
+    over the registered cc scenarios (different ``PYTHONHASHSEED``) and
+    asserts: byte-identical artifacts, a valid campaign document, every
+    unit converged, at least ``--min-arms`` distinct cc scenarios swept,
+    and — since each arm drives a different controller — pairwise
+    distinct digests per seed across arms.  Identical digests would mean
+    the ``cc=`` spec silently stopped reaching the flows.
+    """
+    from repro.bench.fleet import validate_campaign_document
+
+    with open(args.run_a, "rb") as fh:
+        bytes_a = fh.read()
+    with open(args.run_b, "rb") as fh:
+        bytes_b = fh.read()
+    assert bytes_a == bytes_b, \
+        f"{args.run_a} and {args.run_b} differ: cc sweep is not deterministic"
+
+    doc = json.loads(bytes_a)
+    problems = validate_campaign_document(doc)
+    assert not problems, "invalid campaign document: " + "; ".join(problems)
+    totals = doc["merged"]["totals"]
+    assert totals["failed"] == 0, f"{totals['failed']} cc sweep unit(s) failed"
+
+    cc_units = [u for u in doc["units"] if u["scenario"].startswith("cc-")]
+    assert cc_units, "no cc-* scenarios in the artifact"
+    arms = sorted({u["scenario"] for u in cc_units})
+    assert len(arms) >= args.min_arms, \
+        f"only {len(arms)} cc arm(s) swept ({', '.join(arms)}); " \
+        f"need at least {args.min_arms}"
+
+    by_seed: Dict[Any, Dict[str, str]] = {}
+    for unit in cc_units:
+        by_seed.setdefault(unit["seed"], {})[unit["scenario"]] = unit["digest"]
+    for seed, digests in sorted(by_seed.items()):
+        values = list(digests.values())
+        assert len(set(values)) == len(values), \
+            f"seed {seed}: cc arms produced colliding digests {digests}"
+    print(f"cc-matrix OK: {len(arms)} arms ({', '.join(arms)}), "
+          f"{len(cc_units)} units, digests distinct per seed, "
+          f"merged digest {doc['merged']['digest']}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -228,6 +298,20 @@ def main(argv=None) -> int:
                          help="committed campaign artifact to pin digests "
                               "against (missing file tolerated)")
     p_fleet.set_defaults(func=check_fleet)
+
+    p_hygiene = sub.add_parser(
+        "hygiene", help="fail if git tracks __pycache__/*.pyc artifacts"
+    )
+    p_hygiene.set_defaults(func=check_hygiene)
+
+    p_cc = sub.add_parser(
+        "cc-matrix", help="congestion-control sweep artifact checks"
+    )
+    p_cc.add_argument("run_a")
+    p_cc.add_argument("run_b")
+    p_cc.add_argument("--min-arms", type=int, default=3,
+                      help="minimum distinct cc-* scenarios required")
+    p_cc.set_defaults(func=check_cc_matrix)
 
     args = parser.parse_args(argv)
     try:

@@ -52,8 +52,9 @@ import threading
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.aio.pacing import pacer_by_name
 from repro.aio.tcp import TcpTransport
-from repro.aio.transport import AioConnection, AioListener, Endpoint
+from repro.aio.transport import AioConnection, AioListener, AioTransport, Endpoint
 from repro.aio.udp import UdpEndpoint
 from repro.aio.udt import UdtLiteTransport
 from repro.check import get_checker
@@ -178,10 +179,24 @@ class AioNetwork(ComponentDefinition):
         #: this instance's network epoch, stamped into every outgoing frame
         self.epoch = next_network_epoch()
 
+        #: pacing policy for the UDT-lite datapath, by registry name —
+        #: the real-socket side of the pluggable congestion-control seam
+        #: (see repro.aio.pacing; the default keeps UDT's DAIMD exactly)
+        self.cc_policy = self.config.get_str("messaging.aio.cc", "udt")
         self._tcp = TcpTransport()
-        self._udt = UdtLiteTransport(loss_fn=udt_loss_fn, adaptor=udt_adaptor)
+        self._udt = UdtLiteTransport(
+            loss_fn=udt_loss_fn, adaptor=udt_adaptor,
+            pacer_factory=pacer_by_name(self.cc_policy),
+        )
         self._udp: Optional[UdpEndpoint] = None
         self._udp_adaptor = udp_adaptor
+        #: per-transport (driver, port offset) strategy objects — the dial
+        #: and listen paths consult this map instead of branching on the
+        #: transport kind, so new stream transports are one entry away
+        self._drivers: Dict[Transport, Tuple[AioTransport, int]] = {
+            Transport.TCP: (self._tcp, 0),
+            Transport.UDT: (self._udt, self.udt_port_offset),
+        }
 
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -323,13 +338,13 @@ class AioNetwork(ComponentDefinition):
 
     async def _setup(self) -> None:
         port = self.self_address.port
-        if Transport.TCP in self.protocols:
-            self._listeners.append(await self._tcp.listen(self.bind_ip, port, self._accept(Transport.TCP)))
-        if Transport.UDT in self.protocols:
+        for transport in self.protocols:
+            entry = self._drivers.get(transport)
+            if entry is None:
+                continue  # datagram transports open below
+            driver, offset = entry
             self._listeners.append(
-                await self._udt.listen(
-                    self.bind_ip, port + self.udt_port_offset, self._accept(Transport.UDT)
-                )
+                await driver.listen(self.bind_ip, port + offset, self._accept(transport))
             )
         if Transport.UDP in self.protocols:
             self._udp = UdpEndpoint(adaptor=self._udp_adaptor)
@@ -709,10 +724,11 @@ class AioNetwork(ComponentDefinition):
         future = loop.create_future()
         self._channels[key] = future
         try:
-            if transport is Transport.TCP:
-                driver, target = self._tcp, remote
-            else:
-                driver, target = self._udt, (remote[0], remote[1] + self.udt_port_offset)
+            entry = self._drivers.get(transport)
+            if entry is None:
+                raise TransportError(f"no stream driver for transport {transport!r}")
+            driver, offset = entry
+            target = remote if offset == 0 else (remote[0], remote[1] + offset)
             conn = await driver.connect(target, self._hello)
             self._wire_connection(conn, key)
             future.set_result(conn)

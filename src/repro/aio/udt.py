@@ -36,6 +36,7 @@ import time
 from collections import OrderedDict, deque
 from typing import Callable, Deque, Dict, Iterable, Optional, Sequence, Set, Tuple
 
+from repro.aio.pacing import DaimdPacing, PacerFactory, PacingPolicy
 from repro.aio.transport import (
     AioConnection,
     AioListener,
@@ -75,12 +76,17 @@ class UdtLiteConnection(AioConnection):
         remote: Endpoint,
         initial_rate: float = 2 * 1024 * 1024,
         max_rate: float = 512 * 1024 * 1024,
+        pacer_factory: Optional[PacerFactory] = None,
     ) -> None:
         super().__init__()
         self.endpoint = endpoint
         self.remote = remote
-        self.rate = initial_rate
         self.max_rate = max_rate
+        # The pacing policy owns the rate; the default DAIMD policy keeps
+        # the historical arithmetic byte-for-byte.
+        self.pacer: PacingPolicy = (pacer_factory or DaimdPacing)(
+            initial_rate, max_rate, time.monotonic()
+        )
 
         # sender state
         self._next_seq = 0
@@ -93,7 +99,6 @@ class UdtLiteConnection(AioConnection):
         self._all_acked = asyncio.Event()
         self._all_acked.set()
         self._last_progress = time.monotonic()
-        self._last_increase = time.monotonic()
         self.retransmissions = 0
         self.naks_received = 0
         self.sacked = 0
@@ -150,13 +155,13 @@ class UdtLiteConnection(AioConnection):
                 except asyncio.TimeoutError:
                     self._check_timeout()
                     continue
-            self._maybe_increase_rate()
+            self.pacer.on_interval(time.monotonic())
             packet = self._pop_next()
             if packet is None:
                 continue
             seq, payload = packet
             self.endpoint._send_packet(DATA, seq, payload, self.remote)
-            await asyncio.sleep(len(payload) / self.rate)
+            await asyncio.sleep(len(payload) / self.pacer.rate)
 
     def _pop_next(self) -> Optional[Tuple[int, bytes]]:
         while self._retransmit:
@@ -172,11 +177,10 @@ class UdtLiteConnection(AioConnection):
             return seq, payload
         return None
 
-    def _maybe_increase_rate(self) -> None:
-        now = time.monotonic()
-        if now - self._last_increase >= SYN_INTERVAL:
-            self.rate = min(self.rate + max(self.rate * 0.05, 10 * MSS), self.max_rate)
-            self._last_increase = now
+    @property
+    def rate(self) -> float:
+        """Current pacing rate in bytes/s (owned by the pacing policy)."""
+        return self.pacer.rate
 
     def _check_timeout(self) -> None:
         if self._unacked and time.monotonic() - self._last_progress > RTO:
@@ -184,7 +188,7 @@ class UdtLiteConnection(AioConnection):
             if oldest not in self._retransmit_set:
                 self._retransmit.appendleft(oldest)
                 self._retransmit_set.add(oldest)
-            self.rate = max(self.rate * DECREASE, 64 * 1024)
+            self.pacer.on_loss(time.monotonic())
             self._last_progress = time.monotonic()
             self._work.set()
 
@@ -211,7 +215,7 @@ class UdtLiteConnection(AioConnection):
             if seq in self._unacked and seq not in self._retransmit_set:
                 self._retransmit.append(seq)
                 self._retransmit_set.add(seq)
-        self.rate = max(self.rate * DECREASE, 64 * 1024)
+        self.pacer.on_loss(time.monotonic())
         self._work.set()
 
     # ------------------------------------------------------------------
@@ -338,10 +342,12 @@ class UdtLiteEndpoint:
         loss_fn: Optional[Callable[[int], bool]] = None,
         initial_rate: float = 2 * 1024 * 1024,
         adaptor: Optional[object] = None,
+        pacer_factory: Optional[PacerFactory] = None,
     ) -> None:
         self.on_connection = on_connection
         self.loss_fn = loss_fn
         self.initial_rate = initial_rate
+        self.pacer_factory = pacer_factory
         #: fault-injecting :class:`repro.aio.adaptors.SocketAdaptor` (tests)
         self.adaptor = adaptor
         self.connections: Dict[Endpoint, UdtLiteConnection] = {}
@@ -387,7 +393,10 @@ class UdtLiteEndpoint:
         if ptype == HANDSHAKE:
             conn = self.connections.get(src)
             if conn is None:
-                conn = UdtLiteConnection(self, src, initial_rate=self.initial_rate)
+                conn = UdtLiteConnection(
+                    self, src, initial_rate=self.initial_rate,
+                    pacer_factory=self.pacer_factory,
+                )
                 conn.peer_hello = payload
                 self.connections[src] = conn
                 if field & RESUME:
@@ -443,7 +452,10 @@ class UdtLiteEndpoint:
 
         event = asyncio.Event()
         self._handshake_acks[remote] = event
-        conn = UdtLiteConnection(self, remote, initial_rate=self.initial_rate)
+        conn = UdtLiteConnection(
+            self, remote, initial_rate=self.initial_rate,
+            pacer_factory=self.pacer_factory,
+        )
         self.connections[remote] = conn
 
         if resume:
@@ -529,10 +541,14 @@ class UdtLiteTransport(AioTransport):
 
     def __init__(self, initial_rate: float = 2 * 1024 * 1024,
                  loss_fn: Optional[Callable[[int], bool]] = None,
-                 adaptor: Optional[object] = None) -> None:
+                 adaptor: Optional[object] = None,
+                 pacer_factory: Optional[PacerFactory] = None) -> None:
         self.initial_rate = initial_rate
         self.loss_fn = loss_fn
         self.adaptor = adaptor
+        #: pacing policy for every connection this transport creates;
+        #: None keeps the historical DAIMD behaviour
+        self.pacer_factory = pacer_factory
         #: remotes that completed a full handshake: eligible for 0-RTT
         self._sessions: Set[Endpoint] = set()
         self.zero_rtt_resumes = 0
@@ -541,13 +557,15 @@ class UdtLiteTransport(AioTransport):
         endpoint = UdtLiteEndpoint(
             on_connection=on_connection, loss_fn=self.loss_fn,
             initial_rate=self.initial_rate, adaptor=self.adaptor,
+            pacer_factory=self.pacer_factory,
         )
         await endpoint.open(host, port)
         return _UdtListener(endpoint)
 
     async def connect(self, remote: Endpoint, hello: bytes) -> UdtLiteConnection:
         endpoint = UdtLiteEndpoint(
-            loss_fn=self.loss_fn, initial_rate=self.initial_rate, adaptor=self.adaptor
+            loss_fn=self.loss_fn, initial_rate=self.initial_rate,
+            adaptor=self.adaptor, pacer_factory=self.pacer_factory,
         )
         await endpoint.open("0.0.0.0", 0)
         resume = remote in self._sessions

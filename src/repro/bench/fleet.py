@@ -54,6 +54,15 @@ FLOW_PORT = 34000
 
 FLOW_PATTERNS = ("uniform", "incast", "churn")
 
+#: wire protocol each congestion-control arm rides on in fleet sweeps.
+#: Window-based policies (reno, cubic, bbr, ...) pace TCP connections;
+#: only the arms below need a different listener protocol.
+ARM_PROTOS = {"udt": Proto.UDT, "ledbat": Proto.LEDBAT}
+
+
+def _arm_proto(arm: str) -> Proto:
+    return ARM_PROTOS.get(arm, Proto.TCP)
+
 
 # ----------------------------------------------------------------------
 # flow planning
@@ -176,6 +185,7 @@ def run_fleet_workload(
     msg_size: int = 64 * 1024,
     udt_fraction: float = 0.25,
     horizon: float = 120.0,
+    cc_arms: Optional[Sequence[str]] = None,
 ) -> FleetUnitResult:
     """Simulate one seeded fleet: generate, wire, run, summarize.
 
@@ -184,6 +194,12 @@ def run_fleet_workload(
     ends when every flow has finished or ``horizon`` simulated seconds
     elapse, whichever comes first (truncated flows are counted, not
     errors — incast is *supposed* to leave stragglers).
+
+    ``cc_arms`` sweeps congestion-control policies: each flow is pinned
+    to ``arms[index % len(arms)]`` (registry names — ``reno``, ``cubic``,
+    ``bbr``, ...) instead of the plan's TCP/UDT draw.  The assignment is
+    index-derived, not RNG-drawn, so the flow plan — and with
+    ``cc_arms=None`` the whole run — is byte-identical to the default.
     """
     topo = generate_topology(topology, hosts, seed=seed)
     plans = plan_flows(
@@ -208,17 +224,30 @@ def run_fleet_workload(
     def on_accept(conn: Any) -> None:
         conn.on_message = on_message
 
+    arms = tuple(cc_arms) if cc_arms else None
+
     listening = {plan.dst for plan in plans}
+    if arms is None:
+        listen_protos = (Proto.TCP, Proto.UDT)
+    else:
+        listen_protos = tuple(sorted({_arm_proto(a) for a in arms},
+                                     key=lambda p: p.value))
     for ip in sorted(listening):
         stack = net.stack_for(ip)
-        stack.listen(FLOW_PORT, Proto.TCP, on_accept=on_accept)
-        stack.listen(FLOW_PORT, Proto.UDT, on_accept=on_accept)
+        for proto in listen_protos:
+            stack.listen(FLOW_PORT, proto, on_accept=on_accept)
 
     def launch(tracker: _FlowTracker) -> None:
         plan = tracker.plan
-        conn = net.stack_for(plan.src).connect(
-            (plan.dst, FLOW_PORT), Proto(plan.proto)
-        )
+        if arms is None:
+            conn = net.stack_for(plan.src).connect(
+                (plan.dst, FLOW_PORT), Proto(plan.proto)
+            )
+        else:
+            arm = arms[plan.index % len(arms)]
+            conn = net.stack_for(plan.src).connect(
+                (plan.dst, FLOW_PORT), _arm_proto(arm), cc=arm
+            )
         tracker.connection = conn
 
         def sent(ok: bool) -> None:
@@ -254,8 +283,11 @@ def run_fleet_workload(
     bytes_offered = bytes_delivered = 0
     digest = hashlib.blake2b(digest_size=16)
     digest.update(f"{topo.digest()} {pattern} {seed}\n".encode())
+    if arms is not None:
+        digest.update(f"cc={','.join(arms)}\n".encode())
     for tracker in trackers:
         plan = tracker.plan
+        arm_token = "" if arms is None else f" {arms[plan.index % len(arms)]}"
         flow_bytes.add(float(plan.size))
         bytes_offered += plan.size
         bytes_delivered += tracker.received
@@ -273,7 +305,7 @@ def run_fleet_workload(
         digest.update(
             f"{plan.index} {plan.src}>{plan.dst} {plan.proto} {plan.size} "
             f"{plan.start!r} {tracker.received} {end!r} "
-            f"{tracker.sent_ok} {tracker.sent_failed}\n".encode()
+            f"{tracker.sent_ok} {tracker.sent_failed}{arm_token}\n".encode()
         )
 
     return FleetUnitResult(
@@ -624,4 +656,31 @@ register_scenario(
     "fleet-churn", run_fleet_workload, kind="fleet",
     defaults={"topology": "fat-tree", "pattern": "churn"},
     description="mice/elephant mix with Poisson arrivals and mid-life aborts",
+)
+
+# Congestion-control arms: the same fleet workload with every flow pinned
+# to one registry policy (or an interleaved arm list) — the sweep axis the
+# cc-matrix CI entry exercises.
+register_scenario(
+    "cc-reno", run_fleet_workload, kind="fleet", tags=("cc",),
+    defaults={"topology": "star", "pattern": "uniform", "cc_arms": ("reno",)},
+    description="fleet flows all under TCP Reno (registry-constructed)",
+)
+register_scenario(
+    "cc-cubic", run_fleet_workload, kind="fleet", tags=("cc",),
+    defaults={"topology": "star", "pattern": "uniform", "cc_arms": ("cubic",)},
+    description="fleet flows all under CUBIC window growth",
+)
+register_scenario(
+    "cc-bbr", run_fleet_workload, kind="fleet", tags=("cc",),
+    defaults={"topology": "star", "pattern": "uniform", "cc_arms": ("bbr",)},
+    description="fleet flows all under BBR rate pacing",
+)
+register_scenario(
+    "cc-mixed-arms", run_fleet_workload, kind="fleet", tags=("cc",),
+    defaults={
+        "topology": "star", "pattern": "uniform",
+        "cc_arms": ("reno", "cubic", "bbr", "udt"),
+    },
+    description="interleaved congestion-control arms sharing the same fabric",
 )

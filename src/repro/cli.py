@@ -261,6 +261,13 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_sweep.add_argument("--format", choices=("summary", "json"),
                              default="summary")
 
+    cc = sub.add_parser(
+        "cc",
+        help="pluggable congestion-control policies (the netsim/aio registry)",
+    )
+    cc_sub = cc.add_subparsers(dest="cc_action", required=True)
+    cc_sub.add_parser("list", help="list registered policies and aio pacers")
+
     check = sub.add_parser(
         "check",
         help="runtime invariant checker, trace digests, divergence bisection",
@@ -798,6 +805,23 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if merged["totals"]["failed"] == 0 else 1
 
 
+def cmd_cc(args: argparse.Namespace) -> int:
+    from repro.aio.pacing import PACERS
+    from repro.netsim.congestion import CC_POLICIES
+
+    policies = CC_POLICIES.all()
+    width = max(len(p.name) for p in policies)
+    print("netsim congestion-control policies (connect(..., cc=NAME)):")
+    for policy in policies:
+        pacer = "aio" if policy.name in PACERS else "-"
+        print(f"  {policy.name:<{width}}  [{pacer:>3}] {policy.description}")
+    aio_only = sorted(set(PACERS) - {p.name for p in policies})
+    for name in aio_only:  # pragma: no cover - registries currently align
+        print(f"  {name:<{width}}  [aio] (real-socket pacer only)")
+    print("\n[aio] marks names also usable as messaging.aio.cc pacing policies.")
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     import json
     from contextlib import ExitStack
@@ -937,6 +961,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": cmd_chaos,
         "perf": cmd_perf,
         "fleet": cmd_fleet,
+        "cc": cmd_cc,
         "check": cmd_check,
     }
     return handlers[args.command](args)

@@ -1,0 +1,168 @@
+"""Configurable action arms for the adaptive transport selector.
+
+The paper's selector chooses between exactly two actions — TCP or UDT —
+expressed as a ratio.  With congestion control now a registry of named
+policies (:data:`repro.netsim.congestion.CC_POLICIES`), the action space
+can widen: an *arm* is a congestion-control policy name plus the wire
+transport it rides, and :class:`ArmSelection` is a protocol-selection
+policy over an arbitrary arm list instead of the binary ratio.
+
+Arms are validated against the congestion registry at construction, so a
+typo fails fast with the registry's did-you-mean hint.  The feature is
+opt-in via the ``data.arms`` config key (see
+:class:`repro.core.interceptor.DataNetworkInterceptor`); without it the
+selector keeps the paper's binary TCP↔UDT behaviour untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.psp import ProtocolSelectionPolicy
+from repro.core.ratio import ProtocolRatio
+from repro.errors import PolicyError
+from repro.messaging.transport import Transport
+from repro.netsim.congestion import CC_POLICIES
+
+#: wire transport each congestion-control arm rides on (mirrors
+#: repro.bench.fleet.ARM_PROTOS); window policies default to TCP
+ARM_TRANSPORTS = {"udt": Transport.UDT}
+
+
+@dataclass(frozen=True)
+class Arm:
+    """One selectable action: a cc policy name on a wire transport."""
+
+    name: str
+    transport: Transport
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.name}@{self.transport.value}"
+
+
+def build_arms(names: Union[str, Sequence[str]]) -> Tuple[Arm, ...]:
+    """Validate an arm list against the congestion registry.
+
+    ``names`` is a sequence of registry names or one comma-separated
+    string (the config-file form).  Unknown names raise the registry's
+    :class:`~repro.netsim.congestion.UnknownCcError` with its
+    did-you-mean hint.
+    """
+    if isinstance(names, str):
+        names = [n.strip() for n in names.split(",") if n.strip()]
+    arms: List[Arm] = []
+    for name in names:
+        CC_POLICIES.get(name)  # raises UnknownCcError with suggestions
+        arms.append(Arm(name, ARM_TRANSPORTS.get(name, Transport.TCP)))
+    if not arms:
+        raise PolicyError("arm list must name at least one policy")
+    return tuple(arms)
+
+
+class ArmSelection(ProtocolSelectionPolicy):
+    """Epsilon-greedy selection over a configurable arm list.
+
+    Per selection: exploit the arm with the best reward estimate with
+    probability ``1 − epsilon``, explore uniformly otherwise.  Estimates
+    are exponential moving averages fed via :meth:`reward_arm` (the
+    episode layer calls it with its reward signal); until any feedback
+    arrives the policy round-robins so every arm gets traffic.
+
+    ``set_ratio`` is still accepted for PRP compatibility: the prescribed
+    UDT share nudges the exploration draw toward UDT-riding arms, so a
+    binary ``(tcp-arm, udt-arm)`` configuration degrades gracefully to
+    the paper's ratio behaviour.
+    """
+
+    def __init__(
+        self,
+        arms: Sequence[Arm],
+        rng: Optional[random.Random] = None,
+        epsilon: float = 0.1,
+        ema_alpha: float = 0.2,
+        ratio: ProtocolRatio = ProtocolRatio.FIFTY_FIFTY,
+    ) -> None:
+        super().__init__(ratio)
+        if not arms:
+            raise PolicyError("ArmSelection needs at least one arm")
+        if not 0.0 <= epsilon <= 1.0:
+            raise PolicyError("epsilon must be within [0, 1]")
+        self.arms: Tuple[Arm, ...] = tuple(arms)
+        self.epsilon = epsilon
+        self.ema_alpha = ema_alpha
+        self._rng = rng if rng is not None else random.Random(0)
+        self._estimates: Dict[str, float] = {}
+        self._next_rr = 0
+        self.selections: Dict[str, int] = {arm.name: 0 for arm in self.arms}
+        self.last_arm: Optional[Arm] = None
+        self._episode_base: Dict[str, int] = dict(self.selections)
+
+    # ------------------------------------------------------------------
+    # feedback
+    # ------------------------------------------------------------------
+    def reward_arm(self, name: str, reward: float) -> None:
+        """Fold an observed reward into the arm's EMA estimate."""
+        prev = self._estimates.get(name)
+        self._estimates[name] = (
+            reward if prev is None
+            else prev + self.ema_alpha * (reward - prev)
+        )
+
+    def estimate(self, name: str) -> Optional[float]:
+        return self._estimates.get(name)
+
+    def reward_episode(self, reward: float) -> None:
+        """Attribute an episode reward to every arm that carried traffic.
+
+        Called by the episode layer (see ``DestinationFlow.end_episode``)
+        with its scalar reward; arms selected since the previous episode
+        each fold it into their estimate.  Coarse — arms sharing an
+        episode share its reward — but unbiased over many episodes since
+        exploration keeps rotating which arms participate.
+        """
+        for arm in self.arms:
+            if self.selections[arm.name] > self._episode_base.get(arm.name, 0):
+                self.reward_arm(arm.name, reward)
+        self._episode_base = dict(self.selections)
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def _explore(self) -> Arm:
+        # Bias exploration by the prescribed ratio when the arm list
+        # spans both transports; uniform otherwise.
+        udt_arms = [a for a in self.arms if a.transport is Transport.UDT]
+        tcp_arms = [a for a in self.arms if a.transport is not Transport.UDT]
+        if udt_arms and tcp_arms:
+            pool = udt_arms if self._rng.random() < self._ratio.probability else tcp_arms
+        else:
+            pool = list(self.arms)
+        return pool[self._rng.randrange(len(pool))]
+
+    def _best(self) -> Optional[Arm]:
+        best: Optional[Arm] = None
+        best_value = -float("inf")
+        for arm in self.arms:
+            value = self._estimates.get(arm.name)
+            if value is not None and value > best_value:
+                best, best_value = arm, value
+        return best
+
+    def _select_arm(self) -> Arm:
+        if self._rng.random() < self.epsilon:
+            return self._explore()
+        best = self._best()
+        if best is None:
+            # No feedback yet: round-robin so every arm sees traffic.
+            arm = self.arms[self._next_rr % len(self.arms)]
+            self._next_rr += 1
+            return arm
+        return best
+
+    def _select(self) -> Transport:
+        arm = self._select_arm()
+        self.last_arm = arm
+        self.selections[arm.name] += 1
+        return arm.transport

@@ -69,6 +69,7 @@ class DestinationFlow:
         release: Callable[[MessageNotify.Req], None],
         window_messages: int = DEFAULT_WINDOW_MESSAGES,
         dest: Optional[str] = None,
+        transports: Tuple[Transport, ...] = (Transport.TCP, Transport.UDT),
     ) -> None:
         if window_messages < 1:
             raise PolicyError("window_messages must be at least 1")
@@ -77,6 +78,10 @@ class DestinationFlow:
         self.clock = clock
         self._release = release
         self.window_messages = window_messages
+        #: wire transports this flow may release on, in fallback-preference
+        #: order — the hold logic reroutes within this set (binary TCP/UDT
+        #: by default; wider when the selector runs a configured arm list)
+        self.transports = transports
 
         self.psp.set_ratio(prp.initial_ratio())
 
@@ -152,10 +157,12 @@ class DestinationFlow:
                 self._tcp_released += 1
                 if obs:
                     self._m_selected_tcp.inc()
-            else:
+            elif transport is Transport.UDT:
                 self._udt_released += 1
                 if obs:
                     self._m_selected_udt.inc()
+            # other wire transports (widened arm lists) are episode-counted
+            # via messages_acked only; the binary ratio stats stay exact
             stamped = item.msg.with_protocol(transport)
             req = MessageNotify.Req(stamped)
             in_flight[req.notify_id] = _InFlight(
@@ -198,12 +205,12 @@ class DestinationFlow:
             del down[t]
         if transport not in down:
             return transport
-        other = Transport.UDT if transport is Transport.TCP else Transport.TCP
-        if other in down:
-            return transport  # both held: nothing better to offer
-        if self._obs:
-            self._m_overrides.inc()
-        return other
+        for other in self.transports:
+            if other is not transport and other not in down:
+                if self._obs:
+                    self._m_overrides.inc()
+                return other
+        return transport  # every alternative held: nothing better to offer
 
     # ------------------------------------------------------------------
     # feedback
@@ -261,6 +268,11 @@ class DestinationFlow:
         if reward is not None:
             self.telemetry.reward.record(now, reward)
             self._m_reward.set(reward)
+            reward_episode = getattr(self.psp, "reward_episode", None)
+            if reward_episode is not None:
+                # Widened arm lists learn per-arm estimates from the same
+                # episode reward the ratio policy produced.
+                reward_episode(reward)
         self._m_episodes.inc()
         self._m_ratio.set(float(new_ratio.signed))
         self._tracer.event(

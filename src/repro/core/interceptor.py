@@ -66,10 +66,44 @@ class DataNetworkInterceptor(ComponentDefinition):
         self.lower = self.requires(Network)  # the NettyNetwork
         self.timer = self.requires(Timer)
 
-        self.psp_factory: PspFactory = psp_factory or PatternSelection
+        #: configured arm list (``data.arms``: comma-separated cc-policy
+        #: names from repro.netsim.congestion.CC_POLICIES).  When set and
+        #: no explicit psp_factory is given, flows select over the arm
+        #: list via ArmSelection instead of the binary TCP/UDT pattern.
+        arms_spec = self.config.get("data.arms", None)
+        self.arms = None
+        if arms_spec:
+            from repro.core.arms import build_arms
+
+            self.arms = build_arms(arms_spec)
+        if psp_factory is not None:
+            self.psp_factory: PspFactory = psp_factory
+        elif self.arms is not None:
+            arms = self.arms
+            epsilon = self.config.get_float("data.arms_epsilon", 0.1)
+            rng = self.rng("arms")
+
+            def make_arm_psp() -> ProtocolSelectionPolicy:
+                from repro.core.arms import ArmSelection
+
+                return ArmSelection(arms, rng=rng, epsilon=epsilon)
+
+            self.psp_factory = make_arm_psp
+        else:
+            self.psp_factory = PatternSelection
         self.prp_factory: PrpFactory = prp_factory or (
             lambda: StaticRatio(ProtocolRatio.FIFTY_FIFTY)
         )
+        #: transports the selector may emit and the fallback logic reroutes
+        #: within (binary TCP/UDT unless an arm list widens it)
+        if self.arms is not None:
+            seen = []
+            for arm in self.arms:
+                if arm.transport not in seen:
+                    seen.append(arm.transport)
+            self.selectable: Tuple[Transport, ...] = tuple(seen)
+        else:
+            self.selectable = (Transport.TCP, Transport.UDT)
         self.episode_length = (
             episode_length
             if episode_length is not None
@@ -147,6 +181,7 @@ class DataNetworkInterceptor(ComponentDefinition):
                 release=self._release,
                 window_messages=self.window_messages,
                 dest=f"{key[0]}:{key[1]}",
+                transports=self.selectable,
             )
             self.flows[key] = flow
             # A flow created mid-outage inherits the active holds.
@@ -183,8 +218,8 @@ class DataNetworkInterceptor(ComponentDefinition):
     # transport health (recovery-layer fallback signal, §IV-A)
     # ------------------------------------------------------------------
     def _on_transport_down(self, event: TransportStatus.Down) -> None:
-        if event.transport not in (Transport.TCP, Transport.UDT):
-            return  # only the selectable pair matters to the PSP
+        if event.transport not in self.selectable:
+            return  # only transports the PSP can emit matter to holds
         self._m_transport_down.inc()
         until = self.clock.now() + self.fallback_hold
         self._transport_down[(event.remote, event.transport)] = until

@@ -20,7 +20,24 @@ while preserving the aggregate quantities the paper measures: throughput
 ramps, bandwidth-delay limits and head-of-line queueing delay.
 """
 
-from repro.netsim.congestion import CongestionControl, LedbatCc, TcpCc, UdpCc, UdtCc
+from repro.netsim.congestion import (
+    CC_POLICIES,
+    BbrCc,
+    CcContext,
+    CcPolicy,
+    CcRegistry,
+    CongestionControl,
+    CubicCc,
+    DuplicateCcError,
+    LedbatCc,
+    TcpCc,
+    UdpCc,
+    UdtCc,
+    UnknownCcError,
+    cc_names,
+    make_cc,
+    register_cc,
+)
 from repro.netsim.connection import Connection, ConnectionState, WireMessage
 from repro.netsim.disk import DiskModel
 from repro.netsim.fabric import SimNetwork
@@ -48,6 +65,17 @@ __all__ = [
     "UdtCc",
     "UdpCc",
     "LedbatCc",
+    "CubicCc",
+    "BbrCc",
+    "CC_POLICIES",
+    "CcRegistry",
+    "CcPolicy",
+    "CcContext",
+    "UnknownCcError",
+    "DuplicateCcError",
+    "register_cc",
+    "cc_names",
+    "make_cc",
     "DiskModel",
     "FaultInjector",
 ]

@@ -1,4 +1,4 @@
-"""Fluid-flow congestion-control models.
+"""Fluid-flow congestion-control models and the pluggable policy registry.
 
 Each reliable connection direction owns a controller that answers "how fast
 does the protocol want to send right now?" (``demand_rate``) and reacts to
@@ -7,12 +7,25 @@ sender self-paces at ``cwnd/RTT``, window growth per acked byte reproduces
 the per-RTT dynamics of the real protocols without explicit ack events:
 transmitting ``cwnd`` bytes takes exactly one RTT, so slow start doubles
 per RTT and congestion avoidance gains one MSS per RTT.
+
+Controllers are *policies*, not transports: connections look them up by
+name in :data:`CC_POLICIES` (see ``docs/congestion.md``), so new variants
+are drop-in scenario axes — and new arms for the RL selector — without
+touching the datapath.  The built-in catalog covers the paper's pair
+(Reno-style ``reno``, DAIMD ``udt``) plus ``cubic`` (window growth as a
+cubic of time since the last loss) and ``bbr`` (rate pacing with a
+gain-cycling probe phase), with ``udp`` and ``ledbat`` rounding out the
+protocol set.
 """
 
 from __future__ import annotations
 
+import difflib
+import importlib
 import math
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 MSS = 1448.0  # bytes of payload per TCP segment
 
@@ -33,14 +46,17 @@ class CongestionControl(ABC):
     #: (``fastpath.ALLOC_EPOCH``) only reuses an allocation across
     #: timestamps when every participating controller is time-invariant.
     demand_time_varying: bool = False
-    #: Generation counter for demand-relevant state.  Implementations bump
-    #: it whenever a signal (``on_bytes_sent``/``on_loss``/external writes)
-    #: actually changes the value ``demand_rate`` would return; the
-    #: allocation-epoch cache uses it to detect staleness without
-    #: re-querying (queries may mutate state).  A pegged controller (e.g.
-    #: TCP at ``wnd_max``) keeps its generation, which is what makes
-    #: steady-state allocations cacheable.
-    demand_gen: int = 0
+    def __init__(self) -> None:
+        #: Generation counter for demand-relevant state.  Implementations
+        #: bump it whenever a signal (``on_bytes_sent``/``on_loss``/external
+        #: writes) actually changes the value ``demand_rate`` would return;
+        #: the allocation-epoch cache uses it to detect staleness without
+        #: re-querying (queries may mutate state).  A pegged controller
+        #: (e.g. TCP at ``wnd_max``) keeps its generation, which is what
+        #: makes steady-state allocations cacheable.  A true instance
+        #: attribute — a shared class default mutated in place would alias
+        #: generation state across every controller on a link.
+        self.demand_gen: int = 0
 
     @abstractmethod
     def demand_rate(self, now: float) -> float:
@@ -57,6 +73,15 @@ class CongestionControl(ABC):
 
     def on_loss(self, now: float) -> None:
         """React to a loss signal."""
+
+    def on_transmit_complete(self, now: float) -> None:
+        """Per-message hook after credit/loss accounting at completion.
+
+        Policies with extra completion-time machinery override this (UDT
+        uses it for its receive-buffer overshoot check); the flow engine
+        only invokes overridden implementations, so the default costs
+        nothing on the hot path.
+        """
 
     # ------------------------------------------------------------------
     # side-effect-free introspection (observability gauges sample these at
@@ -89,6 +114,7 @@ class TcpCc(CongestionControl):
         receive_buffer: float = 8 * 1024 * 1024,
         initial_cwnd_segments: int = 10,
     ) -> None:
+        super().__init__()
         self.rtt = max(rtt, 1e-5)
         self.wnd_max = min(send_buffer, receive_buffer)
         self.cwnd = initial_cwnd_segments * MSS
@@ -165,6 +191,7 @@ class UdtCc(CongestionControl):
         min_rate: float = 64 * 1024,
         max_rate: float = math.inf,
     ) -> None:
+        super().__init__()
         self.rtt = max(rtt, 1e-5)
         self.bandwidth_estimate = bandwidth_estimate
         self.receive_buffer = receive_buffer
@@ -217,6 +244,11 @@ class UdtCc(CongestionControl):
             return True
         return False
 
+    def on_transmit_complete(self, now: float) -> None:
+        # Receive-buffer overshoot acts as an additional loss signal but
+        # the data is retransmitted (reliable), so delivery still happens.
+        self.check_receive_buffer(now)
+
     def on_loss(self, now: float) -> None:
         self.loss_events += 1
         rate = max(self.rate * self.DECREASE, self.min_rate)
@@ -268,6 +300,7 @@ class LedbatCc(CongestionControl):
         initial_rate: float = 64 * 1024,
         min_rate: float = 16 * 1024,
     ) -> None:
+        super().__init__()
         self.rtt = max(rtt, 1e-5)
         self.bandwidth_estimate = bandwidth_estimate
         self.rate = initial_rate
@@ -301,3 +334,453 @@ class LedbatCc(CongestionControl):
 
     def current_rate(self) -> float:
         return max(self.rate, self.min_rate)
+
+
+class CubicCc(CongestionControl):
+    """CUBIC-style window growth (RFC 8312's fluid skeleton).
+
+    Between losses the window chases ``W(t) = C·(t−K)³ + W_max`` (in
+    segments), where ``t`` is the time since the last multiplicative
+    decrease and ``K = ∛(W_max·(1−β)/C)`` is when the cubic recrosses the
+    pre-loss plateau — fast recovery toward ``W_max``, a cautious plateau
+    around it, then aggressive probing beyond.  Growth is still
+    ack-clocked: per completion the window moves toward the cubic target
+    but never faster than slow start (one byte per acked byte), so demand
+    stays a pure function of controller state and the allocation-epoch
+    cache needs no timestamping (``demand_time_varying`` stays False).
+    Before the first loss the controller is in Reno-style slow start.
+    """
+
+    C = 0.4  # cubic coefficient, segments / s^3 (RFC 8312 default)
+    BETA = 0.7  # multiplicative decrease factor (RFC 8312 default)
+
+    def __init__(
+        self,
+        rtt: float,
+        send_buffer: float = 8 * 1024 * 1024,
+        receive_buffer: float = 8 * 1024 * 1024,
+        initial_cwnd_segments: int = 10,
+    ) -> None:
+        super().__init__()
+        self.rtt = max(rtt, 1e-5)
+        self.wnd_max = min(send_buffer, receive_buffer)
+        self.cwnd = initial_cwnd_segments * MSS
+        self.ssthresh = math.inf
+        self._w_max = 0.0  # plateau window at the last loss, segments
+        self._k = 0.0  # seconds from loss to plateau recrossing
+        self._epoch_start = -math.inf  # time of the last loss response
+        self._last_md = -math.inf
+        self.loss_episodes = 0
+
+    def demand_rate(self, now: float) -> float:
+        wnd = self.cwnd
+        floor = 2 * MSS
+        if wnd < floor:
+            wnd = floor
+        wnd_max = self.wnd_max
+        if wnd > wnd_max:
+            wnd = wnd_max
+        return wnd / self.rtt
+
+    def on_bytes_sent(self, nbytes: int, now: float) -> None:
+        cwnd = self.cwnd
+        if cwnd < self.ssthresh:
+            cwnd += nbytes  # slow start: double per RTT
+        else:
+            # Chase the cubic target, ack-clocked: never more than one
+            # byte of window per acked byte (W(t) is >= cwnd for t >= 0,
+            # so the window is monotone between losses).
+            t = now - self._epoch_start
+            target = (self.C * (t - self._k) ** 3 + self._w_max) * MSS
+            if target > cwnd:
+                grown = cwnd + nbytes
+                cwnd = target if target < grown else grown
+        if cwnd > self.wnd_max:
+            cwnd = self.wnd_max
+        if cwnd != self.cwnd:
+            self.cwnd = cwnd
+            self.demand_gen += 1
+
+    def on_loss(self, now: float) -> None:
+        if now - self._last_md < self.rtt:
+            return  # one decrease per loss episode
+        self._last_md = now
+        self.loss_episodes += 1
+        w = max(self.cwnd, 2 * MSS)
+        self._w_max = w / MSS
+        self._k = (self._w_max * (1.0 - self.BETA) / self.C) ** (1.0 / 3.0)
+        self._epoch_start = now
+        cwnd = max(w * self.BETA, 2 * MSS)
+        self.ssthresh = cwnd
+        if cwnd != self.cwnd:
+            self.cwnd = cwnd
+            self.demand_gen += 1
+
+    def window_bytes(self) -> float:
+        return min(max(self.cwnd, 2 * MSS), self.wnd_max)
+
+    def current_rate(self) -> float:
+        return self.window_bytes() / self.rtt
+
+
+class BbrCc(CongestionControl):
+    """BBR-style rate pacing: model the pipe, don't fill the queue.
+
+    Two phases of BBRv1's state machine, in fluid form:
+
+    * **startup** — the pacing rate doubles per RTT (ack-clocked, like
+      slow start in rate space) until it reaches the bottleneck-bandwidth
+      estimate, or a loss declares the pipe full.
+    * **probe** — an eight-phase pacing-gain cycle ``1.25, 0.75, 1, …``
+      of one RTT each: probe above the estimate, drain the queue it
+      built, then cruise.  The phase is a pure function of ``now`` and
+      controller state, which makes demand *time-varying*:
+      ``demand_time_varying = True`` forces the allocation-epoch cache to
+      re-solve at new timestamps, while ``demand_gen`` still tracks the
+      signal-driven state (estimate moves, phase re-anchoring) so cached
+      allocations within one timestamp stay valid.  ``demand_rate`` never
+      mutates state — idempotence within a timestamp holds trivially.
+
+    Loss is mostly ignored (BBR is not loss-based); a modest estimate
+    decay on loss events keeps the model from camping on a stale estimate
+    when the path degrades, and delivery credit ramps it back.
+    """
+
+    demand_time_varying = True
+
+    CYCLE_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    LOSS_DECAY = 0.95  # gentle estimate decay per loss episode
+
+    def __init__(
+        self,
+        rtt: float,
+        bandwidth_estimate: float,
+        initial_rate: float = 128 * 1024,
+        min_rate: float = 64 * 1024,
+        max_rate: float = math.inf,
+    ) -> None:
+        super().__init__()
+        self.rtt = max(rtt, 1e-5)
+        self.bandwidth_estimate = bandwidth_estimate
+        self.min_rate = min_rate
+        self.max_rate = max_rate
+        self.rate = max(initial_rate, min_rate)  # startup pacing rate
+        self.btl_bw = self.rate  # bottleneck estimate once probing
+        self.startup = True
+        self._cycle_start = 0.0
+        self._last_md = -math.inf
+        self.loss_events = 0
+
+    def _clip(self, rate: float) -> float:
+        if rate < self.min_rate:
+            return self.min_rate
+        if rate > self.max_rate:
+            return self.max_rate
+        return rate
+
+    def demand_rate(self, now: float) -> float:
+        if self.startup:
+            return self._clip(self.rate)
+        phase = int((now - self._cycle_start) / self.rtt) % len(self.CYCLE_GAINS)
+        return self._clip(self.btl_bw * self.CYCLE_GAINS[phase])
+
+    def _enter_probe(self, rate: float, now: float) -> None:
+        self.startup = False
+        self.btl_bw = self._clip(rate)
+        self._cycle_start = now
+        self.demand_gen += 1
+
+    def on_bytes_sent(self, nbytes: int, now: float) -> None:
+        if self.startup:
+            # Rate doubles per RTT: at pacing rate r the controller sends
+            # r·RTT bytes per RTT, so crediting nbytes/RTT adds r per RTT.
+            rate = self.rate + nbytes / self.rtt
+            if rate >= min(self.bandwidth_estimate, self.max_rate):
+                self._enter_probe(rate, now)
+            elif rate != self.rate:
+                self.rate = rate
+                self.demand_gen += 1
+            return
+        if self.btl_bw < self.bandwidth_estimate:
+            # Post-loss recovery: delivered bytes ramp the estimate back
+            # toward the configured ceiling, about one MSS per BDP acked.
+            bdp = self.btl_bw * self.rtt
+            grown = min(self.btl_bw + MSS * nbytes / max(bdp, MSS),
+                        self.bandwidth_estimate)
+            if grown != self.btl_bw:
+                self.btl_bw = grown
+                self.demand_gen += 1
+
+    def on_loss(self, now: float) -> None:
+        if now - self._last_md < self.rtt:
+            return  # one response per loss episode
+        self._last_md = now
+        self.loss_events += 1
+        if self.startup:
+            # Full-pipe signal: leave startup at the current rate.
+            self._enter_probe(self.rate, now)
+            return
+        decayed = max(self.btl_bw * self.LOSS_DECAY, self.min_rate)
+        if decayed != self.btl_bw:
+            self.btl_bw = decayed
+            self.demand_gen += 1
+
+    def window_bytes(self) -> float:
+        return self.current_rate() * self.rtt
+
+    def current_rate(self) -> float:
+        return self._clip(self.rate if self.startup else self.btl_bw)
+
+
+# ----------------------------------------------------------------------
+# the policy registry: name -> controller factory
+# ----------------------------------------------------------------------
+
+class UnknownCcError(KeyError):
+    """Raised on a lookup of a name no policy was registered under."""
+
+    def __str__(self) -> str:  # KeyError wraps its message in repr()
+        return self.args[0] if self.args else ""
+
+
+class DuplicateCcError(ValueError):
+    """Raised when a second factory is registered under an existing name."""
+
+
+@dataclass(frozen=True)
+class CcContext:
+    """Everything a policy factory may consult when building a controller.
+
+    ``rtt``/``bandwidth``/``udp_cap`` describe the dialed path; ``config``
+    is the owning network's :class:`~repro.kompics.config.Config` (or None
+    when built standalone — factories fall back to the netsim defaults);
+    ``params`` are per-spec overrides forwarded to the constructor.
+    """
+
+    rtt: float = 0.1
+    bandwidth: float = math.inf
+    udp_cap: Optional[float] = None
+    config: Any = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def get_float(self, key: str, default: float) -> float:
+        if self.config is None:
+            return default
+        return self.config.get_float(key, default)
+
+
+CcFactory = Callable[[CcContext], CongestionControl]
+
+#: accepted ``cc=`` spec shapes: a registered/dotted name, a
+#: ``(name, params)`` pair, or a ready-made factory callable
+CcSpec = Union[str, Tuple[str, Mapping[str, Any]], CcFactory]
+
+
+@dataclass(frozen=True)
+class CcPolicy:
+    """One registered congestion-control policy."""
+
+    name: str
+    factory: CcFactory
+    description: str = ""
+
+    def build(self, ctx: CcContext) -> CongestionControl:
+        return self.factory(ctx)
+
+
+class CcRegistry:
+    """Name -> :class:`CcPolicy`, with strict registration semantics.
+
+    Mirrors :class:`repro.bench.scenario.ScenarioRegistry`: registering a
+    taken name raises instead of silently shadowing, and unknown lookups
+    fail with a did-you-mean suggestion.  Names containing a dot are
+    resolved as ``package.module:attr`` (or ``package.module.attr``)
+    imports, so out-of-tree controllers are usable without registration.
+    """
+
+    def __init__(self) -> None:
+        self._policies: Dict[str, CcPolicy] = {}
+
+    def register(
+        self, name: str, factory: CcFactory, *, description: str = ""
+    ) -> CcPolicy:
+        if name in self._policies:
+            raise DuplicateCcError(
+                f"congestion-control policy {name!r} is already registered "
+                f"(by {self._policies[name].factory!r}); "
+                f"pick a distinct name or remove() the old entry first"
+            )
+        policy = CcPolicy(name=name, factory=factory, description=description)
+        self._policies[name] = policy
+        return policy
+
+    def remove(self, name: str) -> None:
+        """Drop a registration (test hygiene; unknown names are a no-op)."""
+        self._policies.pop(name, None)
+
+    def get(self, name: str) -> CcPolicy:
+        policy = self._policies.get(name)
+        if policy is not None:
+            return policy
+        if "." in name:
+            return self._import_dotted(name)
+        close = difflib.get_close_matches(name, sorted(self._policies), n=3)
+        hint = (
+            f"; did you mean {' or '.join(repr(c) for c in close)}?"
+            if close else ""
+        )
+        raise UnknownCcError(
+            f"unknown congestion-control policy {name!r}{hint} "
+            f"(registered: {', '.join(sorted(self._policies))})"
+        )
+
+    def _import_dotted(self, name: str) -> CcPolicy:
+        """Resolve ``pkg.mod:attr`` / ``pkg.mod.attr`` to a factory."""
+        module_name, sep, attr = name.partition(":")
+        if not sep:
+            module_name, _, attr = name.rpartition(".")
+        try:
+            module = importlib.import_module(module_name)
+            factory = getattr(module, attr)
+        except (ImportError, AttributeError) as exc:
+            raise UnknownCcError(
+                f"cannot import congestion-control policy {name!r}: {exc}"
+            ) from exc
+        if isinstance(factory, type) and issubclass(factory, CongestionControl):
+            cls = factory
+            return CcPolicy(name=name, factory=lambda ctx: cls(rtt=ctx.rtt, **ctx.params))
+        return CcPolicy(name=name, factory=factory)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._policies
+
+    def names(self) -> List[str]:
+        return sorted(self._policies)
+
+    def all(self) -> List[CcPolicy]:
+        return [self._policies[name] for name in sorted(self._policies)]
+
+
+#: the process-wide policy registry; connections resolve ``cc=`` specs here
+CC_POLICIES = CcRegistry()
+
+
+def register_cc(name: str, factory: CcFactory, *, description: str = "") -> CcPolicy:
+    return CC_POLICIES.register(name, factory, description=description)
+
+
+def cc_names() -> List[str]:
+    return CC_POLICIES.names()
+
+
+def parse_cc_spec(spec: CcSpec) -> Tuple[Optional[str], Mapping[str, Any], Optional[CcFactory]]:
+    """Normalize a ``cc=`` spec to ``(name, params, factory)``."""
+    if isinstance(spec, str):
+        return spec, {}, None
+    if isinstance(spec, (tuple, list)) and len(spec) == 2 and isinstance(spec[0], str):
+        return spec[0], dict(spec[1] or {}), None
+    if callable(spec):
+        return None, {}, spec
+    raise TypeError(
+        f"cc spec must be a name, a (name, params) pair or a factory, "
+        f"not {spec!r}"
+    )
+
+
+def make_cc(
+    spec: CcSpec,
+    *,
+    rtt: float = 0.1,
+    bandwidth: float = math.inf,
+    udp_cap: Optional[float] = None,
+    config: Any = None,
+    params: Optional[Mapping[str, Any]] = None,
+) -> CongestionControl:
+    """Build a controller from a spec and the dialed path's context."""
+    name, spec_params, factory = parse_cc_spec(spec)
+    merged = dict(spec_params)
+    if params:
+        merged.update(params)
+    ctx = CcContext(rtt=rtt, bandwidth=bandwidth, udp_cap=udp_cap,
+                    config=config, params=merged)
+    if factory is not None:
+        return factory(ctx)
+    assert name is not None
+    return CC_POLICIES.get(name).build(ctx)
+
+
+# ----------------------------------------------------------------------
+# built-in policies (parameter resolution matches the historical
+# hard-coded construction in SimNetwork.make_congestion_control exactly,
+# so default runs are byte-identical)
+# ----------------------------------------------------------------------
+
+def _buffered_window_kwargs(ctx: CcContext) -> Dict[str, Any]:
+    kw: Dict[str, Any] = dict(
+        rtt=ctx.rtt,
+        send_buffer=ctx.get_float("net.tcp.send_buffer", 8 * 1024 * 1024),
+        receive_buffer=ctx.get_float("net.tcp.receive_buffer", 8 * 1024 * 1024),
+    )
+    kw.update(ctx.params)
+    return kw
+
+
+def _reno_factory(ctx: CcContext) -> CongestionControl:
+    return TcpCc(**_buffered_window_kwargs(ctx))
+
+
+def _cubic_factory(ctx: CcContext) -> CongestionControl:
+    return CubicCc(**_buffered_window_kwargs(ctx))
+
+
+def _capped_estimate(ctx: CcContext, ceiling: float = math.inf) -> float:
+    cap = ctx.udp_cap if ctx.udp_cap is not None else math.inf
+    return min(ctx.bandwidth, cap, ceiling)
+
+
+def _udt_factory(ctx: CcContext) -> CongestionControl:
+    max_rate = ctx.get_float("net.udt.max_rate", 40 * 1024 * 1024)
+    kw: Dict[str, Any] = dict(
+        rtt=ctx.rtt,
+        bandwidth_estimate=_capped_estimate(ctx, max_rate),
+        receive_buffer=ctx.get_float("net.udt.receive_buffer", 100 * 1024 * 1024),
+        max_rate=max_rate,
+    )
+    kw.update(ctx.params)
+    return UdtCc(**kw)
+
+
+def _bbr_factory(ctx: CcContext) -> CongestionControl:
+    kw: Dict[str, Any] = dict(
+        rtt=ctx.rtt,
+        bandwidth_estimate=min(ctx.bandwidth,
+                               ctx.get_float("net.bbr.max_rate", math.inf)),
+    )
+    kw.update(ctx.params)
+    return BbrCc(**kw)
+
+
+def _udp_factory(ctx: CcContext) -> CongestionControl:
+    return UdpCc()
+
+
+def _ledbat_factory(ctx: CcContext) -> CongestionControl:
+    kw: Dict[str, Any] = dict(
+        rtt=ctx.rtt, bandwidth_estimate=_capped_estimate(ctx),
+    )
+    kw.update(ctx.params)
+    return LedbatCc(**kw)
+
+
+register_cc("reno", _reno_factory,
+            description="TCP Reno: slow start + AIMD, socket-buffer window cap")
+register_cc("cubic", _cubic_factory,
+            description="CUBIC window growth: cubic-of-time recovery/probe around W_max")
+register_cc("bbr", _bbr_factory,
+            description="BBR rate pacing: startup doubling, then a gain-cycled probe")
+register_cc("udt", _udt_factory,
+            description="UDT DAIMD rate control (SYN-interval ramp, x8/9 decrease)")
+register_cc("udp", _udp_factory,
+            description="no congestion control, unreliable, unordered")
+register_cc("ledbat", _ledbat_factory,
+            description="LEDBAT scavenger: yields to any foreground traffic")

@@ -11,7 +11,7 @@ from repro import fastpath
 from repro.check import get_checker
 from repro.check import perturb as check_perturb
 from repro.errors import ConnectionClosedError
-from repro.netsim.congestion import CongestionControl, UdtCc
+from repro.netsim.congestion import CongestionControl
 from repro.netsim.link import LinkDirection, Proto
 from repro.sim import Simulator
 
@@ -102,6 +102,12 @@ class FlowState:
         #: in-flight deliveries as (due time, message), due-monotonic
         self._train: Deque[Tuple[float, WireMessage]] = deque()
         self._pump_scheduled = False
+        # Bind the per-completion hook only when the controller overrides
+        # it, keeping the hot path a single None check for the common case.
+        if type(cc).on_transmit_complete is not CongestionControl.on_transmit_complete:
+            self._cc_post: Optional[Callable[[float], None]] = cc.on_transmit_complete
+        else:
+            self._cc_post = None
         # Ordered flows stamp a (stream, seq) pair on each wire message so
         # the receiving connection can assert FIFO delivery.  UDP flows are
         # exempt: jitter legitimately reorders them.
@@ -179,10 +185,10 @@ class FlowState:
         lost = self.rng.random() < link_dir.loss_probability(size)
         if lost:
             cc.on_loss(now)
-        if isinstance(cc, UdtCc):
-            # Receive-buffer overshoot acts as an additional loss signal but
-            # the data is retransmitted (reliable), so delivery still happens.
-            cc.check_receive_buffer(now)
+        if self._cc_post is not None:
+            # Policy-specific completion hook (e.g. UDT's receive-buffer
+            # overshoot check, which acts as an additional loss signal).
+            self._cc_post(now)
         if cc.demand_gen != gen0:
             # The controller's demand moved: cached allocations are stale.
             link_dir.demand_dirty()
@@ -271,6 +277,13 @@ class FlowState:
         self.aborted = True
         self.busy = False
         self.link_dir.deactivate(self)
+        # The controller must stop contributing demand in this same
+        # allocation epoch: deactivate() only bumps the epoch when the flow
+        # was in the active set, so also invalidate via the controller's
+        # generation and an explicit dirty mark — survivors re-solve at
+        # their next event and absorb the freed bandwidth.
+        self.cc.demand_gen += 1
+        self.link_dir.demand_dirty()
         pending: List[WireMessage] = list(self.queue)
         self.queue.clear()
         self.queued_bytes = 0

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - structural typing only
@@ -17,7 +16,7 @@ import networkx as nx
 from repro.errors import AddressError, TransportError
 from repro.kompics.config import Config
 from repro.netsim.routing import CompositePath
-from repro.netsim.congestion import CongestionControl, LedbatCc, TcpCc, UdpCc, UdtCc
+from repro.netsim.congestion import CcSpec, CongestionControl, make_cc
 from repro.netsim.disk import DiskModel
 from repro.netsim.host import NetworkStack, SimHost
 from repro.netsim.link import Link, LinkDirection, LinkSpec, Proto
@@ -37,6 +36,14 @@ NETSIM_DEFAULTS = {
     # buffer sizes" on loopback, §V-B).
     "net.udt.max_rate": 40 * 1024 * 1024,
     "net.udp.socket_buffer": 2 * 1024 * 1024,
+    # Default congestion-control policy per wire protocol: registry names
+    # resolved against repro.netsim.congestion.CC_POLICIES.  Overriding
+    # these (or passing cc= to connect()) swaps the policy without
+    # touching the datapath.
+    "net.cc.tcp": "reno",
+    "net.cc.udt": "udt",
+    "net.cc.udp": "udp",
+    "net.cc.ledbat": "ledbat",
     # Loopback interface for same-host (and same-node dual-instance) traffic.
     "net.loopback.bandwidth": 150 * 1024 * 1024,
     "net.loopback.delay": 25e-6,
@@ -216,26 +223,29 @@ class SimNetwork:
     # ------------------------------------------------------------------
     # protocol parameters
     # ------------------------------------------------------------------
-    def make_congestion_control(self, proto: Proto, rtt: float, out_dir: LinkDirection) -> CongestionControl:
-        if proto is Proto.TCP:
-            return TcpCc(
-                rtt=rtt,
-                send_buffer=self.config.get_float("net.tcp.send_buffer"),
-                receive_buffer=self.config.get_float("net.tcp.receive_buffer"),
-            )
-        if proto is Proto.UDT:
-            max_rate = self.config.get_float("net.udt.max_rate")
-            cap = out_dir.spec.udp_cap if out_dir.spec.udp_cap is not None else math.inf
-            estimate = min(out_dir.spec.bandwidth, cap, max_rate)
-            return UdtCc(
-                rtt=rtt,
-                bandwidth_estimate=estimate,
-                receive_buffer=self.config.get_float("net.udt.receive_buffer"),
-                max_rate=max_rate,
-            )
-        if proto is Proto.UDP:
-            return UdpCc()
-        if proto is Proto.LEDBAT:
-            cap = out_dir.spec.udp_cap if out_dir.spec.udp_cap is not None else math.inf
-            return LedbatCc(rtt=rtt, bandwidth_estimate=min(out_dir.spec.bandwidth, cap))
-        raise TransportError(f"unsupported protocol {proto!r}")
+    def make_congestion_control(
+        self,
+        proto: Proto,
+        rtt: float,
+        out_dir: LinkDirection,
+        cc: Optional[CcSpec] = None,
+    ) -> CongestionControl:
+        """Build the congestion controller for a dialing connection.
+
+        The policy is resolved from the registry: an explicit ``cc=`` spec
+        wins, otherwise the ``net.cc.<proto>`` config key names the
+        default (``reno``/``udt``/``udp``/``ledbat``, matching the
+        historical hard-coded controllers byte-for-byte).
+        """
+        if cc is None:
+            key = f"net.cc.{proto.value}"
+            cc = self.config.get(key, None)
+            if cc is None:
+                raise TransportError(f"unsupported protocol {proto!r}")
+        return make_cc(
+            cc,
+            rtt=rtt,
+            bandwidth=out_dir.spec.bandwidth,
+            udp_cap=out_dir.spec.udp_cap,
+            config=self.config,
+        )

@@ -10,6 +10,7 @@ from repro.netsim.disk import DiskModel
 from repro.netsim.link import Proto
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.congestion import CcSpec
     from repro.netsim.fabric import SimNetwork
 
 Endpoint = Tuple[str, int]
@@ -24,7 +25,7 @@ class Listener:
     ``on_datagram(payload, size, src)`` fires per datagram.
     """
 
-    __slots__ = ("port", "proto", "on_accept", "on_datagram", "closed")
+    __slots__ = ("port", "proto", "on_accept", "on_datagram", "closed", "cc")
 
     def __init__(
         self,
@@ -32,6 +33,7 @@ class Listener:
         proto: Proto,
         on_accept: Optional[Callable[[Connection], None]] = None,
         on_datagram: Optional[Callable[[Any, int, Endpoint], None]] = None,
+        cc: Optional[CcSpec] = None,
     ) -> None:
         if proto is Proto.UDP and on_datagram is None:
             raise NetworkError("UDP listener needs an on_datagram callback")
@@ -42,6 +44,9 @@ class Listener:
         self.on_accept = on_accept
         self.on_datagram = on_datagram
         self.closed = False
+        # Congestion-control spec applied to the *server-side* connections
+        # this listener accepts; None keeps the per-protocol default.
+        self.cc = cc
 
 
 class NetworkStack:
@@ -68,11 +73,12 @@ class NetworkStack:
         proto: Proto,
         on_accept: Optional[Callable[[Connection], None]] = None,
         on_datagram: Optional[Callable[[Any, int, Endpoint], None]] = None,
+        cc: Optional[CcSpec] = None,
     ) -> Listener:
         key = (port, proto)
         if key in self._listeners:
             raise NetworkError(f"port {port}/{proto.value} already bound on {self.ip}")
-        listener = Listener(port, proto, on_accept, on_datagram)
+        listener = Listener(port, proto, on_accept, on_datagram, cc=cc)
         self._listeners[key] = listener
         return listener
 
@@ -99,11 +105,14 @@ class NetworkStack:
         on_failed: Optional[Callable[[Connection, str], None]] = None,
         local_port: Optional[int] = None,
         hello: Any = None,
+        cc: Optional[CcSpec] = None,
     ) -> Connection:
         """Open a connection to ``remote``; TCP/UDT handshake takes one RTT.
 
         ``hello`` is an opaque payload carried with the handshake and
-        exposed to the acceptor as ``conn.peer_hello``.
+        exposed to the acceptor as ``conn.peer_hello``.  ``cc`` picks the
+        congestion-control policy by registry name (or ``(name, params)``
+        pair / factory); None keeps the per-protocol default.
         """
         remote_ip, remote_port = remote
         out_dir = self.network.path(self.ip, remote_ip)
@@ -111,7 +120,7 @@ class NetworkStack:
         rtt = out_dir.spec.delay + back_dir.spec.delay
         local: Endpoint = (self.ip, local_port if local_port is not None else self._ephemeral_port())
 
-        conn = self._build_connection(local, remote, proto, out_dir, rtt)
+        conn = self._build_connection(local, remote, proto, out_dir, rtt, cc=cc)
         conn.on_connected = on_connected
         conn.on_failed = on_failed
         conn.hello = hello
@@ -147,7 +156,9 @@ class NetworkStack:
         back_dir = self.network.path(client.local[0], self.ip)
         rtt = out_dir.spec.delay + back_dir.spec.delay
         local: Endpoint = (self.ip, listener.port)
-        server = self._build_connection(local, client.local, client.proto, out_dir, rtt)
+        server = self._build_connection(
+            local, client.local, client.proto, out_dir, rtt, cc=listener.cc
+        )
         self.connections.append(server)
         server.peer = client
         client.peer = server
@@ -158,9 +169,15 @@ class NetworkStack:
         return server
 
     def _build_connection(
-        self, local: Endpoint, remote: Endpoint, proto: Proto, out_dir, rtt: float
+        self,
+        local: Endpoint,
+        remote: Endpoint,
+        proto: Proto,
+        out_dir,
+        rtt: float,
+        cc: Optional[CcSpec] = None,
     ) -> Connection:
-        cc = self.network.make_congestion_control(proto, rtt, out_dir)
+        cc = self.network.make_congestion_control(proto, rtt, out_dir, cc=cc)
         rng = self.network.rngs.get(f"link.{out_dir.name}.loss")
         conn_id = self.network.ids.next("connection")
         queue_limit = (

@@ -60,8 +60,8 @@ class NetworkTracer:
         tracer = self
         original_build = NetworkStack._build_connection
 
-        def build_and_hook(stack, local, remote, proto, out_dir, rtt):
-            conn = original_build(stack, local, remote, proto, out_dir, rtt)
+        def build_and_hook(stack, local, remote, proto, out_dir, rtt, cc=None):
+            conn = original_build(stack, local, remote, proto, out_dir, rtt, cc=cc)
             if stack.network is tracer.network:
                 tracer._hook(conn)
             return conn

@@ -271,6 +271,43 @@ class TestFleetCampaign:
         assert hash(unit) == hash(CampaignUnit.make("fleet", 3, {"flows": 8, "hosts": 4}))
 
 
+class TestCcArms:
+    """``cc_arms=``: per-flow congestion-control pinning for sweeps."""
+
+    def test_arm_runs_deterministic_and_distinct_from_default(self):
+        default = run_fleet_workload(topology="star", seed=5, **FAST_FLEET)
+        cubic_a = run_fleet_workload(
+            topology="star", seed=5, cc_arms=("cubic",), **FAST_FLEET
+        )
+        cubic_b = run_fleet_workload(
+            topology="star", seed=5, cc_arms=("cubic",), **FAST_FLEET
+        )
+        assert cubic_a.digest == cubic_b.digest
+        assert cubic_a.digest != default.digest
+
+    def test_arms_differ_pairwise(self):
+        digests = {
+            arm: run_fleet_workload(
+                topology="star", seed=5, cc_arms=(arm,), **FAST_FLEET
+            ).digest
+            for arm in ("reno", "cubic", "bbr")
+        }
+        assert len(set(digests.values())) == 3
+
+    def test_mixed_arms_complete(self):
+        result = run_fleet_workload(
+            topology="star", seed=3, cc_arms=("reno", "cubic", "bbr", "udt"),
+            **FAST_FLEET,
+        )
+        assert result.counters["flows_completed"] == result.counters["flows"]
+
+    def test_cc_scenarios_registered(self):
+        from repro.bench.scenario import SCENARIOS
+
+        for name in ("cc-reno", "cc-cubic", "cc-bbr", "cc-mixed-arms"):
+            assert SCENARIOS.get(name).kind == "fleet"
+
+
 class TestFleetCli:
     def test_run_and_rerun_byte_identical(self, tmp_path, capsys):
         out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"

@@ -60,3 +60,11 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "TD learner (approx)" in out
         assert "TCP ref" in out
+
+    def test_cc_list(self, capsys):
+        code = main(["cc", "list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("reno", "cubic", "bbr", "udt", "udp", "ledbat"):
+            assert name in out
+        assert "[aio]" in out  # names also usable as real-socket pacers

@@ -1,0 +1,166 @@
+"""The widened RL action space: arm building, epsilon-greedy selection
+and the interceptor's ``data.arms`` opt-in flag."""
+
+import random
+
+import pytest
+
+from repro.core.arms import Arm, ArmSelection, build_arms
+from repro.errors import PolicyError
+from repro.kompics import KompicsSystem
+from repro.messaging import BasicAddress, DataHeader, Transport
+from repro.netsim import LinkSpec, SimNetwork
+from repro.netsim.congestion import UnknownCcError
+from repro.sim import Simulator
+
+from tests.messaging_helpers import MB, MIDDLEWARE_PORT, Blob, Collector, blob_registry
+
+
+class TestBuildArms:
+    def test_sequence_form(self):
+        arms = build_arms(["reno", "cubic", "udt"])
+        assert [a.name for a in arms] == ["reno", "cubic", "udt"]
+
+    def test_comma_string_form(self):
+        arms = build_arms(" reno, cubic ,udt ")
+        assert [a.name for a in arms] == ["reno", "cubic", "udt"]
+
+    def test_transport_mapping(self):
+        arms = build_arms(["reno", "cubic", "udt"])
+        by_name = {a.name: a.transport for a in arms}
+        assert by_name["reno"] is Transport.TCP
+        assert by_name["cubic"] is Transport.TCP
+        assert by_name["udt"] is Transport.UDT
+
+    def test_unknown_arm_gets_did_you_mean(self):
+        with pytest.raises(UnknownCcError) as err:
+            build_arms("reno,cubbic")
+        assert "did you mean 'cubic'" in str(err.value)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            build_arms("  , ,")
+
+
+class TestArmSelection:
+    def arms(self):
+        return build_arms(["reno", "cubic", "udt"])
+
+    def test_round_robin_until_feedback(self):
+        psp = ArmSelection(self.arms(), rng=random.Random(1), epsilon=0.0)
+        picks = [psp._select_arm().name for _ in range(6)]
+        assert picks == ["reno", "cubic", "udt"] * 2
+
+    def test_exploits_best_estimate(self):
+        psp = ArmSelection(self.arms(), rng=random.Random(1), epsilon=0.0)
+        psp.reward_arm("cubic", 10.0)
+        psp.reward_arm("reno", 1.0)
+        assert all(psp._select_arm().name == "cubic" for _ in range(10))
+
+    def test_epsilon_one_always_explores(self):
+        psp = ArmSelection(self.arms(), rng=random.Random(7), epsilon=1.0)
+        psp.reward_arm("reno", 100.0)
+        names = {psp._select_arm().name for _ in range(100)}
+        assert names == {"reno", "cubic", "udt"}  # best arm does not lock in
+
+    def test_select_returns_arm_transport_and_counts(self):
+        psp = ArmSelection(self.arms(), rng=random.Random(1), epsilon=0.0)
+        t = psp.select()
+        assert t is Transport.TCP and psp.last_arm.name == "reno"
+        t = psp.select()
+        assert t is Transport.TCP and psp.last_arm.name == "cubic"
+        t = psp.select()
+        assert t is Transport.UDT and psp.last_arm.name == "udt"
+        assert psp.selections == {"reno": 1, "cubic": 1, "udt": 1}
+
+    def test_reward_episode_credits_only_active_arms(self):
+        psp = ArmSelection(self.arms(), rng=random.Random(1), epsilon=0.0)
+        psp.select()  # reno
+        psp.select()  # cubic
+        psp.reward_episode(4.0)
+        assert psp.estimate("reno") == pytest.approx(4.0)
+        assert psp.estimate("cubic") == pytest.approx(4.0)
+        assert psp.estimate("udt") is None
+        # Next episode: only udt carries traffic.
+        psp.reward_episode(9.0)  # nothing selected since: no-op
+        assert psp.estimate("reno") == pytest.approx(4.0)
+
+    def test_ema_update(self):
+        psp = ArmSelection(self.arms(), ema_alpha=0.5)
+        psp.reward_arm("reno", 10.0)
+        psp.reward_arm("reno", 0.0)
+        assert psp.estimate("reno") == pytest.approx(5.0)
+
+    def test_needs_at_least_one_arm(self):
+        with pytest.raises(PolicyError):
+            ArmSelection(())
+
+    def test_epsilon_bounds(self):
+        with pytest.raises(PolicyError):
+            ArmSelection(self.arms(), epsilon=1.5)
+
+    def test_single_transport_arm_list(self):
+        arms = (Arm("reno", Transport.TCP), Arm("cubic", Transport.TCP))
+        psp = ArmSelection(arms, rng=random.Random(3), epsilon=1.0)
+        assert all(psp.select() is Transport.TCP for _ in range(20))
+
+
+def make_arm_world(arms_spec, seed=9):
+    """Two DataNetwork hosts with the arms flag set via node config."""
+    from repro.core import DataNetwork
+
+    sim = Simulator()
+    fabric = SimNetwork(sim, seed=seed)
+    system = KompicsSystem.simulated(
+        sim, seed=seed, config={"data.arms": arms_spec}
+    )
+    hosts = [fabric.add_host(f"h{i}", f"10.0.0.{i + 1}") for i in range(2)]
+    fabric.connect_hosts(
+        hosts[0], hosts[1], LinkSpec(20 * MB, 0.0015, udp_cap=2 * MB)
+    )
+    nodes = []
+    for i, host in enumerate(hosts):
+        address = BasicAddress(host.ip, MIDDLEWARE_PORT)
+        dn = system.create(
+            DataNetwork, address, host,
+            serializers=blob_registry(), name=f"data-net-{i}",
+        )
+        app = system.create(Collector, address, name=f"app-{i}")
+        dn.definition.connect_consumer(app.definition.net)
+        system.start(dn)
+        system.start(app)
+        nodes.append((host, address, dn, app))
+    sim.run_until(0.1)
+    return sim, system, nodes
+
+
+class TestInterceptorArmsFlag:
+    def test_flag_builds_arm_selection_flows(self):
+        sim, system, nodes = make_arm_world("reno,cubic,udt")
+        _, src_addr, src_dn, src_app = nodes[0]
+        _, dst_addr, _, dst_app = nodes[1]
+        interceptor = src_dn.definition.interceptor.definition
+        assert [a.name for a in interceptor.arms] == ["reno", "cubic", "udt"]
+        assert interceptor.selectable == (Transport.TCP, Transport.UDT)
+        for i in range(30):
+            src_app.definition.trigger(
+                Blob(DataHeader(src_addr, dst_addr), ("b", i), 20000),
+                src_app.definition.net,
+            )
+        sim.run_until(5.0)
+        flow = interceptor.flow_to(dst_addr.ip, dst_addr.port)
+        assert isinstance(flow.psp, ArmSelection)
+        assert sum(flow.psp.selections.values()) >= 30
+        assert len(dst_app.definition.received) == 30
+        # Pre-feedback round-robin spreads traffic over every arm.
+        assert all(count > 0 for count in flow.psp.selections.values())
+
+    def test_no_flag_keeps_binary_selector(self):
+        sim, system, nodes = make_arm_world(None)
+        interceptor = nodes[0][2].definition.interceptor.definition
+        assert interceptor.arms is None
+        assert interceptor.selectable == (Transport.TCP, Transport.UDT)
+
+    def test_bad_flag_fails_fast(self):
+        with pytest.raises(UnknownCcError):
+            make_arm_world("reno,tcp")
